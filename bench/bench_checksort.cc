@@ -1,0 +1,92 @@
+// Experiment E3 (Corollary 7, upper-bound side): CHECK-SORT,
+// SET-EQUALITY and MULTISET-EQUALITY are decidable deterministically
+// with Theta(log N) sequential scans on a constant number of tapes.
+//
+// The table reports measured scans vs input size and the least-squares
+// fit scans ~= a*log2(N) + b; the paper predicts a positive constant
+// slope (tightness of the Theorem 6 lower bound at r = Theta(log N)).
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "problems/generators.h"
+#include "problems/reference.h"
+#include "sorting/deciders.h"
+#include "stmodel/st_context.h"
+#include "util/random.h"
+
+namespace {
+
+using rstlab::Rng;
+using rstlab::core::FitLog2;
+using rstlab::core::FormatDouble;
+using rstlab::core::Table;
+
+void RunScalingTable(rstlab::problems::Problem problem,
+                     const char* title) {
+  Table table(title, {"m", "N", "scans", "int.bits", "correct"});
+  Rng rng(0xC0FFEE);
+  std::vector<double> ns;
+  std::vector<double> scans;
+  for (std::size_t m : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const std::size_t n = 16;
+    rstlab::problems::Instance inst =
+        problem == rstlab::problems::Problem::kCheckSort
+            ? rstlab::problems::SortedPair(m, n, rng)
+            : rstlab::problems::EqualMultisets(m, n, rng);
+    rstlab::stmodel::StContext ctx(rstlab::sorting::kDeciderTapes);
+    ctx.LoadInput(inst.Encode());
+    auto decided = rstlab::sorting::DecideOnTapes(problem, ctx);
+    const bool correct =
+        decided.ok() &&
+        decided.value() == rstlab::problems::RefDecide(problem, inst);
+    const auto report = ctx.Report();
+    table.AddRow({std::to_string(m), std::to_string(inst.N()),
+                  std::to_string(report.scan_bound),
+                  std::to_string(report.internal_space),
+                  correct ? "yes" : "NO"});
+    ns.push_back(static_cast<double>(inst.N()));
+    scans.push_back(static_cast<double>(report.scan_bound));
+  }
+  table.Print(std::cout);
+  const auto fit = FitLog2(ns, scans);
+  std::cout << "  fit: scans = " << FormatDouble(fit.slope) << " * log2(N) + "
+            << FormatDouble(fit.intercept)
+            << "  (R^2 = " << FormatDouble(fit.r_squared)
+            << "; paper: Theta(log N) scans, Corollary 7)\n\n";
+}
+
+void BM_Decider(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  rstlab::problems::Instance inst =
+      rstlab::problems::EqualMultisets(m, 16, rng);
+  const std::string encoded = inst.Encode();
+  for (auto _ : state) {
+    rstlab::stmodel::StContext ctx(rstlab::sorting::kDeciderTapes);
+    ctx.LoadInput(encoded);
+    auto decided = rstlab::sorting::DecideOnTapes(
+        rstlab::problems::Problem::kMultisetEquality, ctx);
+    benchmark::DoNotOptimize(decided);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      encoded.size() * static_cast<std::size_t>(state.iterations())));
+}
+BENCHMARK(BM_Decider)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunScalingTable(rstlab::problems::Problem::kCheckSort,
+                  "E3a: CHECK-SORT in ST(O(log N), O(n + log N), 5)");
+  RunScalingTable(
+      rstlab::problems::Problem::kMultisetEquality,
+      "E3b: MULTISET-EQUALITY in ST(O(log N), O(n + log N), 5)");
+  RunScalingTable(rstlab::problems::Problem::kSetEquality,
+                  "E3c: SET-EQUALITY in ST(O(log N), O(n + log N), 5)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Experiment E1/E2 (Theorem 8(a) + Claim 1): the randomized multiset
+// equality tester.
+//
+// Paper rows reproduced:
+//  * MULTISET-EQUALITY is in co-RST(2, O(log N), 1): the tape run uses
+//    exactly 2 sequential scans, O(log N) internal bits, 1 tape, never a
+//    false negative, and false positives with probability <= 1/2
+//    (measured rates are far smaller).
+//  * Claim 1: the probability that some pair v_i != v'_j collides mod a
+//    random prime <= k is O(1/m).
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "fingerprint/fingerprint.h"
+#include "problems/generators.h"
+#include "problems/reference.h"
+#include "util/bitstring.h"
+#include "stmodel/st_context.h"
+#include "util/random.h"
+
+namespace {
+
+using rstlab::Rng;
+using rstlab::core::FormatDouble;
+using rstlab::core::Table;
+
+void RunErrorTable() {
+  Table table("E1: Theorem 8(a) fingerprint tester, one-sided error",
+              {"m", "n", "N", "scans", "int.bits", "falseneg",
+               "falsepos", "paper"});
+  Rng rng(20260705);
+  for (std::size_t m : {16u, 64u, 256u, 1024u}) {
+    const std::size_t n = 32;
+    std::size_t false_neg = 0;
+    std::size_t false_pos = 0;
+    std::uint64_t scans = 0;
+    std::size_t internal_bits = 0;
+    std::size_t input_size = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+      const bool equal = t % 2 == 0;
+      rstlab::problems::Instance inst =
+          equal ? rstlab::problems::EqualMultisets(m, n, rng)
+                : rstlab::problems::PerturbedMultisets(m, n, 1, rng);
+      rstlab::stmodel::StContext ctx(1);
+      ctx.LoadInput(inst.Encode());
+      auto outcome =
+          rstlab::fingerprint::TestMultisetEqualityOnTapes(ctx, rng);
+      if (!outcome.ok()) continue;
+      if (equal && !outcome.value().accepted) ++false_neg;
+      if (!equal && outcome.value().accepted) ++false_pos;
+      scans = ctx.Report().scan_bound;
+      internal_bits = ctx.Report().internal_space;
+      input_size = ctx.input_size();
+    }
+    table.AddRow({std::to_string(m), std::to_string(n),
+                  std::to_string(input_size), std::to_string(scans),
+                  std::to_string(internal_bits),
+                  FormatDouble(false_neg / 100.0),
+                  FormatDouble(false_pos / 100.0),
+                  "fn=0, fp<=0.5, r=2, s=O(logN)"});
+  }
+  table.Print(std::cout);
+}
+
+void RunClaim1Table() {
+  Table table("E2: Claim 1 collision probability of the prime residue map",
+              {"m", "n", "collision_rate", "bound O(1/m)"});
+  Rng rng(77);
+  for (std::size_t m : {4u, 8u, 16u, 32u}) {
+    const std::size_t n = 24;
+    rstlab::problems::Instance inst =
+        rstlab::problems::PerturbedMultisets(m, n, m / 2, rng);
+    const double rate =
+        rstlab::fingerprint::EstimateClaim1CollisionRate(inst, 200, rng);
+    table.AddRow({std::to_string(m), std::to_string(n),
+                  FormatDouble(rate),
+                  FormatDouble(1.0 / static_cast<double>(m))});
+  }
+  table.Print(std::cout);
+}
+
+void RunExactProbabilityTable() {
+  Table table(
+      "E1b: EXACT acceptance probabilities (full choice enumeration)",
+      {"m", "n", "instances", "worst false-pos", "paper bound"});
+  // Exhaust every unequal instance at tiny (m, n) and compute the true
+  // worst-case acceptance probability over all (p1, x) choices.
+  for (const auto& [m, n] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{2, 2}, {2, 3}}) {
+    double worst = 0.0;
+    std::size_t count = 0;
+    const std::uint64_t values = std::uint64_t{1} << n;
+    for (std::uint64_t a = 0; a < values; ++a) {
+      for (std::uint64_t b = a; b < values; ++b) {
+        for (std::uint64_t c = 0; c < values; ++c) {
+          for (std::uint64_t d = c; d < values; ++d) {
+            rstlab::problems::Instance inst;
+            inst.first = {rstlab::BitString::FromUint64(a, n),
+                          rstlab::BitString::FromUint64(b, n)};
+            inst.second = {rstlab::BitString::FromUint64(c, n),
+                           rstlab::BitString::FromUint64(d, n)};
+            if (rstlab::problems::RefMultisetEquality(inst)) continue;
+            auto p = rstlab::fingerprint::ExactAcceptProbability(inst);
+            if (!p.ok()) continue;
+            worst = std::max(worst, p.value());
+            ++count;
+          }
+        }
+      }
+    }
+    (void)m;
+    table.AddRow({"2", std::to_string(n), std::to_string(count),
+                  FormatDouble(worst, 4), "1/3 + O(1/m) <= 0.5"});
+  }
+  table.Print(std::cout);
+  std::cout << "  the exact worst case sits far below the bound: the"
+               " analysis charges p1/(p2-1) <= 1/3 for the polynomial"
+               " zero event, while actual zero counts are tiny\n\n";
+}
+
+void BM_FingerprintTape(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  rstlab::problems::Instance inst =
+      rstlab::problems::EqualMultisets(m, 32, rng);
+  const std::string encoded = inst.Encode();
+  for (auto _ : state) {
+    rstlab::stmodel::StContext ctx(1);
+    ctx.LoadInput(encoded);
+    auto outcome =
+        rstlab::fingerprint::TestMultisetEqualityOnTapes(ctx, rng);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      encoded.size() * static_cast<std::size_t>(state.iterations())));
+}
+BENCHMARK(BM_FingerprintTape)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FingerprintHost(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  rstlab::problems::Instance inst =
+      rstlab::problems::EqualMultisets(m, 32, rng);
+  for (auto _ : state) {
+    auto outcome = rstlab::fingerprint::TestMultisetEquality(inst, rng);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_FingerprintHost)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunErrorTable();
+  RunClaim1Table();
+  RunExactProbabilityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

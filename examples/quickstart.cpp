@@ -1,0 +1,79 @@
+// Quickstart: decide MULTISET-EQUALITY three ways and compare the
+// resource bills — the story of the paper in one program.
+//
+//   build/examples/quickstart [m] [n]
+//
+// 1. The randomized fingerprint tester (Theorem 8(a)): two sequential
+//    scans, O(log N) internal bits, one-sided error.
+// 2. The deterministic sort-and-compare decider (Corollary 7):
+//    Theta(log N) scans.
+// 3. The reference oracle for ground truth.
+//
+// Theorem 6 says the gap is fundamental: below Theta(log N) scans, even
+// randomization (with the no-false-positives error model) cannot decide
+// the problem once internal memory is limited to O(N^{1/4} / log N).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/rstlab.h"
+
+int main(int argc, char** argv) {
+  const std::size_t m = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
+  const std::size_t n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 32;
+  rstlab::Rng rng(2026);
+
+  std::cout << "MULTISET-EQUALITY on m = " << m << " pairs of " << n
+            << "-bit values\n\n";
+
+  for (const bool equal : {true, false}) {
+    rstlab::problems::Instance instance =
+        equal ? rstlab::problems::EqualMultisets(m, n, rng)
+              : rstlab::problems::PerturbedMultisets(m, n, 1, rng);
+    const bool truth = rstlab::problems::RefMultisetEquality(instance);
+    std::cout << "--- instance: " << (equal ? "equal" : "perturbed")
+              << " (oracle says " << (truth ? "YES" : "NO") << "), N = "
+              << instance.N() << " ---\n";
+
+    // 1. Fingerprinting (Theorem 8(a)).
+    {
+      rstlab::stmodel::StContext ctx(1);
+      ctx.LoadInput(instance.Encode());
+      auto outcome =
+          rstlab::fingerprint::TestMultisetEqualityOnTapes(ctx, rng);
+      if (!outcome.ok()) {
+        std::cerr << "fingerprint failed: " << outcome.status() << "\n";
+        return 1;
+      }
+      std::cout << "  fingerprint   : "
+                << (outcome.value().accepted ? "accept" : "reject")
+                << "   [" << ctx.Report().ToString()
+                << "]  (p1=" << outcome.value().params.p1
+                << ", p2=" << outcome.value().params.p2
+                << ", x=" << outcome.value().params.x << ")\n";
+    }
+
+    // 2. Deterministic sorting decider (Corollary 7).
+    {
+      rstlab::stmodel::StContext ctx(rstlab::sorting::kDeciderTapes);
+      ctx.LoadInput(instance.Encode());
+      auto decided = rstlab::sorting::DecideOnTapes(
+          rstlab::problems::Problem::kMultisetEquality, ctx);
+      if (!decided.ok()) {
+        std::cerr << "decider failed: " << decided.status() << "\n";
+        return 1;
+      }
+      std::cout << "  deterministic : "
+                << (decided.value() ? "accept" : "reject") << "   ["
+                << ctx.Report().ToString() << "]\n";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Note the scan columns: r = 2 for the randomized tester vs\n"
+      << "r = Theta(log N) for the deterministic decider — and by\n"
+      << "Theorem 6 no machine with o(log N) scans and sublinear memory\n"
+      << "can close that gap without accepting false positives.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Streaming relational algebra (Theorem 11): evaluate queries on a
+// tuple stream with sorts and scans only, and watch the symmetric
+// difference query decide SET-EQUALITY.
+//
+//   build/examples/streaming_relalg [tuples]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "core/rstlab.h"
+
+namespace {
+
+using rstlab::query::Rel;
+using rstlab::query::Relation;
+
+void ShowQuery(const char* label, const rstlab::query::RelAlgExprPtr& q,
+               const std::map<std::string, Relation>& db) {
+  rstlab::stmodel::StContext ctx(rstlab::query::kRelAlgTapes);
+  ctx.LoadInput(rstlab::query::EncodeDatabaseStream(db));
+  auto streamed = rstlab::query::EvaluateOnTapes(q, ctx);
+  auto reference = rstlab::query::EvaluateInMemory(q, db);
+  if (!streamed.ok() || !reference.ok()) {
+    std::cerr << label << ": evaluation failed\n";
+    return;
+  }
+  std::cout << "  " << label << ": " << streamed.value().tuples.size()
+            << " tuples   [" << ctx.Report().ToString() << "]  "
+            << (streamed.value() == reference.value()
+                    ? "(matches in-memory evaluator)"
+                    : "(MISMATCH!)")
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t tuples =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  rstlab::Rng rng(7);
+
+  // Two unary relations of random 24-bit values, sharing roughly half
+  // their tuples.
+  std::map<std::string, Relation> db;
+  db["R1"].name = "R1";
+  db["R2"].name = "R2";
+  db["R1"].arity = db["R2"].arity = 1;
+  for (std::size_t i = 0; i < tuples; ++i) {
+    const std::string v = rstlab::BitString::Random(24, rng).ToString();
+    db["R1"].Insert({v});
+    if (i % 2 == 0) {
+      db["R2"].Insert({v});
+    } else {
+      db["R2"].Insert({rstlab::BitString::Random(24, rng).ToString()});
+    }
+  }
+  std::cout << "R1: " << db["R1"].tuples.size() << " tuples, R2: "
+            << db["R2"].tuples.size() << " tuples; stream length "
+            << rstlab::query::EncodeDatabaseStream(db).size()
+            << " characters\n\n";
+
+  using rstlab::query::Difference;
+  using rstlab::query::Intersection;
+  using rstlab::query::Project;
+  using rstlab::query::Union;
+
+  ShowQuery("R1 - R2            ", Difference(Rel("R1"), Rel("R2")), db);
+  ShowQuery("R2 - R1            ", Difference(Rel("R2"), Rel("R1")), db);
+  ShowQuery("R1 ∩ R2            ", Intersection(Rel("R1"), Rel("R2")), db);
+  ShowQuery("R1 ∪ R2            ", Union(Rel("R1"), Rel("R2")), db);
+  ShowQuery("(R1-R2) ∪ (R2-R1)  ",
+            rstlab::query::SymmetricDifferenceQuery(), db);
+
+  std::cout << "\nNow make R2 a copy of R1 — the symmetric difference "
+               "empties out,\nwhich is how Theorem 11(b) reduces "
+               "SET-EQUALITY to query evaluation:\n\n";
+  db["R2"] = db["R1"];
+  db["R2"].name = "R2";
+  ShowQuery("(R1-R2) ∪ (R2-R1)  ",
+            rstlab::query::SymmetricDifferenceQuery(), db);
+  return 0;
+}

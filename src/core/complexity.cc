@@ -1,0 +1,101 @@
+#include "core/complexity.h"
+
+#include <cmath>
+
+namespace rstlab::core {
+
+tape::StBounds ResourceClass::BoundsAt(std::size_t n) const {
+  tape::StBounds bounds;
+  bounds.max_scans = r_of_n(n);
+  bounds.max_internal_space = s_of_n(n);
+  bounds.max_external_tapes = t;
+  return bounds;
+}
+
+bool ResourceClass::Admits(const tape::ResourceReport& report,
+                           std::size_t n) const {
+  return tape::Complies(report, BoundsAt(n));
+}
+
+std::function<std::uint64_t(std::size_t)> ConstScans(std::uint64_t c) {
+  return [c](std::size_t) { return c; };
+}
+
+std::function<std::uint64_t(std::size_t)> LogScans(double c) {
+  return [c](std::size_t n) {
+    const double l = std::log2(static_cast<double>(std::max<std::size_t>(
+        2, n)));
+    return static_cast<std::uint64_t>(std::ceil(c * l));
+  };
+}
+
+std::function<std::size_t(std::size_t)> ConstSpace(std::size_t c) {
+  return [c](std::size_t) { return c; };
+}
+
+std::function<std::size_t(std::size_t)> LogSpace(double c) {
+  return [c](std::size_t n) {
+    const double l = std::log2(static_cast<double>(std::max<std::size_t>(
+        2, n)));
+    return static_cast<std::size_t>(std::ceil(c * l));
+  };
+}
+
+std::function<std::size_t(std::size_t)> FourthRootOverLogSpace(double c) {
+  return [c](std::size_t n) {
+    const double nn = static_cast<double>(std::max<std::size_t>(2, n));
+    return static_cast<std::size_t>(
+        std::ceil(c * std::pow(nn, 0.25) / std::log2(nn)));
+  };
+}
+
+namespace {
+
+ResourceClass MakeClass(MachineMode mode, std::string name,
+                        std::function<std::uint64_t(std::size_t)> r,
+                        std::function<std::size_t(std::size_t)> s,
+                        std::size_t t) {
+  ResourceClass cls;
+  cls.mode = mode;
+  cls.name = std::move(name);
+  cls.r_of_n = std::move(r);
+  cls.s_of_n = std::move(s);
+  cls.t = t;
+  return cls;
+}
+
+}  // namespace
+
+ResourceClass StClass(std::string name,
+                      std::function<std::uint64_t(std::size_t)> r,
+                      std::function<std::size_t(std::size_t)> s,
+                      std::size_t t) {
+  return MakeClass(MachineMode::kDeterministic, std::move(name),
+                   std::move(r), std::move(s), t);
+}
+
+ResourceClass RstClass(std::string name,
+                       std::function<std::uint64_t(std::size_t)> r,
+                       std::function<std::size_t(std::size_t)> s,
+                       std::size_t t) {
+  return MakeClass(MachineMode::kRandomized, std::move(name), std::move(r),
+                   std::move(s), t);
+}
+
+ResourceClass CoRstClass(std::string name,
+                         std::function<std::uint64_t(std::size_t)> r,
+                         std::function<std::size_t(std::size_t)> s,
+                         std::size_t t) {
+  return MakeClass(MachineMode::kCoRandomized, std::move(name),
+                   std::move(r), std::move(s), t);
+}
+
+ResourceClass NstClass(std::string name,
+                       std::function<std::uint64_t(std::size_t)> r,
+                       std::function<std::size_t(std::size_t)> s,
+                       std::size_t t) {
+  return MakeClass(MachineMode::kNondeterministic, std::move(name),
+                   std::move(r), std::move(s), t);
+}
+
+}  // namespace rstlab::core

@@ -1,0 +1,70 @@
+#ifndef RSTLAB_CORE_COMPLEXITY_H_
+#define RSTLAB_CORE_COMPLEXITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "tape/resource_meter.h"
+
+namespace rstlab::core {
+
+/// The machine mode of a complexity class (Definitions 2 and 4).
+enum class MachineMode {
+  kDeterministic,   // ST(...)
+  kRandomized,      // RST(...): no false positives, false negatives <= 1/2
+  kCoRandomized,    // co-RST(...): no false negatives, false pos <= 1/2
+  kNondeterministic,  // NST(...)
+  kLasVegas,        // LasVegas-RST(...): output or "I don't know"
+};
+
+/// A resource class ST/RST/NST/... (r(N), s(N), t) with r and s given as
+/// evaluable functions of the input size; used to check measured
+/// ResourceReports against claimed class memberships.
+struct ResourceClass {
+  MachineMode mode = MachineMode::kDeterministic;
+  std::string name;
+  std::function<std::uint64_t(std::size_t)> r_of_n;
+  std::function<std::size_t(std::size_t)> s_of_n;
+  std::size_t t = 1;
+
+  /// The concrete bounds at input size N.
+  tape::StBounds BoundsAt(std::size_t n) const;
+
+  /// True iff `report` (from a run on input size N) complies.
+  bool Admits(const tape::ResourceReport& report, std::size_t n) const;
+};
+
+/// r(N) = c (constant scans).
+std::function<std::uint64_t(std::size_t)> ConstScans(std::uint64_t c);
+/// r(N) = ceil(c * log2 N).
+std::function<std::uint64_t(std::size_t)> LogScans(double c);
+/// s(N) = c bits.
+std::function<std::size_t(std::size_t)> ConstSpace(std::size_t c);
+/// s(N) = ceil(c * log2 N) bits.
+std::function<std::size_t(std::size_t)> LogSpace(double c);
+/// s(N) = ceil(c * N^{1/4} / log2 N) bits — the Theorem 6 regime.
+std::function<std::size_t(std::size_t)> FourthRootOverLogSpace(double c);
+
+/// Named classes from the paper, with explicit constants supplied by the
+/// caller (asymptotic statements are checked as fits in the benches).
+ResourceClass StClass(std::string name,
+                      std::function<std::uint64_t(std::size_t)> r,
+                      std::function<std::size_t(std::size_t)> s,
+                      std::size_t t);
+ResourceClass RstClass(std::string name,
+                       std::function<std::uint64_t(std::size_t)> r,
+                       std::function<std::size_t(std::size_t)> s,
+                       std::size_t t);
+ResourceClass CoRstClass(std::string name,
+                         std::function<std::uint64_t(std::size_t)> r,
+                         std::function<std::size_t(std::size_t)> s,
+                         std::size_t t);
+ResourceClass NstClass(std::string name,
+                       std::function<std::uint64_t(std::size_t)> r,
+                       std::function<std::size_t(std::size_t)> s,
+                       std::size_t t);
+
+}  // namespace rstlab::core
+
+#endif  // RSTLAB_CORE_COMPLEXITY_H_

@@ -1,0 +1,99 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rstlab::core {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::ToCsv() const {
+  auto escape = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char c : field) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+LogFit FitLog2(const std::vector<double>& xs,
+               const std::vector<double>& ys) {
+  assert(xs.size() == ys.size() && xs.size() >= 2);
+  const std::size_t n = xs.size();
+  double sum_l = 0, sum_y = 0, sum_ll = 0, sum_ly = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double l = std::log2(xs[i]);
+    sum_l += l;
+    sum_y += ys[i];
+    sum_ll += l * l;
+    sum_ly += l * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sum_ll - sum_l * sum_l;
+  LogFit fit;
+  if (std::abs(denom) < 1e-12) return fit;
+  fit.slope = (dn * sum_ly - sum_l * sum_y) / denom;
+  fit.intercept = (sum_y - fit.slope * sum_l) / dn;
+  double ss_res = 0, ss_tot = 0;
+  const double mean_y = sum_y / dn;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = fit.slope * std::log2(xs[i]) + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r_squared = ss_tot < 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace rstlab::core

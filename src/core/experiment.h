@@ -1,0 +1,52 @@
+#ifndef RSTLAB_CORE_EXPERIMENT_H_
+#define RSTLAB_CORE_EXPERIMENT_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rstlab::core {
+
+/// A simple fixed-width experiment table: header once, one row per
+/// parameter point; prints aligned to a stream. Experiment binaries use
+/// it to print the "rows the paper reports" next to measured values.
+class Table {
+ public:
+  /// A table with the given title and column headers.
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row (stringified by the caller; must match the column
+  /// count).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table.
+  void Print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-style CSV (header row first; fields containing
+  /// commas or quotes are quoted) for downstream plotting.
+  std::string ToCsv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant fraction digits.
+std::string FormatDouble(double value, int digits = 3);
+
+/// Least-squares fit y = slope * log2(x) + intercept over the points,
+/// for checking Theta(log N) scan counts.
+struct LogFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits `ys` against log2 of `xs`. Requires at least two points.
+LogFit FitLog2(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace rstlab::core
+
+#endif  // RSTLAB_CORE_EXPERIMENT_H_

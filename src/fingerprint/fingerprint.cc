@@ -1,0 +1,281 @@
+#include "fingerprint/fingerprint.h"
+
+#include <bit>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fingerprint/prime.h"
+#include "stmodel/internal_arena.h"
+#include "stmodel/tape_io.h"
+
+namespace rstlab::fingerprint {
+
+namespace {
+
+/// ceil(log2(v)) for v >= 1, at least 1.
+std::uint64_t CeilLog2(std::uint64_t v) {
+  if (v <= 2) return 1;
+  return static_cast<std::uint64_t>(std::bit_width(v - 1));
+}
+
+/// k = m^3 * n * ceil(log2(m^3 * n)); fails when 6k would overflow.
+Result<std::uint64_t> ComputeK(std::size_t m, std::size_t n) {
+  const unsigned __int128 m128 = m == 0 ? 1 : m;
+  const unsigned __int128 n128 = n == 0 ? 1 : n;
+  const unsigned __int128 mn = m128 * m128 * m128 * n128;
+  if (mn > (static_cast<unsigned __int128>(1) << 62)) {
+    return Status::OutOfRange("m^3 * n too large for 64-bit fingerprints");
+  }
+  const unsigned __int128 k =
+      mn * CeilLog2(static_cast<std::uint64_t>(mn));
+  if (k > (static_cast<unsigned __int128>(1) << 62) / 6) {
+    return Status::OutOfRange("k too large for 64-bit fingerprints");
+  }
+  // The algorithm needs k >= 2 so a prime <= k exists.
+  return std::max<std::uint64_t>(2, static_cast<std::uint64_t>(k));
+}
+
+}  // namespace
+
+Result<FingerprintParams> SampleFingerprintParams(std::size_t m,
+                                                  std::size_t n,
+                                                  Rng& rng) {
+  FingerprintParams params;
+  Result<std::uint64_t> k = ComputeK(m, n);
+  if (!k.ok()) return k.status();
+  params.k = k.value();
+  Result<std::uint64_t> p1 = RandomPrimeAtMost(params.k, rng);
+  if (!p1.ok()) return p1.status();
+  params.p1 = p1.value();
+  Result<std::uint64_t> p2 = PrimeInBertrandInterval(params.k);
+  if (!p2.ok()) return p2.status();
+  params.p2 = p2.value();
+  params.x = rng.UniformInRange(1, params.p2 - 1);
+  return params;
+}
+
+bool AcceptsWithParams(const problems::Instance& instance,
+                       const FingerprintParams& params) {
+  std::uint64_t sum_first = 0;
+  std::uint64_t sum_second = 0;
+  for (const BitString& v : instance.first) {
+    const std::uint64_t e = v.ModUint64(params.p1);
+    sum_first = (sum_first + PowMod(params.x, e, params.p2)) % params.p2;
+  }
+  for (const BitString& v : instance.second) {
+    const std::uint64_t e = v.ModUint64(params.p1);
+    sum_second = (sum_second + PowMod(params.x, e, params.p2)) % params.p2;
+  }
+  return sum_first == sum_second;
+}
+
+FingerprintOutcome TestMultisetEquality(const problems::Instance& instance,
+                                        Rng& rng) {
+  std::size_t n = 0;
+  for (const BitString& v : instance.first) n = std::max(n, v.size());
+  for (const BitString& v : instance.second) n = std::max(n, v.size());
+  FingerprintOutcome outcome;
+  Result<FingerprintParams> params =
+      SampleFingerprintParams(instance.m(), n, rng);
+  // Parameter sampling only fails on astronomically large m*n (beyond
+  // what fits in memory). Accepting on failure keeps the one-sided
+  // guarantee intact: false accepts are the permitted error direction,
+  // false rejects never are.
+  if (!params.ok()) {
+    outcome.accepted = true;
+    return outcome;
+  }
+  outcome.params = params.value();
+  outcome.accepted = AcceptsWithParams(instance, outcome.params);
+  return outcome;
+}
+
+Result<FingerprintOutcome> TestMultisetEqualityOnTapes(
+    stmodel::StContext& ctx, Rng& rng) {
+  tape::Tape& in = ctx.tape(0);
+  stmodel::InternalArena& arena = ctx.arena();
+  const std::size_t N = std::max<std::size_t>(1, ctx.input_size());
+
+  // ---- Scan 1: determine m and n (step 1). O(log N)-bit counters. ----
+  const std::size_t ctr_bits = stmodel::BitsFor(N);
+  stmodel::MeteredUint64 num_fields(arena, ctr_bits);
+  stmodel::MeteredUint64 field_len(arena, ctr_bits);
+  stmodel::MeteredUint64 max_len(arena, ctr_bits);
+
+  stmodel::Rewind(in);
+  while (!stmodel::AtEnd(in)) {
+    field_len = 0;
+    while (in.Read() != stmodel::kFieldSeparator &&
+           in.Read() != tape::kBlank) {
+      if (in.Read() != '0' && in.Read() != '1') {
+        return Status::InvalidArgument("non-binary character in field");
+      }
+      field_len = field_len.get() + 1;
+      in.MoveRight();
+    }
+    if (in.Read() != stmodel::kFieldSeparator) {
+      return Status::InvalidArgument("instance must end with '#'");
+    }
+    in.MoveRight();
+    max_len = std::max(max_len.get(), field_len.get());
+    num_fields = num_fields.get() + 1;
+  }
+  if (num_fields.get() % 2 != 0) {
+    return Status::InvalidArgument("instance must have 2m fields");
+  }
+  const std::size_t m = static_cast<std::size_t>(num_fields.get() / 2);
+  const std::size_t n = static_cast<std::size_t>(max_len.get());
+
+  // ---- Steps 2-4: sample p1, p2, x in internal memory. ----
+  Result<FingerprintParams> params_result =
+      SampleFingerprintParams(m, n, rng);
+  if (!params_result.ok()) return params_result.status();
+  const FingerprintParams params = params_result.value();
+  // Account for the O(log N)-bit registers holding k, p1, p2, x and the
+  // arithmetic scratch (Theorem 8(a): "with numbers of length O(log N)
+  // we can carry out the necessary arithmetic").
+  stmodel::MeteredUint64 reg_p1(arena, stmodel::BitsFor(params.p1),
+                                params.p1);
+  stmodel::MeteredUint64 reg_p2(arena, stmodel::BitsFor(params.p2),
+                                params.p2);
+  stmodel::MeteredUint64 reg_x(arena, stmodel::BitsFor(params.p2),
+                               params.x);
+  stmodel::MeteredUint64 residue(arena, stmodel::BitsFor(params.p1));
+  stmodel::MeteredUint64 power(arena, stmodel::BitsFor(params.p1));
+  stmodel::MeteredUint64 sum_first(arena, stmodel::BitsFor(params.p2));
+  stmodel::MeteredUint64 sum_second(arena, stmodel::BitsFor(params.p2));
+  stmodel::MeteredUint64 field_index(arena, ctr_bits);
+
+  // ---- Scan 2: one BACKWARD pass (exactly one head reversal, so the
+  // whole run uses the paper's two sequential scans). Reading a value
+  // right-to-left, e_i = sum_j bit_j * 2^j mod p1 is accumulated with an
+  // incrementally maintained power of two (step 5, reversed). ----
+  residue = 0;
+  power = 1 % reg_p1.get();
+  field_index = 2 * m;  // counts down; fields are met in reverse order
+  bool in_field = false;
+  // Head is one past the last '#' after scan 1; walk left to cell 0.
+  std::size_t remaining = in.head();
+  auto finalize_field = [&]() {
+    field_index = field_index.get() - 1;
+    const std::uint64_t term =
+        PowMod(reg_x.get(), residue.get(), reg_p2.get());
+    if (field_index.get() < m) {
+      sum_first = (sum_first.get() + term) % reg_p2.get();
+    } else {
+      sum_second = (sum_second.get() + term) % reg_p2.get();
+    }
+    residue = 0;
+    power = 1 % reg_p1.get();
+  };
+  while (remaining > 0) {
+    in.MoveLeft();
+    --remaining;
+    const char c = in.Read();
+    if (c == stmodel::kFieldSeparator) {
+      if (in_field) finalize_field();
+      in_field = true;  // a '#' opens the field to its left
+    } else {
+      residue = (residue.get() +
+                 (c == '1' ? power.get() : 0) % reg_p1.get()) %
+                reg_p1.get();
+      power = MulMod(power.get(), 2, reg_p1.get());
+    }
+  }
+  if (in_field) finalize_field();
+  if (field_index.get() != 0) {
+    return Status::Internal("backward scan lost field alignment");
+  }
+
+  FingerprintOutcome outcome;
+  outcome.params = params;
+  outcome.accepted = sum_first.get() == sum_second.get();
+  return outcome;
+}
+
+Result<double> ExactAcceptProbability(const problems::Instance& instance,
+                                      std::uint64_t max_k) {
+  std::size_t n = 0;
+  for (const BitString& v : instance.first) n = std::max(n, v.size());
+  for (const BitString& v : instance.second) n = std::max(n, v.size());
+  Result<std::uint64_t> k_result = ComputeK(instance.m(), n);
+  if (!k_result.ok()) return k_result.status();
+  const std::uint64_t k = k_result.value();
+  if (k > max_k) {
+    return Status::OutOfRange("k = " + std::to_string(k) +
+                              " too large for exact enumeration");
+  }
+  Result<std::uint64_t> p2_result = PrimeInBertrandInterval(k);
+  if (!p2_result.ok()) return p2_result.status();
+  const std::uint64_t p2 = p2_result.value();
+
+  std::uint64_t accepting = 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t p1 = 2; p1 <= k; ++p1) {
+    if (!IsPrime(p1)) continue;
+    // Residues are independent of x; hoist them out of the x loop.
+    std::vector<std::uint64_t> e_first;
+    std::vector<std::uint64_t> e_second;
+    for (const BitString& v : instance.first) {
+      e_first.push_back(v.ModUint64(p1));
+    }
+    for (const BitString& v : instance.second) {
+      e_second.push_back(v.ModUint64(p1));
+    }
+    for (std::uint64_t x = 1; x < p2; ++x) {
+      std::uint64_t sum_first = 0;
+      std::uint64_t sum_second = 0;
+      for (std::uint64_t e : e_first) {
+        sum_first = (sum_first + PowMod(x, e, p2)) % p2;
+      }
+      for (std::uint64_t e : e_second) {
+        sum_second = (sum_second + PowMod(x, e, p2)) % p2;
+      }
+      accepting += sum_first == sum_second;
+      ++total;
+    }
+  }
+  if (total == 0) return Status::Internal("no primes <= k");
+  return static_cast<double>(accepting) / static_cast<double>(total);
+}
+
+double EstimateClaim1CollisionRate(const problems::Instance& instance,
+                                   std::size_t trials, Rng& rng) {
+  std::size_t n = 0;
+  for (const BitString& v : instance.first) n = std::max(n, v.size());
+  for (const BitString& v : instance.second) n = std::max(n, v.size());
+  Result<std::uint64_t> k_result = ComputeK(instance.m(), n);
+  if (!k_result.ok() || trials == 0) return 0.0;
+  const std::uint64_t k = k_result.value();
+
+  std::size_t collisions = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    Result<std::uint64_t> p = RandomPrimeAtMost(k, rng);
+    if (!p.ok()) continue;
+    // residue -> distinct second-list values with that residue
+    std::unordered_map<std::uint64_t,
+                       std::unordered_set<BitString, BitStringHash>>
+        by_residue;
+    for (const BitString& v : instance.second) {
+      by_residue[v.ModUint64(p.value())].insert(v);
+    }
+    bool collided = false;
+    for (const BitString& v : instance.first) {
+      auto it = by_residue.find(v.ModUint64(p.value()));
+      if (it == by_residue.end()) continue;
+      for (const BitString& w : it->second) {
+        if (w != v) {
+          collided = true;
+          break;
+        }
+      }
+      if (collided) break;
+    }
+    if (collided) ++collisions;
+  }
+  return static_cast<double>(collisions) / static_cast<double>(trials);
+}
+
+}  // namespace rstlab::fingerprint

@@ -1,0 +1,83 @@
+#ifndef RSTLAB_FINGERPRINT_FINGERPRINT_H_
+#define RSTLAB_FINGERPRINT_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "problems/instance.h"
+#include "stmodel/st_context.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rstlab::fingerprint {
+
+/// The random parameters of one fingerprinting trial (Theorem 8(a)).
+struct FingerprintParams {
+  std::uint64_t k = 0;   // k = m^3 * n * ceil(log2(m^3 * n))
+  std::uint64_t p1 = 0;  // random prime <= k        (step 2)
+  std::uint64_t p2 = 0;  // fixed prime in (3k, 6k]  (step 3)
+  std::uint64_t x = 0;   // uniform in {1,...,p2-1}  (step 4)
+};
+
+/// Samples fingerprint parameters for m values of n bits. Fails if the
+/// derived k overflows the uint64 arithmetic (m^3 * n * log must stay
+/// below 2^63 / 6).
+Result<FingerprintParams> SampleFingerprintParams(std::size_t m,
+                                                  std::size_t n, Rng& rng);
+
+/// Outcome of one fingerprinting run.
+struct FingerprintOutcome {
+  bool accepted = false;
+  FingerprintParams params;
+};
+
+/// The randomized multiset-equality tester of Theorem 8(a), host-memory
+/// version: computes e_i = v_i mod p1 and accepts iff
+/// sum_i x^{e_i} == sum_i x^{e'_i} (mod p2).
+///
+/// (The paper's step (5) prints "mod p1" for the accumulation — a typo;
+/// equation (1) and the correctness proof, which views the fingerprint as
+/// a polynomial over F_{p2}, require p2. We implement equation (1).)
+///
+/// Guarantees: equal multisets are always accepted (no false negatives —
+/// the co-RST one-sided-error regime); unequal multisets are accepted
+/// with probability at most 1/3 + O(1/m) <= 1/2 for large m.
+FingerprintOutcome TestMultisetEquality(const problems::Instance& instance,
+                                        Rng& rng);
+
+/// Deterministic core of the tester for a fixed parameter choice
+/// (exposed so error-probability experiments can average over params).
+bool AcceptsWithParams(const problems::Instance& instance,
+                       const FingerprintParams& params);
+
+/// The tape-level implementation: a (2, O(log N), 1)-bounded run on `ctx`
+/// whose input tape holds an encoded instance. Performs one forward scan
+/// to determine m and n, one reversal, and a second forward scan
+/// accumulating the fingerprints; never writes to external memory. The
+/// context's ResourceReport afterwards shows r = 2 and s = O(log N).
+Result<FingerprintOutcome> TestMultisetEqualityOnTapes(
+    stmodel::StContext& ctx, Rng& rng);
+
+/// Empirical estimate of the Claim 1 collision event for one random
+/// prime draw: given the two value lists, the fraction of `trials`
+/// independent primes p <= k for which some pair v_i != v'_j collides
+/// mod p. Claim 1 bounds the true probability by O(1/m).
+double EstimateClaim1CollisionRate(const problems::Instance& instance,
+                                   std::size_t trials, Rng& rng);
+
+/// The EXACT acceptance probability of the Theorem 8(a) algorithm on
+/// `instance`, computed by full enumeration of the random choices: all
+/// primes p1 <= k (uniform over primes) and all x in {1..p2-1}
+/// (uniform), with p2 the algorithm's fixed Bertrand prime. On unequal
+/// multisets this is the exact false-positive probability the paper
+/// bounds by 1/3 + O(1/m); on equal multisets it is exactly 1.
+///
+/// Enumeration costs O(pi(k) * p2 * m) fingerprint evaluations, so this
+/// is for tiny parameters (k up to a few thousand) — which is precisely
+/// where the paper's constants are least comfortable and an exact
+/// number is most interesting. Fails if k exceeds `max_k`.
+Result<double> ExactAcceptProbability(const problems::Instance& instance,
+                                      std::uint64_t max_k = 5000);
+
+}  // namespace rstlab::fingerprint
+
+#endif  // RSTLAB_FINGERPRINT_FINGERPRINT_H_

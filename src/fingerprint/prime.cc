@@ -1,0 +1,87 @@
+#include "fingerprint/prime.h"
+
+#include <array>
+
+namespace rstlab::fingerprint {
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b,
+                     std::uint64_t modulus) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % modulus);
+}
+
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exponent,
+                     std::uint64_t modulus) {
+  if (modulus == 1) return 0;
+  std::uint64_t result = 1;
+  base %= modulus;
+  while (exponent > 0) {
+    if (exponent & 1) result = MulMod(result, base, modulus);
+    base = MulMod(base, base, modulus);
+    exponent >>= 1;
+  }
+  return result;
+}
+
+bool IsPrime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // Miller-Rabin with a witness set that is exact for all n < 2^64.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = PowMod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+Result<std::uint64_t> RandomPrimeAtMost(std::uint64_t k, Rng& rng) {
+  if (k < 2) {
+    return Status::InvalidArgument("no prime <= " + std::to_string(k));
+  }
+  // Expected O(ln k) attempts by the prime number theorem; the cap only
+  // guards against adversarially tiny k.
+  for (int attempt = 0; attempt < 64 * 64; ++attempt) {
+    const std::uint64_t candidate = rng.UniformInRange(2, k);
+    if (IsPrime(candidate)) return candidate;
+  }
+  return Status::Internal("prime sampling did not converge");
+}
+
+Result<std::uint64_t> PrimeInBertrandInterval(std::uint64_t k) {
+  if (k == 0 || k > (~std::uint64_t{0}) / 6) {
+    return Status::OutOfRange("6k overflows uint64");
+  }
+  for (std::uint64_t p = 3 * k + 1; p <= 6 * k; ++p) {
+    if (IsPrime(p)) return p;
+  }
+  return Status::Internal("Bertrand interval contained no prime");
+}
+
+std::uint64_t CountPrimesUpTo(std::uint64_t k) {
+  std::uint64_t count = 0;
+  for (std::uint64_t p = 2; p <= k; ++p) {
+    if (IsPrime(p)) ++count;
+  }
+  return count;
+}
+
+}  // namespace rstlab::fingerprint

@@ -1,0 +1,201 @@
+#include "listmachine/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rstlab::listmachine {
+
+std::uint64_t SaturatingPow(std::uint64_t base, std::uint64_t exponent) {
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < exponent; ++i) {
+    if (base != 0 && result > (~std::uint64_t{0}) / base) {
+      return ~std::uint64_t{0};
+    }
+    result *= base;
+  }
+  return result;
+}
+
+GrowthCheck CheckGrowth(const ListMachineRun& run, std::size_t m) {
+  GrowthCheck check;
+  const std::size_t t = run.final_config.lists.size();
+  const std::uint64_t r = run.ScanBound();
+
+  for (const auto& list : run.final_config.lists) {
+    check.measured_total_list_length += list.size();
+    for (const CellContent& cell : list) {
+      check.measured_max_cell_size =
+          std::max<std::uint64_t>(check.measured_max_cell_size,
+                                  cell.size());
+    }
+  }
+  for (const StepRecord& step : run.steps) {
+    for (const CellContent& cell : step.reads) {
+      check.measured_max_cell_size = std::max<std::uint64_t>(
+          check.measured_max_cell_size, cell.size());
+    }
+  }
+
+  check.bound_total_list_length =
+      SaturatingPow(t + 1, r) * std::max<std::uint64_t>(1, m);
+  check.bound_max_cell_size =
+      11 * SaturatingPow(std::max<std::uint64_t>(t, 2), r);
+  check.within_bounds =
+      check.measured_total_list_length <= check.bound_total_list_length &&
+      check.measured_max_cell_size <= check.bound_max_cell_size;
+  return check;
+}
+
+RunShapeCheck CheckRunShape(const ListMachineRun& run, std::size_t m,
+                            std::size_t k) {
+  RunShapeCheck check;
+  const std::size_t t = run.final_config.lists.size();
+  const std::uint64_t r = run.ScanBound();
+  check.run_length = run.steps.size() + 1;  // configurations
+  for (const StepRecord& step : run.steps) {
+    if (std::any_of(step.cell_moves.begin(), step.cell_moves.end(),
+                    [](int mv) { return mv != 0; })) {
+      ++check.moving_steps;
+    }
+  }
+  check.bound_moving_steps =
+      SaturatingPow(t + 1, r + 1) * std::max<std::uint64_t>(1, m);
+  check.bound_run_length =
+      static_cast<std::uint64_t>(k) +
+      static_cast<std::uint64_t>(k) * check.bound_moving_steps;
+  check.within_bounds =
+      check.run_length <= check.bound_run_length &&
+      check.moving_steps <= check.bound_moving_steps;
+  return check;
+}
+
+double Lemma32LogBound(std::size_t m, std::size_t k, std::size_t t,
+                       std::uint64_t r) {
+  const double base = static_cast<double>(m + k + 3);
+  const double exponent =
+      12.0 * static_cast<double>(m) *
+          std::pow(static_cast<double>(t + 1),
+                   static_cast<double>(2 * r + 2)) +
+      24.0 * std::pow(static_cast<double>(t + 1), static_cast<double>(r));
+  return exponent * std::log2(base);
+}
+
+MergeLemmaCheck CheckMergeLemma(const ListMachineRun& run,
+                                const permutation::Permutation& phi) {
+  MergeLemmaCheck check;
+  const std::size_t m = phi.size();
+  const std::size_t t = run.final_config.lists.size();
+  const std::uint64_t r = run.ScanBound();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (ArePositionsCompared(run, i, m + phi[i])) ++check.compared_count;
+  }
+  check.sortedness = permutation::Sortedness(phi);
+  check.bound = SaturatingPow(t, 2 * r) *
+                static_cast<std::uint64_t>(check.sortedness);
+  check.within_bounds = check.compared_count <= check.bound;
+  return check;
+}
+
+CompositionOutcome TestComposition(const ListMachineExecutor& executor,
+                                   const std::vector<std::uint64_t>& v,
+                                   const std::vector<std::uint64_t>& w,
+                                   std::size_t pos_i, std::size_t pos_j,
+                                   const std::vector<ChoiceId>& choices,
+                                   std::size_t max_steps) {
+  CompositionOutcome outcome;
+  assert(v.size() == w.size());
+  assert(pos_i < v.size() && pos_j < v.size() && pos_i != pos_j);
+  for (std::size_t p = 0; p < v.size(); ++p) {
+    if (p != pos_i && p != pos_j) assert(v[p] == w[p]);
+  }
+
+  const ListMachineRun run_v =
+      executor.RunWithChoices(v, choices, max_steps);
+  const ListMachineRun run_w =
+      executor.RunWithChoices(w, choices, max_steps);
+  const RunSkeleton skel_v = BuildSkeleton(run_v);
+  const RunSkeleton skel_w = BuildSkeleton(run_w);
+
+  outcome.preconditions_met =
+      run_v.halted && run_w.halted && skel_v == skel_w &&
+      run_v.accepted == run_w.accepted &&
+      !ArePositionsCompared(run_v, pos_i, pos_j);
+  if (!outcome.preconditions_met) return outcome;
+  outcome.accepted = run_v.accepted;
+
+  // u takes pos_i from v and pos_j from w; u' the other way round.
+  outcome.input_u = v;
+  outcome.input_u[pos_j] = w[pos_j];
+  outcome.input_u_prime = v;
+  outcome.input_u_prime[pos_i] = w[pos_i];
+
+  const ListMachineRun run_u =
+      executor.RunWithChoices(outcome.input_u, choices, max_steps);
+  const ListMachineRun run_u_prime =
+      executor.RunWithChoices(outcome.input_u_prime, choices, max_steps);
+
+  outcome.prediction_holds =
+      run_u.halted && run_u_prime.halted &&
+      BuildSkeleton(run_u) == skel_v &&
+      BuildSkeleton(run_u_prime) == skel_v &&
+      run_u.accepted == run_v.accepted &&
+      run_u_prime.accepted == run_v.accepted;
+  return outcome;
+}
+
+Lemma21Regime ComputeLemma21Regime(std::size_t t, std::uint64_t r) {
+  Lemma21Regime regime;
+  const std::uint64_t pow = SaturatingPow(t + 1, 4 * r);
+  if (pow == ~std::uint64_t{0} || pow > ((~std::uint64_t{0}) - 1) / 24) {
+    regime.m_overflowed = true;
+    return regime;
+  }
+  const std::uint64_t m_min = 24 * pow + 1;
+  // Round up to a power of two.
+  std::uint64_t m = 1;
+  while (m < m_min) {
+    if (m > (~std::uint64_t{0}) / 2) {
+      regime.m_overflowed = true;
+      return regime;
+    }
+    m *= 2;
+  }
+  regime.m = m;
+  regime.k = 2 * m + 3;
+  const double md = static_cast<double>(m);
+  regime.log2_n_required = std::log2(
+      1.0 + (md * md + 1.0) * std::log2(2.0 * static_cast<double>(regime.k)));
+  return regime;
+}
+
+std::optional<std::vector<ChoiceId>> FindGoodChoiceSequence(
+    const ListMachineExecutor& executor, const ListMachineProgram& program,
+    const std::vector<std::vector<std::uint64_t>>& inputs,
+    std::size_t length, std::size_t max_steps) {
+  const std::size_t num_choices = program.num_choices();
+  std::vector<ChoiceId> seq(length, 0);
+  const std::size_t needed = (inputs.size() + 1) / 2;
+  while (true) {
+    std::size_t accepted = 0;
+    for (const auto& input : inputs) {
+      if (executor.RunWithChoices(input, seq, max_steps).accepted) {
+        ++accepted;
+      }
+    }
+    if (accepted >= needed) return seq;
+    // Lexicographically next sequence.
+    std::size_t pos = 0;
+    while (pos < length) {
+      if (static_cast<std::size_t>(seq[pos]) + 1 < num_choices) {
+        ++seq[pos];
+        break;
+      }
+      seq[pos] = 0;
+      ++pos;
+    }
+    if (pos == length) return std::nullopt;
+  }
+}
+
+}  // namespace rstlab::listmachine

@@ -1,0 +1,126 @@
+#ifndef RSTLAB_LISTMACHINE_ANALYSIS_H_
+#define RSTLAB_LISTMACHINE_ANALYSIS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "listmachine/list_machine.h"
+#include "listmachine/skeleton.h"
+#include "permutation/sortedness.h"
+
+namespace rstlab::listmachine {
+
+/// b^e with saturation at UINT64_MAX.
+std::uint64_t SaturatingPow(std::uint64_t base, std::uint64_t exponent);
+
+/// Measured vs predicted growth quantities of one run (Lemma 30):
+/// total list length <= (t+1)^r * m and cell size <= 11 * max(t,2)^r,
+/// where r is the run's scan bound and m its input length.
+struct GrowthCheck {
+  std::uint64_t measured_total_list_length = 0;
+  std::uint64_t bound_total_list_length = 0;
+  std::uint64_t measured_max_cell_size = 0;
+  std::uint64_t bound_max_cell_size = 0;
+  bool within_bounds = false;
+};
+
+/// Checks Lemma 30 on a completed run with input length `m`.
+/// (List lengths never shrink and trace strings embed what they replace,
+/// so the final configuration realizes the run maxima.)
+GrowthCheck CheckGrowth(const ListMachineRun& run, std::size_t m);
+
+/// Measured vs predicted run-shape quantities (Lemma 31): run length
+/// <= k + k*(t+1)^{r+1}*m and number of moving steps <= (t+1)^{r+1}*m,
+/// for a machine with k abstract states.
+struct RunShapeCheck {
+  std::size_t run_length = 0;
+  std::uint64_t bound_run_length = 0;
+  std::size_t moving_steps = 0;
+  std::uint64_t bound_moving_steps = 0;
+  bool within_bounds = false;
+};
+
+/// Checks Lemma 31 on a completed run; `k` is the machine's state count.
+RunShapeCheck CheckRunShape(const ListMachineRun& run, std::size_t m,
+                            std::size_t k);
+
+/// log2 of the Lemma 32 skeleton-count bound
+/// (m+k+3)^(12*m*(t+1)^{2r+2} + 24*(t+1)^r). The bound itself is
+/// astronomical; experiments compare log2(#distinct skeletons observed)
+/// against it and — more tellingly — verify the count is independent
+/// of the value length n.
+double Lemma32LogBound(std::size_t m, std::size_t k, std::size_t t,
+                       std::uint64_t r);
+
+/// Measured vs predicted comparison counts (Lemma 38): the number of
+/// indices i with positions (i, m + phi(i)) compared in the run's
+/// skeleton is at most t^{2r} * sortedness(phi). The run must be on an
+/// input of 2m values, phi a permutation of {0..m-1}.
+struct MergeLemmaCheck {
+  std::size_t compared_count = 0;
+  std::uint64_t bound = 0;
+  std::size_t sortedness = 0;
+  bool within_bounds = false;
+};
+
+/// Checks Lemma 38 on a completed run.
+MergeLemmaCheck CheckMergeLemma(const ListMachineRun& run,
+                                const permutation::Permutation& phi);
+
+/// Outcome of a composition test (Lemma 34).
+struct CompositionOutcome {
+  /// Preconditions held: equal skeletons, equal acceptance, and the two
+  /// designated positions are not compared in the common skeleton.
+  bool preconditions_met = false;
+  /// Lemma 34's conclusion held: the two crossed-over inputs produced
+  /// the same skeleton and the same acceptance as the originals.
+  bool prediction_holds = false;
+  /// Acceptance of the original runs (and, when the lemma holds, of the
+  /// crossed-over runs).
+  bool accepted = false;
+  /// The crossed-over inputs u = v[pos_i <- v], [pos_j <- w] and u'.
+  std::vector<std::uint64_t> input_u;
+  std::vector<std::uint64_t> input_u_prime;
+};
+
+/// Tests the composition lemma: `v` and `w` must differ exactly at
+/// positions pos_i and pos_j. Runs all four inputs with the fixed choice
+/// sequence `choices` and checks Lemma 34's conclusion.
+CompositionOutcome TestComposition(const ListMachineExecutor& executor,
+                                   const std::vector<std::uint64_t>& v,
+                                   const std::vector<std::uint64_t>& w,
+                                   std::size_t pos_i, std::size_t pos_j,
+                                   const std::vector<ChoiceId>& choices,
+                                   std::size_t max_steps);
+
+/// The parameter regime of Lemma 21: for machine parameters t (lists)
+/// and r (scan bound), the smallest power-of-two m with
+/// m >= 24*(t+1)^{4r} + 1, the matching k >= 2m + 3, and the value
+/// length requirement n >= 1 + (m^2 + 1)*log2(2k). These are the
+/// hypotheses under which NO (r, t)-bounded NLM with <= k states can
+/// decide CHECK-phi; the n requirement explains the paper's choice
+/// n = m^3 in Lemma 22 (m^3 >= the bound for large m). The quantities
+/// explode quickly — the regime table in bench_fooling makes the scale
+/// of the statement visible.
+struct Lemma21Regime {
+  std::uint64_t m = 0;        // minimal admissible power of two
+  std::uint64_t k = 0;        // 2m + 3
+  double log2_n_required = 0;  // log2 of the minimal n
+  bool m_overflowed = false;  // (t+1)^{4r} exceeded 64 bits
+};
+
+/// Computes the Lemma 21 regime for (t, r).
+Lemma21Regime ComputeLemma21Regime(std::size_t t, std::uint64_t r);
+
+/// The averaging step (Lemma 26): searches choice sequences of length
+/// `length` (exhaustively, |C|^length of them) for one under which at
+/// least half of `inputs` is accepted. Returns the first such sequence.
+std::optional<std::vector<ChoiceId>> FindGoodChoiceSequence(
+    const ListMachineExecutor& executor, const ListMachineProgram& program,
+    const std::vector<std::vector<std::uint64_t>>& inputs,
+    std::size_t length, std::size_t max_steps);
+
+}  // namespace rstlab::listmachine
+
+#endif  // RSTLAB_LISTMACHINE_ANALYSIS_H_

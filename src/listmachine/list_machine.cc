@@ -1,0 +1,264 @@
+#include "listmachine/list_machine.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace rstlab::listmachine {
+
+std::uint64_t ListMachineRun::ScanBound() const {
+  std::uint64_t bound = 1;
+  for (std::uint64_t rev : reversals) bound += rev;
+  return bound;
+}
+
+ListMachineExecutor::ListMachineExecutor(const ListMachineProgram* program)
+    : program_(program) {
+  assert(program != nullptr);
+}
+
+ListMachineConfig ListMachineExecutor::InitialConfiguration(
+    const std::vector<std::uint64_t>& input) const {
+  const std::size_t t = program_->num_lists();
+  ListMachineConfig config;
+  config.state = program_->initial_state();
+  config.heads.assign(t, 0);
+  config.directions.assign(t, +1);
+  config.lists.resize(t);
+  // List 1 holds <v_1> ... <v_m>; input symbols remember their position.
+  std::vector<CellContent>& input_list = config.lists[0];
+  if (input.empty()) {
+    input_list.push_back({Symbol::Open(), Symbol::Close()});
+  } else {
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      input_list.push_back(
+          {Symbol::Open(), Symbol::Input(input[i], i), Symbol::Close()});
+    }
+  }
+  // All other lists hold a single cell containing the empty string <>.
+  for (std::size_t i = 1; i < t; ++i) {
+    config.lists[i].push_back({Symbol::Open(), Symbol::Close()});
+  }
+  return config;
+}
+
+bool ListMachineExecutor::StepOnce(
+    ListMachineConfig& config, ChoiceId choice, StepRecord* record,
+    std::vector<std::uint64_t>* reversals) const {
+  if (program_->IsFinal(config.state)) return false;
+  const std::size_t t = program_->num_lists();
+
+  std::vector<const CellContent*> reads(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    reads[i] = &config.lists[i][config.heads[i]];
+  }
+
+  TransitionResult tr = program_->Step(config.state, reads, choice);
+  assert(tr.movements.size() == t);
+
+  // Clamp movements at the list ends (Definition 24(c)).
+  std::vector<Movement> effective(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    Movement e = tr.movements[i];
+    const std::size_t mi = config.lists[i].size();
+    if (config.heads[i] == 0 && e.head_direction == -1 && e.move) {
+      e = {-1, false};
+    } else if (config.heads[i] == mi - 1 && e.head_direction == +1 &&
+               e.move) {
+      e = {+1, false};
+    }
+    effective[i] = e;
+  }
+
+  bool any_f = false;
+  for (std::size_t i = 0; i < t; ++i) {
+    if (effective[i].move ||
+        effective[i].head_direction != config.directions[i]) {
+      any_f = true;
+      break;
+    }
+  }
+
+  if (record != nullptr) {
+    record->state_before = config.state;
+    record->directions_before = config.directions;
+    record->reads.clear();
+    for (std::size_t i = 0; i < t; ++i) record->reads.push_back(*reads[i]);
+    record->choice = choice;
+    record->cell_moves.assign(t, 0);
+  }
+
+  if (!any_f) {
+    // Only the state changes.
+    config.state = tr.next_state;
+    return true;
+  }
+
+  // The trace string y = a <x_1,p1> ... <x_t,pt> <c>.
+  CellContent y;
+  y.push_back(Symbol::State(config.state));
+  for (std::size_t i = 0; i < t; ++i) {
+    y.push_back(Symbol::Open());
+    y.insert(y.end(), reads[i]->begin(), reads[i]->end());
+    y.push_back(Symbol::Close());
+  }
+  y.push_back(Symbol::Open());
+  y.push_back(Symbol::Choice(choice));
+  y.push_back(Symbol::Close());
+
+  for (std::size_t i = 0; i < t; ++i) {
+    std::vector<CellContent>& list = config.lists[i];
+    const std::size_t h = config.heads[i];
+    const int d = config.directions[i];
+    const Movement e = effective[i];
+
+    int cell_move = 0;
+    if (e.move) {
+      list[h] = y;
+      cell_move = e.head_direction;  // lands on the neighbouring cell
+    } else if (d == +1) {
+      list.insert(list.begin() + static_cast<std::ptrdiff_t>(h), y);
+      // Old cell is now at h+1; a (+1,false) head stays on it (0), a
+      // (-1,false) head lands on y, the left neighbour (-1).
+      cell_move = e.head_direction == +1 ? 0 : -1;
+    } else {
+      list.insert(list.begin() + static_cast<std::ptrdiff_t>(h) + 1, y);
+      // Old cell keeps index h; a (+1,false) head lands on y, the right
+      // neighbour (+1), a (-1,false) head stays (0).
+      cell_move = e.head_direction == +1 ? +1 : 0;
+    }
+
+    // New head position (Definition 24(c) table, 0-based).
+    std::size_t new_head = h;
+    if (e.move) {
+      new_head = e.head_direction == +1 ? h + 1 : h - 1;
+    } else {
+      new_head = e.head_direction == +1 ? h + 1 : h;
+    }
+    assert(new_head < config.lists[i].size());
+    config.heads[i] = new_head;
+
+    if (e.head_direction != d) {
+      if (reversals != nullptr) ++(*reversals)[i];
+      config.directions[i] = e.head_direction;
+    }
+    if (record != nullptr) record->cell_moves[i] = cell_move;
+  }
+
+  config.state = tr.next_state;
+  return true;
+}
+
+ListMachineRun ListMachineExecutor::RunWithChoices(
+    const std::vector<std::uint64_t>& input,
+    const std::vector<ChoiceId>& choices, std::size_t max_steps) const {
+  ListMachineRun run;
+  run.reversals.assign(program_->num_lists(), 0);
+  ListMachineConfig config = InitialConfiguration(input);
+  std::size_t step = 0;
+  while (step < max_steps) {
+    if (program_->IsFinal(config.state)) break;
+    if (step >= choices.size()) break;
+    StepRecord record;
+    if (!StepOnce(config, choices[step], &record, &run.reversals)) break;
+    run.steps.push_back(std::move(record));
+    ++step;
+  }
+  run.halted = program_->IsFinal(config.state);
+  run.accepted = run.halted && program_->IsAccepting(config.state);
+  run.final_config = std::move(config);
+  return run;
+}
+
+ListMachineRun ListMachineExecutor::RunRandomized(
+    const std::vector<std::uint64_t>& input, Rng& rng,
+    std::size_t max_steps) const {
+  ListMachineRun run;
+  run.reversals.assign(program_->num_lists(), 0);
+  ListMachineConfig config = InitialConfiguration(input);
+  std::size_t step = 0;
+  while (step < max_steps && !program_->IsFinal(config.state)) {
+    const ChoiceId c = static_cast<ChoiceId>(
+        rng.UniformBelow(program_->num_choices()));
+    StepRecord record;
+    if (!StepOnce(config, c, &record, &run.reversals)) break;
+    run.steps.push_back(std::move(record));
+    ++step;
+  }
+  run.halted = program_->IsFinal(config.state);
+  run.accepted = run.halted && program_->IsAccepting(config.state);
+  run.final_config = std::move(config);
+  return run;
+}
+
+Result<ListMachineRun> ListMachineExecutor::RunDeterministic(
+    const std::vector<std::uint64_t>& input, std::size_t max_steps) const {
+  if (program_->num_choices() != 1) {
+    return Status::FailedPrecondition("machine is not deterministic");
+  }
+  return RunWithChoices(input, std::vector<ChoiceId>(max_steps, 0),
+                        max_steps);
+}
+
+double ListMachineExecutor::AcceptanceProbability(
+    const std::vector<std::uint64_t>& input, std::size_t max_steps,
+    bool* truncated) const {
+  if (truncated != nullptr) *truncated = false;
+  const std::size_t num_choices = program_->num_choices();
+
+  // Iterative weighted DFS over the choice tree.
+  struct Frame {
+    ListMachineConfig config;
+    double weight;
+    std::size_t steps_left;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({InitialConfiguration(input), 1.0, max_steps});
+  double total = 0.0;
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (program_->IsFinal(frame.config.state)) {
+      if (program_->IsAccepting(frame.config.state)) total += frame.weight;
+      continue;
+    }
+    if (frame.steps_left == 0) {
+      if (truncated != nullptr) *truncated = true;
+      continue;
+    }
+    const double w = frame.weight / static_cast<double>(num_choices);
+    for (std::size_t c = 0; c < num_choices; ++c) {
+      ListMachineConfig next = frame.config;
+      if (!StepOnce(next, static_cast<ChoiceId>(c), nullptr, nullptr)) {
+        continue;
+      }
+      stack.push_back({std::move(next), w, frame.steps_left - 1});
+    }
+  }
+  return total;
+}
+
+std::string CellToString(const CellContent& cell) {
+  std::ostringstream os;
+  for (const Symbol& s : cell) {
+    switch (s.kind) {
+      case Symbol::Kind::kInput:
+        os << "v" << s.payload << "@" << s.origin;
+        break;
+      case Symbol::Kind::kChoice:
+        os << "c" << s.payload;
+        break;
+      case Symbol::Kind::kState:
+        os << "a" << s.payload;
+        break;
+      case Symbol::Kind::kOpen:
+        os << "<";
+        break;
+      case Symbol::Kind::kClose:
+        os << ">";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rstlab::listmachine

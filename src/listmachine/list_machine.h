@@ -1,0 +1,182 @@
+#ifndef RSTLAB_LISTMACHINE_LIST_MACHINE_H_
+#define RSTLAB_LISTMACHINE_LIST_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rstlab::listmachine {
+
+/// Abstract state identifier (the paper's set A of abstract states).
+using StateId = int;
+/// Nondeterministic choice identifier (an element of C).
+using ChoiceId = int;
+
+/// One symbol of the list machine alphabet
+/// A = I (input numbers) + C (choices) + A (states) + { '<', '>' }
+/// (Definition 14). Input symbols carry both their value and their input
+/// *position*, which is what skeletons (Definition 28) abstract to.
+struct Symbol {
+  enum class Kind : std::uint8_t {
+    kInput,   // an input number from I
+    kChoice,  // a nondeterministic choice from C
+    kState,   // an abstract state from A
+    kOpen,    // '<'
+    kClose,   // '>'
+  };
+
+  Kind kind = Kind::kOpen;
+  /// Input value (kInput), choice id (kChoice) or state id (kState).
+  std::uint64_t payload = 0;
+  /// Input position of a kInput symbol (0-based index into the input
+  /// tuple); meaningless otherwise.
+  std::size_t origin = 0;
+
+  static Symbol Input(std::uint64_t value, std::size_t origin) {
+    return Symbol{Kind::kInput, value, origin};
+  }
+  static Symbol Choice(ChoiceId c) {
+    return Symbol{Kind::kChoice, static_cast<std::uint64_t>(c), 0};
+  }
+  static Symbol State(StateId a) {
+    return Symbol{Kind::kState, static_cast<std::uint64_t>(a), 0};
+  }
+  static Symbol Open() { return Symbol{Kind::kOpen, 0, 0}; }
+  static Symbol Close() { return Symbol{Kind::kClose, 0, 0}; }
+
+  bool operator==(const Symbol& other) const = default;
+};
+
+/// The content of one list cell: a string over the alphabet A.
+using CellContent = std::vector<Symbol>;
+
+/// Head directive for one list: `head_direction` in {-1, +1} and whether
+/// the head moves off its cell (Definition 14's Movement).
+struct Movement {
+  int head_direction = +1;
+  bool move = false;
+
+  bool operator==(const Movement& other) const = default;
+};
+
+/// The outcome of one application of the transition function alpha.
+struct TransitionResult {
+  StateId next_state = 0;
+  std::vector<Movement> movements;  // one per list
+};
+
+/// A list machine program: the static part (t, C, A, a_0, alpha, B,
+/// B_acc) of Definition 14, with alpha supplied as a virtual function so
+/// concrete machines are ordinary C++ classes. `num_choices` is |C|; a
+/// machine is deterministic iff |C| == 1.
+class ListMachineProgram {
+ public:
+  virtual ~ListMachineProgram() = default;
+
+  /// Number of lists t.
+  virtual std::size_t num_lists() const = 0;
+  /// |C|, the number of nondeterministic choices.
+  virtual std::size_t num_choices() const = 0;
+  /// The initial state a_0.
+  virtual StateId initial_state() const = 0;
+  /// True iff `state` is in B.
+  virtual bool IsFinal(StateId state) const = 0;
+  /// True iff `state` is in B_acc.
+  virtual bool IsAccepting(StateId state) const = 0;
+  /// alpha(state, reads, choice); `reads` holds the cell under each head.
+  virtual TransitionResult Step(
+      StateId state, const std::vector<const CellContent*>& reads,
+      ChoiceId choice) const = 0;
+};
+
+/// A full configuration (Definition 24(a)).
+struct ListMachineConfig {
+  StateId state = 0;
+  std::vector<std::size_t> heads;                 // 0-based positions p
+  std::vector<int> directions;                    // d in {-1,+1}^t
+  std::vector<std::vector<CellContent>> lists;    // X
+};
+
+/// What the run recorder keeps about one step, enough to rebuild local
+/// views, skeletons (Definition 28) and moves(rho) (Definition 27).
+struct StepRecord {
+  StateId state_before = 0;
+  std::vector<int> directions_before;
+  /// The cells under the heads before the step (the local view's y).
+  std::vector<CellContent> reads;
+  /// moves(rho) entry: -1 / 0 / +1 per list (cell-level head movement).
+  std::vector<int> cell_moves;
+  ChoiceId choice = 0;
+};
+
+/// A complete finite run.
+struct ListMachineRun {
+  std::vector<StepRecord> steps;
+  ListMachineConfig final_config;
+  bool halted = false;
+  bool accepted = false;
+  /// rev(rho, tau) per list: number of head-direction changes.
+  std::vector<std::uint64_t> reversals;
+
+  /// The measured scan bound 1 + sum of reversals.
+  std::uint64_t ScanBound() const;
+};
+
+/// Executes list machine programs under the exact semantics of
+/// Definition 24 (insertion of the trace string y behind the heads, end
+/// clamping, etc.).
+class ListMachineExecutor {
+ public:
+  /// Wraps `program` (not owned; must outlive the executor).
+  explicit ListMachineExecutor(const ListMachineProgram* program);
+
+  /// The initial configuration for `input` (Definition 24(b)): list 1
+  /// holds <v_1> ... <v_m>, all other lists hold a single empty cell.
+  /// Input values are tagged with their positions for skeleton tracking.
+  ListMachineConfig InitialConfiguration(
+      const std::vector<std::uint64_t>& input) const;
+
+  /// The run rho_M(v, c) (Definition 15): step i uses choice c[i]. If the
+  /// machine does not halt within max_steps (or choices run out first),
+  /// the run reports halted = false.
+  ListMachineRun RunWithChoices(const std::vector<std::uint64_t>& input,
+                                const std::vector<ChoiceId>& choices,
+                                std::size_t max_steps) const;
+
+  /// Samples a run with uniform choices.
+  ListMachineRun RunRandomized(const std::vector<std::uint64_t>& input,
+                               Rng& rng, std::size_t max_steps) const;
+
+  /// Runs a deterministic machine (|C| == 1).
+  Result<ListMachineRun> RunDeterministic(
+      const std::vector<std::uint64_t>& input,
+      std::size_t max_steps) const;
+
+  /// Exact acceptance probability by weighted exhaustive traversal
+  /// (Lemma 25 semantics). All runs must halt within max_steps; when one
+  /// does not, `*truncated` (if given) is set and the truncated branch
+  /// contributes 0.
+  double AcceptanceProbability(const std::vector<std::uint64_t>& input,
+                               std::size_t max_steps,
+                               bool* truncated = nullptr) const;
+
+ private:
+  /// Applies one step in place, appending to `record` (if non-null).
+  /// Returns false when `config` is final (no step applied).
+  bool StepOnce(ListMachineConfig& config, ChoiceId choice,
+                StepRecord* record,
+                std::vector<std::uint64_t>* reversals) const;
+
+  const ListMachineProgram* program_;
+};
+
+/// Renders a cell content like "a3<v@2><>"; for diagnostics.
+std::string CellToString(const CellContent& cell);
+
+}  // namespace rstlab::listmachine
+
+#endif  // RSTLAB_LISTMACHINE_LIST_MACHINE_H_

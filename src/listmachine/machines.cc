@@ -1,0 +1,243 @@
+#include "listmachine/machines.h"
+
+#include <cassert>
+
+namespace rstlab::listmachine {
+
+namespace {
+constexpr StateId kAccept = 1000000;
+constexpr StateId kReject = 1000001;
+}  // namespace
+
+std::optional<Symbol> FirstInputSymbol(const CellContent& cell) {
+  for (const Symbol& s : cell) {
+    if (s.kind == Symbol::Kind::kInput) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<CellContent> TraceComponent(const CellContent& cell,
+                                          std::size_t component) {
+  // A trace string starts with a state symbol; its top-level bracket
+  // groups are <x_1> ... <x_t> <c>.
+  if (cell.empty() || cell.front().kind != Symbol::Kind::kState) {
+    return std::nullopt;
+  }
+  std::size_t group = 0;
+  std::size_t depth = 0;
+  CellContent content;
+  for (std::size_t i = 1; i < cell.size(); ++i) {
+    const Symbol& s = cell[i];
+    if (s.kind == Symbol::Kind::kOpen) {
+      if (depth > 0 && group == component) content.push_back(s);
+      ++depth;
+    } else if (s.kind == Symbol::Kind::kClose) {
+      --depth;
+      if (depth > 0 && group == component) {
+        content.push_back(s);
+      } else if (depth == 0) {
+        if (group == component) return content;
+        ++group;
+      }
+    } else if (depth > 0 && group == component) {
+      content.push_back(s);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Symbol> CarriedInputSymbol(const CellContent& cell,
+                                         std::size_t list_index) {
+  // Initial cells carry their own input symbol.
+  if (cell.empty() || cell.front().kind != Symbol::Kind::kState) {
+    return FirstInputSymbol(cell);
+  }
+  // Trace string: prefer what the x_{list_index+1} component carries;
+  // when that component is empty (the value arrived from another list,
+  // as in a copy phase), fall back to the first input symbol anywhere
+  // in the trace.
+  std::optional<CellContent> component =
+      TraceComponent(cell, list_index);
+  if (component.has_value()) {
+    std::optional<Symbol> carried =
+        CarriedInputSymbol(*component, list_index);
+    if (carried.has_value()) return carried;
+  }
+  return FirstInputSymbol(cell);
+}
+
+// ---------------------------------------------------------------------
+// ZigZagMachine
+// ---------------------------------------------------------------------
+
+ZigZagMachine::ZigZagMachine(std::size_t t, std::size_t num_sweeps,
+                             std::size_t m)
+    : t_(t), num_sweeps_(num_sweeps), m_(m) {
+  assert(t >= 1);
+  moves_per_sweep_ = m >= 2 ? m - 1 : 0;
+}
+
+StateId ZigZagMachine::initial_state() const {
+  if (moves_per_sweep_ == 0 || num_sweeps_ == 0) return kAccept;
+  return 0;
+}
+
+bool ZigZagMachine::IsFinal(StateId state) const {
+  return state >= static_cast<StateId>(num_sweeps_ * moves_per_sweep_) ||
+         state == kAccept;
+}
+
+TransitionResult ZigZagMachine::Step(
+    StateId state, const std::vector<const CellContent*>& reads,
+    ChoiceId choice) const {
+  (void)reads;
+  (void)choice;
+  const std::size_t sweep =
+      static_cast<std::size_t>(state) / moves_per_sweep_;
+  const int direction = sweep % 2 == 0 ? +1 : -1;
+  TransitionResult tr;
+  tr.next_state = state + 1;
+  tr.movements.assign(t_, Movement{direction, true});
+  return tr;
+}
+
+// ---------------------------------------------------------------------
+// ReverseCompareMachine
+// ---------------------------------------------------------------------
+
+ReverseCompareMachine::ReverseCompareMachine(std::size_t m,
+                                             std::size_t budget)
+    : m_(m), budget_(budget) {
+  assert(budget <= m);
+}
+
+bool ReverseCompareMachine::IsFinal(StateId state) const {
+  return state == kAccept || state == kReject;
+}
+
+bool ReverseCompareMachine::IsAccepting(StateId state) const {
+  return state == kAccept;
+}
+
+TransitionResult ReverseCompareMachine::Step(
+    StateId state, const std::vector<const CellContent*>& reads,
+    ChoiceId choice) const {
+  (void)choice;
+  TransitionResult tr;
+  const std::size_t s = static_cast<std::size_t>(state);
+  if (m_ == 0) {
+    tr.next_state = kAccept;
+    tr.movements.assign(2, Movement{+1, false});
+    return tr;
+  }
+  if (s < m_) {
+    // Phase A: head 1 sweeps the first half; head 2 accumulates.
+    tr.movements = {Movement{+1, true}, Movement{+1, false}};
+    tr.next_state =
+        (s + 1 == m_ && budget_ == 0) ? kAccept : static_cast<StateId>(s + 1);
+    return tr;
+  }
+  // Phase C: lockstep comparison sweep.
+  const std::size_t j = s - m_;
+  tr.movements = {Movement{+1, true}, Movement{-1, true}};
+  StateId next =
+      (j + 1 == budget_) ? kAccept : static_cast<StateId>(s + 1);
+  if (j >= 1) {
+    const std::optional<Symbol> a = FirstInputSymbol(*reads[0]);
+    const std::optional<Symbol> b = FirstInputSymbol(*reads[1]);
+    if (a.has_value() && b.has_value() && a->payload != b->payload) {
+      next = kReject;
+    }
+  }
+  tr.next_state = next;
+  return tr;
+}
+
+bool ReverseCompareMachine::ReferencePredicate(
+    const std::vector<std::uint64_t>& input, std::size_t m) {
+  assert(input.size() == 2 * m);
+  if (m == 0) return true;
+  if (input[m] != input[0]) return false;
+  for (std::size_t j = 1; j < m; ++j) {
+    if (input[m + j] != input[m - j]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// IdentityCompareMachine
+// ---------------------------------------------------------------------
+
+IdentityCompareMachine::IdentityCompareMachine(std::size_t m) : m_(m) {}
+
+StateId IdentityCompareMachine::initial_state() const {
+  return m_ == 0 ? kAccept : 0;
+}
+
+bool IdentityCompareMachine::IsFinal(StateId state) const {
+  return state == kAccept || state == kReject;
+}
+
+bool IdentityCompareMachine::IsAccepting(StateId state) const {
+  return state == kAccept;
+}
+
+TransitionResult IdentityCompareMachine::Step(
+    StateId state, const std::vector<const CellContent*>& reads,
+    ChoiceId choice) const {
+  (void)choice;
+  TransitionResult tr;
+  const std::size_t s = static_cast<std::size_t>(state);
+  if (s < m_) {
+    // Phase A: accumulate the first half onto list 2.
+    tr.movements = {Movement{+1, true}, Movement{+1, false}};
+    tr.next_state = static_cast<StateId>(s + 1);
+    return tr;
+  }
+  if (s < 2 * m_) {
+    // Phase B: walk head 2 back to the left end of its stack.
+    tr.movements = {Movement{+1, false}, Movement{-1, true}};
+    tr.next_state = static_cast<StateId>(s + 1);
+    return tr;
+  }
+  // Phase C: lockstep comparison of v'_k (list 1) vs carried v_k
+  // (list 2).
+  tr.movements = {Movement{+1, true}, Movement{+1, true}};
+  const std::optional<Symbol> prime = FirstInputSymbol(*reads[0]);
+  const std::optional<Symbol> original =
+      CarriedInputSymbol(*reads[1], 1);
+  StateId next = (s + 1 == 3 * m_) ? kAccept
+                                   : static_cast<StateId>(s + 1);
+  if (!prime.has_value() || !original.has_value() ||
+      prime->payload != original->payload) {
+    next = kReject;
+  }
+  tr.next_state = next;
+  return tr;
+}
+
+bool IdentityCompareMachine::ReferencePredicate(
+    const std::vector<std::uint64_t>& input, std::size_t m) {
+  assert(input.size() == 2 * m);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (input[j] != input[m + j]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// CoinListMachine
+// ---------------------------------------------------------------------
+
+TransitionResult CoinListMachine::Step(
+    StateId state, const std::vector<const CellContent*>& reads,
+    ChoiceId choice) const {
+  (void)state;
+  (void)reads;
+  TransitionResult tr;
+  tr.next_state = choice == 0 ? 1 : 2;
+  tr.movements.assign(1, Movement{+1, false});
+  return tr;
+}
+
+}  // namespace rstlab::listmachine

@@ -1,0 +1,162 @@
+#ifndef RSTLAB_LISTMACHINE_MACHINES_H_
+#define RSTLAB_LISTMACHINE_MACHINES_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "listmachine/list_machine.h"
+
+namespace rstlab::listmachine {
+
+/// The first input symbol of a cell, if any. By construction of the trace
+/// strings y = a <x_1> ... <x_t> <c>, the first input symbol of a cell
+/// written while scanning list 1 is the symbol of the original cell the
+/// machine was reading — the "primary value" of the cell. Concrete
+/// machines below use it to compare input values.
+std::optional<Symbol> FirstInputSymbol(const CellContent& cell);
+
+/// Structured access to a trace string y = a <x_1> ... <x_t> <c>: the
+/// content of the `component`-th top-level bracket group (0-based, so
+/// component i returns what was under head i+1 when y was written).
+/// Returns nullopt for cells that are not trace strings (e.g. initial
+/// <v> cells) or when the component is missing. This is the code-level
+/// counterpart of the paper's remark that cell contents allow the
+/// reconstruction of what they replaced.
+std::optional<CellContent> TraceComponent(const CellContent& cell,
+                                          std::size_t component);
+
+/// The input symbol a cell "carries" for list `list_index` (0-based):
+/// for an initial cell, its own input symbol; for a trace string, the
+/// carried symbol of its x_{list_index+1} component, recursively. This
+/// survives arbitrary re-writing: a cell on list j always carries the
+/// input value that resided there before any trace strings piled up.
+std::optional<Symbol> CarriedInputSymbol(const CellContent& cell,
+                                         std::size_t list_index);
+
+/// A deterministic machine that performs `num_sweeps` full alternating
+/// sweeps over its input list, moving all `t` heads together
+/// (move = true everywhere), then accepts.
+///
+/// Exercises the growth dynamics the paper bounds in Lemma 30: every
+/// step writes the trace string onto every list, auxiliary lists grow by
+/// insertion, and cell contents nest. Experiment E6 measures total list
+/// length against (t+1)^r * m and cell size against 11 * max(t,2)^r.
+class ZigZagMachine : public ListMachineProgram {
+ public:
+  /// `t` lists, `num_sweeps` sweeps over an input of `m` values.
+  ZigZagMachine(std::size_t t, std::size_t num_sweeps, std::size_t m);
+
+  std::size_t num_lists() const override { return t_; }
+  std::size_t num_choices() const override { return 1; }
+  StateId initial_state() const override;
+  bool IsFinal(StateId state) const override;
+  bool IsAccepting(StateId state) const override { return IsFinal(state); }
+  TransitionResult Step(StateId state,
+                        const std::vector<const CellContent*>& reads,
+                        ChoiceId choice) const override;
+
+ private:
+  std::size_t t_;
+  std::size_t num_sweeps_;
+  std::size_t m_;
+  std::size_t moves_per_sweep_;
+};
+
+/// The comparison machine of the fooling-pair experiment (E8).
+///
+/// Input: 2m values (v_0..v_{m-1}, v'_0..v'_{m-1}) on list 1 (positions
+/// 0..2m-1). The machine has 2 lists and works in two phases:
+///   * Phase A (m steps): head 1 sweeps right over the first half; each
+///     step's trace string is inserted before the stationary head 2, so
+///     list 2 accumulates cells whose primary values are v_0..v_{m-1} in
+///     order.
+///   * Phase C (`budget` steps, budget <= m): head 1 continues right over
+///     the second half while head 2 sweeps left over the accumulated
+///     stack; step j >= 1 compares v'_j with v_{m-j}. A mismatch rejects;
+///     surviving all comparisons accepts.
+///
+/// The machine therefore decides "v'_j == v_{m-j} for 1 <= j < budget"
+/// with 1 + 1 = 2 scans — but it can never compare positions 0 and m
+/// (v_0 and v'_0): they travel in the same direction and never meet.
+/// Lemma 34 turns that blind spot into an accepted "no" instance of the
+/// full reverse-equality predicate; experiment E8 constructs it.
+class ReverseCompareMachine : public ListMachineProgram {
+ public:
+  ReverseCompareMachine(std::size_t m, std::size_t budget);
+
+  std::size_t num_lists() const override { return 2; }
+  std::size_t num_choices() const override { return 1; }
+  StateId initial_state() const override { return 0; }
+  bool IsFinal(StateId state) const override;
+  bool IsAccepting(StateId state) const override;
+  TransitionResult Step(StateId state,
+                        const std::vector<const CellContent*>& reads,
+                        ChoiceId choice) const override;
+
+  /// The predicate the machine *attempts* to decide, including the pair
+  /// (v_0, v'_0) it cannot reach: true iff v'_j == v_{m-j} for all
+  /// 1 <= j <= m-1 and v'_0 == v_0.
+  static bool ReferencePredicate(const std::vector<std::uint64_t>& input,
+                                 std::size_t m);
+
+ private:
+  std::size_t m_;
+  std::size_t budget_;
+};
+
+/// The constructive counterpart of the ReverseCompareMachine's blind
+/// spot: comparing v_i with v'_i (identity alignment) IS possible with
+/// a constant number of scans, because the identity permutation has
+/// sortedness m (Lemma 38 permits t^{2r} * m >= m comparisons).
+///
+/// Input: 2m values on list 1. Three phases:
+///   * Phase A (m steps): head 1 sweeps the first half, head 2
+///     stationary — list 2 accumulates cells carrying v_0..v_{m-1};
+///   * Phase B (m steps): head 2 sweeps back to the left end of its
+///     stack (head 1 holds);
+///   * Phase C (m steps): both heads sweep right in lockstep, comparing
+///     v'_j (list 1) against the carried v_j (list 2, via
+///     CarriedInputSymbol — phase B buried the stack cells under trace
+///     strings, so the structured extraction is what makes this machine
+///     possible).
+/// Accepts iff v_j == v'_j for all j. Uses 2 reversals on list 2 and
+/// none on list 1: scan bound 3.
+class IdentityCompareMachine : public ListMachineProgram {
+ public:
+  explicit IdentityCompareMachine(std::size_t m);
+
+  std::size_t num_lists() const override { return 2; }
+  std::size_t num_choices() const override { return 1; }
+  StateId initial_state() const override;
+  bool IsFinal(StateId state) const override;
+  bool IsAccepting(StateId state) const override;
+  TransitionResult Step(StateId state,
+                        const std::vector<const CellContent*>& reads,
+                        ChoiceId choice) const override;
+
+  /// The predicate the machine decides: v'_j == v_j for all j.
+  static bool ReferencePredicate(const std::vector<std::uint64_t>& input,
+                                 std::size_t m);
+
+ private:
+  std::size_t m_;
+};
+
+/// A two-choice randomized machine: flips one coin; accepts iff the coin
+/// shows 0. Used to validate the probability semantics (Lemma 25) and
+/// the averaging argument (Lemma 26).
+class CoinListMachine : public ListMachineProgram {
+ public:
+  std::size_t num_lists() const override { return 1; }
+  std::size_t num_choices() const override { return 2; }
+  StateId initial_state() const override { return 0; }
+  bool IsFinal(StateId state) const override { return state != 0; }
+  bool IsAccepting(StateId state) const override { return state == 1; }
+  TransitionResult Step(StateId state,
+                        const std::vector<const CellContent*>& reads,
+                        ChoiceId choice) const override;
+};
+
+}  // namespace rstlab::listmachine
+
+#endif  // RSTLAB_LISTMACHINE_MACHINES_H_

@@ -1,0 +1,54 @@
+#ifndef RSTLAB_LISTMACHINE_SIMULATION_H_
+#define RSTLAB_LISTMACHINE_SIMULATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "listmachine/list_machine.h"
+#include "machine/turing_machine.h"
+#include "util/status.h"
+
+namespace rstlab::listmachine {
+
+/// Result of simulating one Turing machine run as a list machine run
+/// (the Simulation Lemma, Lemma 16).
+struct SimulationResult {
+  /// The induced list machine run: one NLM step per maximal segment of
+  /// TM steps during which no external head changes direction or leaves
+  /// its current tape block. Cells carry the trace strings
+  /// y = a <x_1> ... <x_t> <c> exactly as in Definition 24, so skeleton
+  /// and merge-lemma analyses apply to it directly.
+  ListMachineRun run;
+  /// Whether the underlying TM run accepted (the lemma's probability
+  /// preservation: the NLM accepts iff the TM run does, for every choice
+  /// sequence, which is how Lemma 18 transfers acceptance probabilities).
+  bool tm_accepted = false;
+  /// Whether the TM halted within the step budget.
+  bool tm_halted = false;
+  /// Number of TM steps executed.
+  std::size_t tm_steps = 0;
+  /// Number of distinct abstract NLM states the simulation used
+  /// (interned (q, internal memory, head positions, block boundaries)
+  /// tuples). Lemma 16 bounds log2 of this by
+  /// d*t^2*r*s + 3t*log(m(n+1)).
+  std::size_t distinct_states = 0;
+};
+
+/// Simulates the (r,s,t)-bounded NTM `tm` on input v_1# ... v_m# (the
+/// `input_fields`, each a 0/1 string) under the choice sequence
+/// `tm_choices` (Definition 17 semantics), producing the corresponding
+/// list machine run per the construction of Lemma 16: external tapes
+/// become lists, tape blocks become cells, blocks split when heads turn
+/// or cross block boundaries.
+///
+/// Fails if the TM has no external tapes or the input contains
+/// non-binary characters.
+Result<SimulationResult> SimulateTmAsNlm(
+    const machine::TuringMachine& tm,
+    const std::vector<std::string>& input_fields,
+    const std::vector<std::uint64_t>& tm_choices, std::size_t max_steps);
+
+}  // namespace rstlab::listmachine
+
+#endif  // RSTLAB_LISTMACHINE_SIMULATION_H_

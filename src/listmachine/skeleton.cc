@@ -1,0 +1,163 @@
+#include "listmachine/skeleton.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rstlab::listmachine {
+
+namespace {
+
+/// Serializes skel(lv) = (a, d, ind(y)) for one local view.
+std::string SerializeView(StateId state, const std::vector<int>& directions,
+                          const std::vector<CellContent>& reads) {
+  std::ostringstream os;
+  os << "a" << state << "|d";
+  for (int d : directions) os << (d > 0 ? '+' : '-');
+  os << "|";
+  for (const CellContent& cell : reads) {
+    os << "[" << IndexString(cell) << "]";
+  }
+  return os.str();
+}
+
+/// The local view of the run's final configuration.
+std::string SerializeFinalView(const ListMachineConfig& config) {
+  std::vector<CellContent> reads;
+  reads.reserve(config.lists.size());
+  for (std::size_t i = 0; i < config.lists.size(); ++i) {
+    reads.push_back(config.lists[i][config.heads[i]]);
+  }
+  return SerializeView(config.state, config.directions, reads);
+}
+
+bool AnyCellMove(const std::vector<int>& moves) {
+  return std::any_of(moves.begin(), moves.end(),
+                     [](int m) { return m != 0; });
+}
+
+void CollectPositions(const CellContent& cell,
+                      std::set<std::size_t>& positions) {
+  for (const Symbol& s : cell) {
+    if (s.kind == Symbol::Kind::kInput) positions.insert(s.origin);
+  }
+}
+
+}  // namespace
+
+std::string IndexString(const CellContent& cell) {
+  std::ostringstream os;
+  for (const Symbol& s : cell) {
+    switch (s.kind) {
+      case Symbol::Kind::kInput:
+        os << "i" << s.origin << ";";
+        break;
+      case Symbol::Kind::kChoice:
+        os << "?;";
+        break;
+      case Symbol::Kind::kState:
+        os << "a" << s.payload << ";";
+        break;
+      case Symbol::Kind::kOpen:
+        os << "<";
+        break;
+      case Symbol::Kind::kClose:
+        os << ">";
+        break;
+    }
+  }
+  return os.str();
+}
+
+RunSkeleton BuildSkeleton(const ListMachineRun& run) {
+  RunSkeleton skeleton;
+  const std::size_t num_steps = run.steps.size();
+  skeleton.views.reserve(num_steps + 1);
+  skeleton.moves.reserve(num_steps);
+
+  auto view_at = [&](std::size_t config_index) -> std::string {
+    if (config_index < num_steps) {
+      const StepRecord& rec = run.steps[config_index];
+      return SerializeView(rec.state_before, rec.directions_before,
+                           rec.reads);
+    }
+    return SerializeFinalView(run.final_config);
+  };
+
+  // s_1 is always retained.
+  skeleton.views.push_back(view_at(0));
+  for (std::size_t step = 0; step < num_steps; ++step) {
+    skeleton.moves.push_back(run.steps[step].cell_moves);
+    if (AnyCellMove(run.steps[step].cell_moves)) {
+      skeleton.views.push_back(view_at(step + 1));
+    } else {
+      skeleton.views.push_back("?");
+    }
+  }
+  return skeleton;
+}
+
+std::string RunSkeleton::Serialize() const {
+  std::ostringstream os;
+  for (const std::string& v : views) os << v << "\n";
+  os << "moves:";
+  for (const std::vector<int>& mv : moves) {
+    os << " (";
+    for (int m : mv) os << (m == 0 ? '0' : (m > 0 ? '+' : '-'));
+    os << ")";
+  }
+  return os.str();
+}
+
+std::vector<std::set<std::size_t>> RetainedViewPositions(
+    const ListMachineRun& run) {
+  std::vector<std::set<std::size_t>> out;
+  const std::size_t num_steps = run.steps.size();
+
+  auto positions_at = [&](std::size_t config_index) {
+    std::set<std::size_t> positions;
+    if (config_index < num_steps) {
+      for (const CellContent& cell : run.steps[config_index].reads) {
+        CollectPositions(cell, positions);
+      }
+    } else {
+      const ListMachineConfig& fc = run.final_config;
+      for (std::size_t i = 0; i < fc.lists.size(); ++i) {
+        CollectPositions(fc.lists[i][fc.heads[i]], positions);
+      }
+    }
+    return positions;
+  };
+
+  out.push_back(positions_at(0));
+  for (std::size_t step = 0; step < num_steps; ++step) {
+    if (AnyCellMove(run.steps[step].cell_moves)) {
+      out.push_back(positions_at(step + 1));
+    }
+  }
+  return out;
+}
+
+std::set<std::pair<std::size_t, std::size_t>> ComparedPairs(
+    const ListMachineRun& run) {
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (const std::set<std::size_t>& view : RetainedViewPositions(run)) {
+    for (auto it = view.begin(); it != view.end(); ++it) {
+      for (auto jt = std::next(it); jt != view.end(); ++jt) {
+        pairs.emplace(*it, *jt);
+      }
+    }
+  }
+  return pairs;
+}
+
+bool ArePositionsCompared(const ListMachineRun& run, std::size_t i,
+                          std::size_t j) {
+  if (i == j) return true;
+  if (i > j) std::swap(i, j);
+  for (const std::set<std::size_t>& view : RetainedViewPositions(run)) {
+    if (view.count(i) > 0 && view.count(j) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace rstlab::listmachine

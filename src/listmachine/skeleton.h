@@ -1,0 +1,59 @@
+#ifndef RSTLAB_LISTMACHINE_SKELETON_H_
+#define RSTLAB_LISTMACHINE_SKELETON_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "listmachine/list_machine.h"
+
+namespace rstlab::listmachine {
+
+/// The skeleton of a run (Definition 28): the sequence of local-view
+/// skeletons — with views after a no-cell-movement step collapsed to "?"
+/// — together with moves(rho). Skeletons abstract input *values* to input
+/// *positions* and nondeterministic choices to a wildcard, so two runs on
+/// different inputs can have equal skeletons; counting distinct skeletons
+/// across inputs is experiment E16 (Lemma 32), and skeleton equality is
+/// the precondition of the composition lemma (Lemma 34).
+struct RunSkeleton {
+  /// Serialized skel(lv(rho_i)) per configuration, or "?" for views
+  /// following a stationary step.
+  std::vector<std::string> views;
+  /// moves(rho): one {-1,0,+1}^t entry per step.
+  std::vector<std::vector<int>> moves;
+
+  bool operator==(const RunSkeleton& other) const = default;
+
+  /// One-line canonical serialization (usable as a hash key).
+  std::string Serialize() const;
+};
+
+/// ind(cell) of Definition 28(a): input numbers replaced by their input
+/// positions, choices by '?'.
+std::string IndexString(const CellContent& cell);
+
+/// Builds the skeleton of `run`.
+RunSkeleton BuildSkeleton(const ListMachineRun& run);
+
+/// The set of input positions occurring in the reads of one retained
+/// (non-"?") local view, in configuration order. Retained views are view
+/// 1 plus every view directly following a step whose moves entry is
+/// nonzero.
+std::vector<std::set<std::size_t>> RetainedViewPositions(
+    const ListMachineRun& run);
+
+/// All pairs {i, i'} of input positions compared in the run's skeleton
+/// (Definition 33: both occur in the ind(y) of some retained view).
+/// Pairs are returned with first < second.
+std::set<std::pair<std::size_t, std::size_t>> ComparedPairs(
+    const ListMachineRun& run);
+
+/// True iff positions i and j are compared in the run's skeleton.
+bool ArePositionsCompared(const ListMachineRun& run, std::size_t i,
+                          std::size_t j);
+
+}  // namespace rstlab::listmachine
+
+#endif  // RSTLAB_LISTMACHINE_SKELETON_H_

@@ -1,0 +1,356 @@
+#include "machine/machine_builder.h"
+
+#include <cassert>
+
+namespace rstlab::machine {
+
+MachineBuilder::MachineBuilder(std::size_t num_external_tapes,
+                               std::size_t num_internal_tapes) {
+  spec_.num_external_tapes = num_external_tapes;
+  spec_.num_internal_tapes = num_internal_tapes;
+}
+
+MachineBuilder& MachineBuilder::SetStart(int state) {
+  spec_.start_state = state;
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::AddFinal(int state, bool accepting) {
+  spec_.final_states.push_back(state);
+  if (accepting) spec_.accepting_states.push_back(state);
+  return *this;
+}
+
+MachineBuilder::Rule& MachineBuilder::Rule::Go(
+    int next_state, const std::string& write,
+    const std::vector<Move>& moves) {
+  Action action;
+  action.next_state = next_state;
+  action.write = write;
+  action.moves = moves;
+  spec_->transitions[{state_, symbols_}].push_back(std::move(action));
+  return *this;
+}
+
+MachineBuilder::Rule MachineBuilder::On(int state,
+                                        const std::string& symbols) {
+  assert(symbols.size() == spec_.num_tapes());
+  return Rule(&spec_, state, symbols);
+}
+
+namespace zoo {
+
+namespace {
+constexpr int kAccept = 100;
+constexpr int kReject = 101;
+const std::vector<Move> kStay1 = {Move::kStay};
+const std::vector<Move> kRight1 = {Move::kRight};
+}  // namespace
+
+MachineSpec FirstSymbolOne() {
+  MachineBuilder b(1, 0);
+  b.SetStart(0).AddFinal(kAccept, true).AddFinal(kReject, false);
+  b.On(0, "1").Go(kAccept, "1", kStay1);
+  b.On(0, "0").Go(kReject, "0", kStay1);
+  b.On(0, std::string(1, kBlank)).Go(kReject, std::string(1, kBlank),
+                                     kStay1);
+  return b.Build();
+}
+
+MachineSpec EvenOnes() {
+  // State 0: even parity so far, state 1: odd parity. '#' separators are
+  // skipped, so the machine also runs on multi-field inputs v_1#...v_m#.
+  MachineBuilder b(1, 0);
+  b.SetStart(0).AddFinal(kAccept, true).AddFinal(kReject, false);
+  b.On(0, "0").Go(0, "0", kRight1);
+  b.On(0, "1").Go(1, "1", kRight1);
+  b.On(0, "#").Go(0, "#", kRight1);
+  b.On(1, "0").Go(1, "0", kRight1);
+  b.On(1, "1").Go(0, "1", kRight1);
+  b.On(1, "#").Go(1, "#", kRight1);
+  b.On(0, std::string(1, kBlank))
+      .Go(kAccept, std::string(1, kBlank), kStay1);
+  b.On(1, std::string(1, kBlank))
+      .Go(kReject, std::string(1, kBlank), kStay1);
+  return b.Build();
+}
+
+MachineSpec FairCoin() {
+  MachineBuilder b(1, 0);
+  b.SetStart(0).AddFinal(kAccept, true).AddFinal(kReject, false);
+  for (char c : {'0', '1', kBlank}) {
+    b.On(0, std::string(1, c))
+        .Go(kAccept, std::string(1, c), kStay1)
+        .Go(kReject, std::string(1, c), kStay1);
+  }
+  return b.Build();
+}
+
+MachineSpec BiasedCoin(unsigned num, unsigned k) {
+  assert(k <= 16 && num <= (1u << k));
+  // A perfect binary tree of k coin flips; leaves 0..2^k-1, leaf < num
+  // accepts. State encoding: (depth, prefix) packed as
+  // 1 << depth | prefix, so the root is state 1.
+  MachineBuilder b(1, 0);
+  b.SetStart(1).AddFinal(kAccept, true).AddFinal(kReject, false);
+  for (unsigned depth = 0; depth < k; ++depth) {
+    for (unsigned prefix = 0; prefix < (1u << depth); ++prefix) {
+      const int state = static_cast<int>((1u << depth) | prefix);
+      for (char c : {'0', '1', kBlank}) {
+        auto rule = b.On(state, std::string(1, c));
+        for (unsigned bit = 0; bit < 2; ++bit) {
+          const unsigned child_prefix = (prefix << 1) | bit;
+          int next;
+          if (depth + 1 == k) {
+            next = child_prefix < num ? kAccept : kReject;
+          } else {
+            next = static_cast<int>((1u << (depth + 1)) | child_prefix);
+          }
+          rule.Go(next, std::string(1, c), kStay1);
+        }
+      }
+    }
+  }
+  return b.Build();
+}
+
+MachineSpec TwoFieldEquality() {
+  // Input on tape 0: v#w#. Tape 1 is a second external tape.
+  // Phase 0 (state 0): copy v to tape 1, stop at '#'.
+  // Phase 1 (state 1): rewind tape 1 to the left end.
+  // Phase 2 (state 2): advance tape 0 past '#', then compare w on tape 0
+  // against v on tape 1 cell by cell.
+  const char B = kBlank;
+  MachineBuilder b(2, 0);
+  b.SetStart(0).AddFinal(kAccept, true).AddFinal(kReject, false);
+  auto sym = [B](char a, char c) { return std::string({a, c}); };
+  const std::vector<Move> rr = {Move::kRight, Move::kRight};
+  const std::vector<Move> sl = {Move::kStay, Move::kLeft};
+  const std::vector<Move> ss = {Move::kStay, Move::kStay};
+  const std::vector<Move> rs = {Move::kRight, Move::kStay};
+
+  // Phase 0: copy v.
+  for (char c : {'0', '1'}) {
+    b.On(0, sym(c, B)).Go(0, sym(c, c), rr);
+  }
+  b.On(0, sym('#', B)).Go(1, sym('#', B), sl);
+
+  // Phase 1: rewind tape 1. Head 1 walks left until it falls on the cell
+  // 0 sentinel: we detect the left end by writing a marker '^' at cell 0
+  // at copy start; simpler: walk left while seeing 0/1, the cell left of
+  // the copied block is blank only if we are at position 0... On a
+  // one-sided tape moving left at cell 0 stays put, so we walk left over
+  // 0/1 and detect termination when the symbol does not change after a
+  // move. To keep the machine simple we instead mark the first copied
+  // cell with capital letters A (for 0) and B' = 'Z' (for 1).
+  for (char c : {'0', '1'}) {
+    b.On(1, sym('#', c)).Go(1, sym('#', c), sl);
+  }
+  b.On(1, sym('#', 'A')).Go(2, sym('#', 'A'), rs);
+  b.On(1, sym('#', 'Z')).Go(2, sym('#', 'Z'), rs);
+  b.On(1, sym('#', B)).Go(2, sym('#', B), rs);  // v was empty
+
+  // Phase 2: compare w (tape 0) with v (tape 1). 'A' reads as '0' and
+  // 'Z' reads as '1'.
+  auto tape1_matches = [](char w_char, char v_char) {
+    const char decoded = (v_char == 'A') ? '0' : (v_char == 'Z') ? '1'
+                                                                 : v_char;
+    return w_char == decoded;
+  };
+  for (char w_char : {'0', '1'}) {
+    for (char v_char : {'0', '1', 'A', 'Z'}) {
+      if (tape1_matches(w_char, v_char)) {
+        b.On(2, sym(w_char, v_char)).Go(2, sym(w_char, v_char), rr);
+      } else {
+        b.On(2, sym(w_char, v_char)).Go(kReject, sym(w_char, v_char), ss);
+      }
+    }
+    // w longer than v.
+    b.On(2, sym(w_char, B)).Go(kReject, sym(w_char, B), ss);
+  }
+  // End of w: accept iff v is also exhausted.
+  b.On(2, sym('#', B)).Go(kAccept, sym('#', B), ss);
+  for (char v_char : {'0', '1', 'A', 'Z'}) {
+    b.On(2, sym('#', v_char)).Go(kReject, sym('#', v_char), ss);
+  }
+
+  // Adjust phase 0 so the first copied symbol is marked: replace the
+  // start state with a dedicated first-copy state 10.
+  MachineSpec spec = b.Build();
+  spec.start_state = 10;
+  {
+    MachineBuilder extra(2, 0);
+    extra.On(10, sym('0', B)).Go(0, {'0', 'A'}, rr);
+    extra.On(10, sym('1', B)).Go(0, {'1', 'Z'}, rr);
+    extra.On(10, sym('#', B)).Go(1, sym('#', B), sl);  // empty v
+    MachineSpec extra_spec = extra.Build();
+    for (auto& [key, actions] : extra_spec.transitions) {
+      spec.transitions[key] = actions;
+    }
+  }
+  return spec;
+}
+
+MachineSpec GuessFirstBit() {
+  // Nondeterministically pick a bit (two actions), then check against the
+  // first input symbol. States: 0 = guessing; 2 = guessed '0';
+  // 3 = guessed '1'.
+  MachineBuilder b(1, 0);
+  b.SetStart(0).AddFinal(kAccept, true).AddFinal(kReject, false);
+  for (char c : {'0', '1'}) {
+    b.On(0, std::string(1, c))
+        .Go(2, std::string(1, c), kStay1)
+        .Go(3, std::string(1, c), kStay1);
+  }
+  b.On(2, "0").Go(kAccept, "0", kStay1);
+  b.On(2, "1").Go(kReject, "1", kStay1);
+  b.On(3, "0").Go(kReject, "0", kStay1);
+  b.On(3, "1").Go(kAccept, "1", kStay1);
+  return b.Build();
+}
+
+MachineSpec Palindrome() {
+  // Input v# on tape 0. Marker 'A'/'Z' replaces the first input symbol
+  // so the backward walk can find the left end; the clean value is
+  // copied to tape 1. States: 10 = mark-and-copy-first, 0 = copy,
+  // 1 = rewind tape 0, 2 = compare (tape 0 forward vs tape 1 backward).
+  const char B = kBlank;
+  MachineBuilder b(2, 0);
+  b.SetStart(10).AddFinal(kAccept, true).AddFinal(kReject, false);
+  auto sym = [](char a, char c) { return std::string({a, c}); };
+  const std::vector<Move> rr = {Move::kRight, Move::kRight};
+  const std::vector<Move> ll = {Move::kLeft, Move::kLeft};
+  const std::vector<Move> ls = {Move::kLeft, Move::kStay};
+  const std::vector<Move> ss = {Move::kStay, Move::kStay};
+  const std::vector<Move> rl = {Move::kRight, Move::kLeft};
+
+  // Mark and copy the first symbol.
+  b.On(10, sym('0', B)).Go(0, {'A', '0'}, rr);
+  b.On(10, sym('1', B)).Go(0, {'Z', '1'}, rr);
+  b.On(10, sym('#', B)).Go(kAccept, sym('#', B), ss);  // empty word
+
+  // Copy the rest.
+  for (char c : {'0', '1'}) {
+    b.On(0, sym(c, B)).Go(0, sym(c, c), rr);
+  }
+  b.On(0, sym('#', B)).Go(1, sym('#', B), ll);
+
+  // Rewind tape 0 to the marker (tape 1 holds on the last character).
+  for (char c : {'0', '1'}) {
+    for (char d : {'0', '1'}) {
+      b.On(1, sym(c, d)).Go(1, sym(c, d), ls);
+    }
+    b.On(1, sym('A', c)).Go(2, sym('A', c), ss);
+    b.On(1, sym('Z', c)).Go(2, sym('Z', c), ss);
+  }
+
+  // Compare: tape 0 left-to-right (marker decodes to its bit) against
+  // tape 1 right-to-left.
+  auto decoded = [](char c) {
+    return c == 'A' ? '0' : c == 'Z' ? '1' : c;
+  };
+  for (char c : {'0', '1', 'A', 'Z'}) {
+    for (char d : {'0', '1'}) {
+      if (decoded(c) == d) {
+        b.On(2, sym(c, d)).Go(2, sym(c, d), rl);
+      } else {
+        b.On(2, sym(c, d)).Go(kReject, sym(c, d), ss);
+      }
+    }
+  }
+  for (char d : {'0', '1'}) {
+    b.On(2, sym('#', d)).Go(kAccept, sym('#', d), ss);
+  }
+  return b.Build();
+}
+
+MachineSpec BalancedZerosOnes() {
+  // Tape 0: external input. Tapes 1/2: internal little-endian binary
+  // counters for zeros/ones, cell 0 = '^' marker, digits from cell 1.
+  // Between operations both internal heads rest on cell 1 (the LSB).
+  // States: 20 init, 0 main, 1 incA, 2 backA, 3 incB, 4 backB, 5 cmp.
+  const char B = kBlank;
+  const std::vector<char> ext = {'0', '1', '#', B};
+  const std::vector<char> digit_or_blank = {'0', '1', B};
+  MachineBuilder b(1, 2);
+  b.SetStart(20).AddFinal(kAccept, true).AddFinal(kReject, false);
+  auto sym = [](char a, char c, char d) {
+    return std::string({a, c, d});
+  };
+  const std::vector<Move> s_rr = {Move::kStay, Move::kRight, Move::kRight};
+  const std::vector<Move> sss = {Move::kStay, Move::kStay, Move::kStay};
+
+  // Init: plant the cell-0 markers.
+  for (char x : ext) {
+    b.On(20, sym(x, B, B)).Go(0, {x, '^', '^'}, s_rr);
+  }
+
+  // Main loop: dispatch on the input character. The external head is
+  // consumed (moved right) as the increment starts.
+  for (char d1 : digit_or_blank) {
+    for (char d2 : digit_or_blank) {
+      b.On(0, sym('0', d1, d2))
+          .Go(1, {'0', d1, d2}, {Move::kRight, Move::kStay, Move::kStay});
+      b.On(0, sym('1', d1, d2))
+          .Go(3, {'1', d1, d2}, {Move::kRight, Move::kStay, Move::kStay});
+      b.On(0, sym('#', d1, d2)).Go(5, {'#', d1, d2}, sss);
+      b.On(0, sym(B, d1, d2)).Go(5, {B, d1, d2}, sss);
+    }
+  }
+
+  // Increment of counter A (states 1/2) and B (states 3/4): binary
+  // carry walk right, then rewind to the LSB.
+  for (char x : ext) {
+    for (char other : digit_or_blank) {
+      // incA: flip 1s to 0s rightward; write the final 1; rewind.
+      b.On(1, sym(x, '1', other))
+          .Go(1, {x, '0', other}, {Move::kStay, Move::kRight, Move::kStay});
+      b.On(1, sym(x, '0', other))
+          .Go(2, {x, '1', other}, {Move::kStay, Move::kLeft, Move::kStay});
+      b.On(1, sym(x, B, other))
+          .Go(2, {x, '1', other}, {Move::kStay, Move::kLeft, Move::kStay});
+      // backA: walk left to the marker, then step onto the LSB.
+      for (char d : {'0', '1'}) {
+        b.On(2, sym(x, d, other))
+            .Go(2, {x, d, other}, {Move::kStay, Move::kLeft, Move::kStay});
+      }
+      b.On(2, sym(x, '^', other))
+          .Go(0, {x, '^', other}, {Move::kStay, Move::kRight, Move::kStay});
+      // incB / backB, mirrored.
+      b.On(3, sym(x, other, '1'))
+          .Go(3, {x, other, '0'}, {Move::kStay, Move::kStay, Move::kRight});
+      b.On(3, sym(x, other, '0'))
+          .Go(4, {x, other, '1'}, {Move::kStay, Move::kStay, Move::kLeft});
+      b.On(3, sym(x, other, B))
+          .Go(4, {x, other, '1'}, {Move::kStay, Move::kStay, Move::kLeft});
+      for (char d : {'0', '1'}) {
+        b.On(4, sym(x, other, d))
+            .Go(4, {x, other, d}, {Move::kStay, Move::kStay, Move::kLeft});
+      }
+      b.On(4, sym(x, other, '^'))
+          .Go(0, {x, other, '^'}, {Move::kStay, Move::kStay, Move::kRight});
+    }
+  }
+
+  // Compare the counters digit by digit from the LSB.
+  for (char x : ext) {
+    for (char d1 : digit_or_blank) {
+      for (char d2 : digit_or_blank) {
+        if (d1 == B && d2 == B) {
+          b.On(5, sym(x, B, B)).Go(kAccept, sym(x, B, B), sss);
+        } else if (d1 == d2) {
+          b.On(5, sym(x, d1, d2))
+              .Go(5, sym(x, d1, d2),
+                  {Move::kStay, Move::kRight, Move::kRight});
+        } else {
+          b.On(5, sym(x, d1, d2)).Go(kReject, sym(x, d1, d2), sss);
+        }
+      }
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace zoo
+
+}  // namespace rstlab::machine

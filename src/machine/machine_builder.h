@@ -1,0 +1,111 @@
+#ifndef RSTLAB_MACHINE_MACHINE_BUILDER_H_
+#define RSTLAB_MACHINE_MACHINE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "machine/turing_machine.h"
+
+namespace rstlab::machine {
+
+/// Fluent helper for assembling MachineSpec transition tables.
+///
+/// Example (one external tape, no internal tapes):
+///
+///   MachineBuilder b(/*external=*/1, /*internal=*/0);
+///   b.SetStart(0).AddFinal(1, /*accepting=*/true);
+///   b.On(0, "1").Go(1, "1", {Move::kStay});
+///   auto tm = TuringMachine::Create(b.Build());
+class MachineBuilder {
+ public:
+  MachineBuilder(std::size_t num_external_tapes,
+                 std::size_t num_internal_tapes);
+
+  /// Sets the start state.
+  MachineBuilder& SetStart(int state);
+
+  /// Declares `state` final; accepting iff `accepting`.
+  MachineBuilder& AddFinal(int state, bool accepting);
+
+  /// Handle for adding the actions of one (state, symbols) key.
+  class Rule {
+   public:
+    /// Appends an action (successor ordering = insertion order, which is
+    /// the ordering Definition 17's choice indexing uses).
+    Rule& Go(int next_state, const std::string& write,
+             const std::vector<Move>& moves);
+
+   private:
+    friend class MachineBuilder;
+    Rule(MachineSpec* spec, int state, std::string symbols)
+        : spec_(spec), state_(state), symbols_(std::move(symbols)) {}
+
+    MachineSpec* spec_;
+    int state_;
+    std::string symbols_;
+  };
+
+  /// Starts a rule for reading `symbols` (one char per tape) in `state`.
+  Rule On(int state, const std::string& symbols);
+
+  /// Finalizes and returns the spec.
+  MachineSpec Build() { return spec_; }
+
+ private:
+  MachineSpec spec_;
+};
+
+/// Canonical small machines used in tests and the simulation-lemma
+/// experiments (E9).
+namespace zoo {
+
+/// Deterministic, 1 external tape: accepts iff the input starts with '1'.
+MachineSpec FirstSymbolOne();
+
+/// Deterministic, 1 external tape: accepts iff the number of '1's in the
+/// input (a 0/1 string) is even. One left-to-right scan.
+MachineSpec EvenOnes();
+
+/// Randomized, 1 external tape: ignores the input and accepts with
+/// probability 1/2 (one binary branch).
+MachineSpec FairCoin();
+
+/// Randomized, 1 external tape: accepts with probability `num/2^k` by
+/// flipping k fair coins; num must be <= 2^k.
+MachineSpec BiasedCoin(unsigned num, unsigned k);
+
+/// Deterministic, 2 external tapes: input v#w# with v, w over {0,1};
+/// copies v to tape 1, rewinds both, then compares v and w symbol by
+/// symbol; accepts iff v == w. Performs head reversals on both tapes —
+/// a natural subject for the TM -> list-machine simulation.
+MachineSpec TwoFieldEquality();
+
+/// Nondeterministic, 1 external tape: guesses one bit; accepts iff the
+/// guessed bit equals the first input symbol. Accepts with probability
+/// 1/2 on any input starting with '0' or '1'.
+MachineSpec GuessFirstBit();
+
+/// Deterministic, 2 external tapes: input v# with v over {0,1}; copies
+/// v to tape 1, then walks tape 0 forward from the start while walking
+/// tape 1 backward from the end, accepting iff v is a palindrome. Both
+/// heads turn mid-content, which exercises the Case 2 (direction-change
+/// block split) path of the Lemma 16 simulation.
+MachineSpec Palindrome();
+
+/// Deterministic, 1 external tape + 2 internal tapes: accepts iff the
+/// input 0/1 string has exactly as many zeros as ones. Maintains two
+/// little-endian binary counters on the internal tapes (cell 0 holds a
+/// '^' marker, digits from cell 1), incremented per input character in
+/// one external scan, then compared digit by digit.
+///
+/// This is a genuine ST(1, O(log N), 1) algorithm — one sequential scan
+/// of external memory, logarithmic internal space — and the only zoo
+/// machine with s > 0, so it exercises the internal-memory component of
+/// the Lemma 16 state bound 2^{d t^2 r s}.
+MachineSpec BalancedZerosOnes();
+
+}  // namespace zoo
+
+}  // namespace rstlab::machine
+
+#endif  // RSTLAB_MACHINE_MACHINE_BUILDER_H_

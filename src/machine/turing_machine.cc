@@ -1,0 +1,309 @@
+#include "machine/turing_machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rstlab::machine {
+
+namespace {
+
+/// Mutable per-run accounting shared by the runner variants.
+struct CostTracker {
+  std::vector<int> directions;  // +1 / -1 per external tape
+  RunCosts costs;
+
+  explicit CostTracker(const MachineSpec& spec)
+      : directions(spec.num_external_tapes, +1) {
+    costs.external_reversals.assign(spec.num_external_tapes, 0);
+  }
+
+  void RecordMoves(const MachineSpec& spec, const Configuration& before,
+                   const Action& action) {
+    for (std::size_t i = 0; i < spec.num_external_tapes; ++i) {
+      int dir = 0;
+      if (action.moves[i] == Move::kRight) dir = +1;
+      if (action.moves[i] == Move::kLeft && before.heads[i] > 0) dir = -1;
+      if (dir != 0 && dir != directions[i]) {
+        ++costs.external_reversals[i];
+        directions[i] = dir;
+      }
+    }
+    ++costs.length;
+  }
+
+  void Finish(const MachineSpec& spec, const Configuration& final_config) {
+    costs.scan_bound = 1;
+    for (std::uint64_t rev : costs.external_reversals) {
+      costs.scan_bound += rev;
+    }
+    costs.internal_space = 0;
+    for (std::size_t i = spec.num_external_tapes; i < spec.num_tapes();
+         ++i) {
+      costs.internal_space += final_config.tapes[i].size();
+    }
+  }
+};
+
+Configuration ApplyAction(const MachineSpec& spec,
+                          const Configuration& config,
+                          const Action& action) {
+  Configuration next = config;
+  next.state = action.next_state;
+  for (std::size_t i = 0; i < spec.num_tapes(); ++i) {
+    if (next.heads[i] >= next.tapes[i].size()) {
+      next.tapes[i].resize(next.heads[i] + 1, kBlank);
+    }
+    next.tapes[i][next.heads[i]] = action.write[i];
+    switch (action.moves[i]) {
+      case Move::kRight:
+        ++next.heads[i];
+        if (next.heads[i] >= next.tapes[i].size()) {
+          next.tapes[i].resize(next.heads[i] + 1, kBlank);
+        }
+        break;
+      case Move::kLeft:
+        if (next.heads[i] > 0) --next.heads[i];
+        break;
+      case Move::kStay:
+        break;
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+bool MachineSpec::IsFinal(int state) const {
+  return std::find(final_states.begin(), final_states.end(), state) !=
+         final_states.end();
+}
+
+bool MachineSpec::IsAccepting(int state) const {
+  return std::find(accepting_states.begin(), accepting_states.end(),
+                   state) != accepting_states.end();
+}
+
+char Configuration::SymbolUnder(std::size_t i) const {
+  if (heads[i] >= tapes[i].size()) return kBlank;
+  return tapes[i][heads[i]];
+}
+
+Result<TuringMachine> TuringMachine::Create(MachineSpec spec) {
+  for (int q : spec.accepting_states) {
+    if (!spec.IsFinal(q)) {
+      return Status::InvalidArgument(
+          "accepting state is not final: " + std::to_string(q));
+    }
+  }
+  for (const auto& [key, actions] : spec.transitions) {
+    if (key.second.size() != spec.num_tapes()) {
+      return Status::InvalidArgument(
+          "transition key symbol arity mismatch");
+    }
+    if (spec.IsFinal(key.first)) {
+      return Status::InvalidArgument(
+          "transition out of final state " + std::to_string(key.first));
+    }
+    for (const Action& a : actions) {
+      if (a.write.size() != spec.num_tapes() ||
+          a.moves.size() != spec.num_tapes()) {
+        return Status::InvalidArgument("action arity mismatch");
+      }
+    }
+  }
+  return TuringMachine(std::move(spec));
+}
+
+Configuration TuringMachine::InitialConfiguration(
+    const std::string& input) const {
+  Configuration config;
+  config.state = spec_.start_state;
+  config.heads.assign(spec_.num_tapes(), 0);
+  config.tapes.assign(spec_.num_tapes(), std::string(1, kBlank));
+  config.tapes[0] = input.empty() ? std::string(1, kBlank) : input;
+  return config;
+}
+
+std::vector<Configuration> TuringMachine::NextConfigurations(
+    const Configuration& config) const {
+  std::vector<Configuration> out;
+  if (spec_.IsFinal(config.state)) return out;
+  std::string symbols(spec_.num_tapes(), kBlank);
+  for (std::size_t i = 0; i < spec_.num_tapes(); ++i) {
+    symbols[i] = config.SymbolUnder(i);
+  }
+  auto it = spec_.transitions.find({config.state, symbols});
+  if (it == spec_.transitions.end()) return out;
+  out.reserve(it->second.size());
+  for (const Action& a : it->second) {
+    out.push_back(ApplyAction(spec_, config, a));
+  }
+  return out;
+}
+
+std::size_t TuringMachine::MaxBranching() const {
+  std::size_t b = 1;
+  for (const auto& [key, actions] : spec_.transitions) {
+    b = std::max(b, actions.size());
+  }
+  return b;
+}
+
+namespace {
+
+/// Finds the ordered actions applicable to `config`, or nullptr.
+const std::vector<Action>* ActionsFor(const MachineSpec& spec,
+                                      const Configuration& config) {
+  if (spec.IsFinal(config.state)) return nullptr;
+  std::string symbols(spec.num_tapes(), kBlank);
+  for (std::size_t i = 0; i < spec.num_tapes(); ++i) {
+    symbols[i] = config.SymbolUnder(i);
+  }
+  auto it = spec.transitions.find({config.state, symbols});
+  if (it == spec.transitions.end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace
+
+Result<RunResult> TuringMachine::RunDeterministic(
+    const std::string& input, std::size_t max_steps) const {
+  RunResult result;
+  Configuration config = InitialConfiguration(input);
+  CostTracker tracker(spec_);
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const std::vector<Action>* actions = ActionsFor(spec_, config);
+    if (actions == nullptr) {
+      result.halted = true;
+      break;
+    }
+    if (actions->size() != 1) {
+      return Status::FailedPrecondition(
+          "machine is nondeterministic at step " + std::to_string(step));
+    }
+    tracker.RecordMoves(spec_, config, (*actions)[0]);
+    config = ApplyAction(spec_, config, (*actions)[0]);
+  }
+  if (!result.halted && ActionsFor(spec_, config) == nullptr) {
+    result.halted = true;
+  }
+  result.accepted = result.halted && spec_.IsAccepting(config.state);
+  tracker.Finish(spec_, config);
+  result.costs = tracker.costs;
+  result.final_config = std::move(config);
+  return result;
+}
+
+RunResult TuringMachine::RunWithChoices(
+    const std::string& input, const std::vector<std::uint64_t>& choices,
+    std::size_t max_steps) const {
+  RunResult result;
+  Configuration config = InitialConfiguration(input);
+  CostTracker tracker(spec_);
+  std::size_t step = 0;
+  while (step < max_steps) {
+    const std::vector<Action>* actions = ActionsFor(spec_, config);
+    if (actions == nullptr) {
+      result.halted = true;
+      break;
+    }
+    if (step >= choices.size()) break;  // out of choices: not halted
+    const Action& a =
+        (*actions)[static_cast<std::size_t>(choices[step] %
+                                            actions->size())];
+    tracker.RecordMoves(spec_, config, a);
+    config = ApplyAction(spec_, config, a);
+    ++step;
+  }
+  if (!result.halted && ActionsFor(spec_, config) == nullptr) {
+    result.halted = true;
+  }
+  result.accepted = result.halted && spec_.IsAccepting(config.state);
+  tracker.Finish(spec_, config);
+  result.costs = tracker.costs;
+  result.final_config = std::move(config);
+  return result;
+}
+
+RunResult TuringMachine::RunRandomized(const std::string& input, Rng& rng,
+                                       std::size_t max_steps) const {
+  RunResult result;
+  Configuration config = InitialConfiguration(input);
+  CostTracker tracker(spec_);
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const std::vector<Action>* actions = ActionsFor(spec_, config);
+    if (actions == nullptr) {
+      result.halted = true;
+      break;
+    }
+    const Action& a = (*actions)[static_cast<std::size_t>(
+        rng.UniformBelow(actions->size()))];
+    tracker.RecordMoves(spec_, config, a);
+    config = ApplyAction(spec_, config, a);
+  }
+  if (!result.halted && ActionsFor(spec_, config) == nullptr) {
+    result.halted = true;
+  }
+  result.accepted = result.halted && spec_.IsAccepting(config.state);
+  tracker.Finish(spec_, config);
+  result.costs = tracker.costs;
+  result.final_config = std::move(config);
+  return result;
+}
+
+namespace {
+
+double AcceptanceProbabilityRec(const TuringMachine& tm,
+                                const Configuration& config,
+                                std::size_t steps_left, bool* truncated) {
+  if (tm.spec().IsFinal(config.state)) {
+    return tm.spec().IsAccepting(config.state) ? 1.0 : 0.0;
+  }
+  std::vector<Configuration> next = tm.NextConfigurations(config);
+  if (next.empty()) return 0.0;  // stuck, rejecting by convention
+  if (steps_left == 0) {
+    if (truncated != nullptr) *truncated = true;
+    return 0.0;
+  }
+  double p = 0.0;
+  const double w = 1.0 / static_cast<double>(next.size());
+  for (const Configuration& succ : next) {
+    p += w * AcceptanceProbabilityRec(tm, succ, steps_left - 1, truncated);
+  }
+  return p;
+}
+
+}  // namespace
+
+double TuringMachine::AcceptanceProbability(const std::string& input,
+                                            std::size_t max_steps,
+                                            bool* truncated) const {
+  if (truncated != nullptr) *truncated = false;
+  return AcceptanceProbabilityRec(*this, InitialConfiguration(input),
+                                  max_steps, truncated);
+}
+
+Lemma3Check CheckLemma3(const RunResult& run, std::size_t input_size,
+                        const MachineSpec& spec) {
+  Lemma3Check check;
+  check.run_length = run.costs.length;
+  for (std::size_t i = 0; i < spec.num_external_tapes; ++i) {
+    check.external_space += run.final_config.tapes[i].size();
+  }
+  const double n = static_cast<double>(std::max<std::size_t>(1, input_size));
+  const double r = static_cast<double>(run.costs.scan_bound);
+  const double s = static_cast<double>(run.costs.internal_space);
+  const double t = static_cast<double>(spec.num_external_tapes);
+  check.log2_bound = std::log2(n) + 10.0 * r * (t + s + 1.0);
+  const double log2_len =
+      std::log2(static_cast<double>(std::max<std::size_t>(1,
+                                                          check.run_length)));
+  const double log2_space = std::log2(static_cast<double>(
+      std::max<std::size_t>(1, check.external_space)));
+  check.within_bounds =
+      log2_len <= check.log2_bound && log2_space <= check.log2_bound;
+  return check;
+}
+
+}  // namespace rstlab::machine

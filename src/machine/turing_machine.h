@@ -1,0 +1,166 @@
+#ifndef RSTLAB_MACHINE_TURING_MACHINE_H_
+#define RSTLAB_MACHINE_TURING_MACHINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rstlab::machine {
+
+/// The blank symbol of every machine in this module.
+inline constexpr char kBlank = '_';
+
+/// Head movement of one step, per tape.
+enum class Move : int {
+  kLeft = -1,
+  kStay = 0,
+  kRight = +1,
+};
+
+/// One admissible step of the transition relation: successor state, the
+/// symbols written under the heads, and the head movements (one entry per
+/// tape, externals first).
+struct Action {
+  int next_state = 0;
+  std::string write;        // one char per tape
+  std::vector<Move> moves;  // one move per tape
+};
+
+/// A multi-tape nondeterministic Turing machine (Definition 23).
+///
+/// The machine has `num_external_tapes` external tapes (tape 0 is the
+/// input tape) followed by `num_internal_tapes` internal tapes; the class
+/// bounds (Definition 1) charge head reversals only on external tapes and
+/// space only on internal tapes. The transition relation maps
+/// (state, symbols-under-heads) to an ordered list of actions; the order
+/// defines the successor indexing used by choice sequences
+/// (Definition 17).
+struct MachineSpec {
+  std::size_t num_external_tapes = 1;
+  std::size_t num_internal_tapes = 0;
+  int start_state = 0;
+  std::vector<int> final_states;      // F
+  std::vector<int> accepting_states;  // F_acc, a subset of F
+  /// Keyed by (state, symbols-under-heads); values are the ordered
+  /// admissible actions.
+  std::map<std::pair<int, std::string>, std::vector<Action>> transitions;
+
+  /// Total number of tapes t + u.
+  std::size_t num_tapes() const {
+    return num_external_tapes + num_internal_tapes;
+  }
+  /// True iff `state` is final.
+  bool IsFinal(int state) const;
+  /// True iff `state` is accepting.
+  bool IsAccepting(int state) const;
+};
+
+/// A machine configuration: current state, head positions, and tape
+/// contents (externals first). Tapes are one-sided infinite; only the
+/// used prefix is stored.
+struct Configuration {
+  int state = 0;
+  std::vector<std::size_t> heads;
+  std::vector<std::string> tapes;
+
+  /// The symbol under the head of tape `i`.
+  char SymbolUnder(std::size_t i) const;
+
+  bool operator==(const Configuration& other) const = default;
+};
+
+/// Per-run resource usage in the units of Definition 1.
+struct RunCosts {
+  /// rev(rho, i) per external tape.
+  std::vector<std::uint64_t> external_reversals;
+  /// 1 + sum of external reversals — the measured r-value.
+  std::uint64_t scan_bound = 1;
+  /// Sum over internal tapes of cells used — the measured s-value.
+  std::size_t internal_space = 0;
+  /// Number of steps.
+  std::size_t length = 0;
+};
+
+/// A finite run: final configuration, acceptance, and costs.
+struct RunResult {
+  Configuration final_config;
+  bool halted = false;    // false if max_steps was hit
+  bool accepted = false;  // meaningful only when halted
+  RunCosts costs;
+};
+
+/// Executable wrapper around a MachineSpec.
+class TuringMachine {
+ public:
+  /// Validates and wraps `spec`. Fails if accepting states are not final
+  /// or tape arities in actions are inconsistent.
+  static Result<TuringMachine> Create(MachineSpec spec);
+
+  /// The underlying specification.
+  const MachineSpec& spec() const { return spec_; }
+
+  /// The initial configuration for input `input` on tape 0.
+  Configuration InitialConfiguration(const std::string& input) const;
+
+  /// The ordered successor set Next_T(config) (empty iff final or stuck).
+  std::vector<Configuration> NextConfigurations(
+      const Configuration& config) const;
+
+  /// The maximum branching degree b = max |Next_T(gamma)| over the
+  /// transition table (Definition 17).
+  std::size_t MaxBranching() const;
+
+  /// Runs deterministically; fails with FailedPrecondition on a
+  /// configuration with more than one successor.
+  Result<RunResult> RunDeterministic(const std::string& input,
+                                     std::size_t max_steps) const;
+
+  /// The run rho_T(w, c) of Definition 17: step i takes the
+  /// (c_i mod |Next|)-th successor. If choices run out before a final
+  /// state, the run reports halted = false.
+  RunResult RunWithChoices(const std::string& input,
+                           const std::vector<std::uint64_t>& choices,
+                           std::size_t max_steps) const;
+
+  /// Samples a run with each successor chosen uniformly (the randomized
+  /// semantics of Section 2).
+  RunResult RunRandomized(const std::string& input, Rng& rng,
+                          std::size_t max_steps) const;
+
+  /// Exact acceptance probability by exhaustive weighted traversal of the
+  /// run tree; every run must halt within `max_steps` (else the result is
+  /// a lower bound and `*truncated` is set when provided).
+  double AcceptanceProbability(const std::string& input,
+                               std::size_t max_steps,
+                               bool* truncated = nullptr) const;
+
+ private:
+  explicit TuringMachine(MachineSpec spec) : spec_(std::move(spec)) {}
+
+  MachineSpec spec_;
+};
+
+/// Lemma 3 validation: every run of an (r, s, t)-bounded machine has
+/// length (and hence external space) at most N * 2^{O(r (t + s))}.
+/// The constant in the exponent depends only on u, |Q|, |Sigma|;
+/// `log2_bound` uses the generous constant 10 so violations indicate
+/// real bugs, not constant-tuning.
+struct Lemma3Check {
+  std::size_t run_length = 0;
+  std::size_t external_space = 0;
+  double log2_bound = 0.0;
+  bool within_bounds = false;
+};
+
+/// Evaluates the Lemma 3 bound for a completed run on an input of size
+/// `input_size`, using the run's own measured r and s.
+Lemma3Check CheckLemma3(const RunResult& run, std::size_t input_size,
+                        const MachineSpec& spec);
+
+}  // namespace rstlab::machine
+
+#endif  // RSTLAB_MACHINE_TURING_MACHINE_H_

@@ -1,0 +1,181 @@
+#include "nst/certificate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "problems/reference.h"
+
+namespace rstlab::nst {
+
+namespace {
+
+bool InRange(const std::vector<std::size_t>& map, std::size_t m) {
+  if (map.size() != m) return false;
+  return std::all_of(map.begin(), map.end(),
+                     [m](std::size_t v) { return v < m; });
+}
+
+bool MatchesPermutation(const problems::Instance& instance,
+                        const permutation::Permutation& pi) {
+  if (!permutation::IsPermutation(pi) || pi.size() != instance.m()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < instance.m(); ++i) {
+    if (instance.first[i] != instance.second[pi[i]]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool VerifyCertificate(problems::Problem problem,
+                       const problems::Instance& instance,
+                       const Certificate& certificate) {
+  const std::size_t m = instance.m();
+  switch (problem) {
+    case problems::Problem::kMultisetEquality:
+      return MatchesPermutation(instance, certificate.pi);
+    case problems::Problem::kCheckSort:
+      return MatchesPermutation(instance, certificate.pi) &&
+             std::is_sorted(instance.second.begin(),
+                            instance.second.end());
+    case problems::Problem::kSetEquality: {
+      if (!InRange(certificate.alpha, m) || !InRange(certificate.beta, m)) {
+        return false;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        if (instance.first[i] != instance.second[certificate.alpha[i]]) {
+          return false;
+        }
+        if (instance.second[i] != instance.first[certificate.beta[i]]) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Certificate> FindHonestCertificate(
+    problems::Problem problem, const problems::Instance& instance) {
+  const std::size_t m = instance.m();
+  Certificate cert;
+  switch (problem) {
+    case problems::Problem::kCheckSort:
+      if (!std::is_sorted(instance.second.begin(),
+                          instance.second.end())) {
+        return std::nullopt;
+      }
+      [[fallthrough]];
+    case problems::Problem::kMultisetEquality: {
+      // Greedy matching of equal values: index the second list by value,
+      // assign each v_i the next unused equal v'_j.
+      std::vector<std::size_t> order(m);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return instance.second[a] < instance.second[b];
+                });
+      cert.pi.assign(m, 0);
+      std::vector<bool> used(m, false);
+      for (std::size_t i = 0; i < m; ++i) {
+        // Binary search the sorted view for v_i, then take the first
+        // unused match.
+        auto lo = std::lower_bound(
+            order.begin(), order.end(), instance.first[i],
+            [&](std::size_t idx, const BitString& v) {
+              return instance.second[idx] < v;
+            });
+        bool found = false;
+        for (auto it = lo; it != order.end(); ++it) {
+          if (!(instance.second[*it] == instance.first[i])) break;
+          if (!used[*it]) {
+            used[*it] = true;
+            cert.pi[i] = *it;
+            found = true;
+            break;
+          }
+        }
+        if (!found) return std::nullopt;
+      }
+      return cert;
+    }
+    case problems::Problem::kSetEquality: {
+      cert.alpha.assign(m, 0);
+      cert.beta.assign(m, 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        bool found = false;
+        for (std::size_t j = 0; j < m; ++j) {
+          if (instance.first[i] == instance.second[j]) {
+            cert.alpha[i] = j;
+            found = true;
+            break;
+          }
+        }
+        if (!found) return std::nullopt;
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        bool found = false;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (instance.second[j] == instance.first[i]) {
+            cert.beta[j] = i;
+            found = true;
+            break;
+          }
+        }
+        if (!found) return std::nullopt;
+      }
+      return cert;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ExistsAcceptingCertificate(problems::Problem problem,
+                                const problems::Instance& instance) {
+  const std::size_t m = instance.m();
+  switch (problem) {
+    case problems::Problem::kMultisetEquality:
+    case problems::Problem::kCheckSort: {
+      permutation::Permutation pi = permutation::Identity(m);
+      do {
+        Certificate cert;
+        cert.pi = pi;
+        if (VerifyCertificate(problem, instance, cert)) return true;
+      } while (std::next_permutation(pi.begin(), pi.end()));
+      return false;
+    }
+    case problems::Problem::kSetEquality: {
+      // Enumerate all m^m maps for alpha and beta independently: alpha
+      // exists iff every v_i occurs in the second list; enumerating
+      // independently is sound because the two constraint families do
+      // not interact.
+      auto exists_map = [m](auto matches) {
+        // For each position, some target must match.
+        for (std::size_t i = 0; i < m; ++i) {
+          bool any = false;
+          for (std::size_t j = 0; j < m; ++j) {
+            if (matches(i, j)) {
+              any = true;
+              break;
+            }
+          }
+          if (!any) return false;
+        }
+        return true;
+      };
+      const bool alpha_ok =
+          exists_map([&](std::size_t i, std::size_t j) {
+            return instance.first[i] == instance.second[j];
+          });
+      const bool beta_ok = exists_map([&](std::size_t j, std::size_t i) {
+        return instance.second[j] == instance.first[i];
+      });
+      return alpha_ok && beta_ok;
+    }
+  }
+  return false;
+}
+
+}  // namespace rstlab::nst

@@ -1,0 +1,55 @@
+#ifndef RSTLAB_NST_CERTIFICATE_H_
+#define RSTLAB_NST_CERTIFICATE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "permutation/sortedness.h"
+#include "problems/instance.h"
+
+namespace rstlab::nst {
+
+/// The nondeterministic guess of the Theorem 8(b) machines.
+///
+/// For MULTISET-EQUALITY and CHECK-SORT the guess is a permutation pi
+/// with v_i = v'_{pi(i)}; for SET-EQUALITY it is a pair of (not
+/// necessarily injective) maps alpha, beta with v_i = v'_{alpha(i)} and
+/// v'_j = v_{beta(j)}.
+struct Certificate {
+  /// Permutation guess (multiset equality / checksort); element i maps
+  /// to pi[i] (0-based).
+  permutation::Permutation pi;
+  /// Map guesses (set equality).
+  std::vector<std::size_t> alpha;
+  std::vector<std::size_t> beta;
+};
+
+/// Host-level (oracle) verification of a certificate: does the guess
+/// witness that `instance` is a "yes" instance of `problem`?
+///
+/// * kMultisetEquality: pi is a permutation and v_i = v'_{pi(i)} for all
+///   i.
+/// * kCheckSort: additionally v'_1 <= v'_2 <= ... <= v'_m.
+/// * kSetEquality: alpha and beta are total maps into range and
+///   v_i = v'_{alpha(i)}, v'_j = v_{beta(j)} for all i, j.
+bool VerifyCertificate(problems::Problem problem,
+                       const problems::Instance& instance,
+                       const Certificate& certificate);
+
+/// The canonical honest certificate for a "yes" instance, if one exists
+/// (completeness direction of Theorem 8(b)): a matching permutation /
+/// map pair computed by sorting in host memory.
+std::optional<Certificate> FindHonestCertificate(
+    problems::Problem problem, const problems::Instance& instance);
+
+/// Exhaustive soundness check: true iff *some* certificate verifies.
+/// Enumerates all m! permutations (or all m^m maps twice for set
+/// equality); only feasible for tiny m (<= 6 or so). Theorem 8(b)
+/// soundness predicts this agrees exactly with the reference decider.
+bool ExistsAcceptingCertificate(problems::Problem problem,
+                                const problems::Instance& instance);
+
+}  // namespace rstlab::nst
+
+#endif  // RSTLAB_NST_CERTIFICATE_H_

@@ -1,0 +1,270 @@
+#include "nst/paper_verifier.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "stmodel/internal_arena.h"
+#include "stmodel/tape_io.h"
+#include "tape/tape.h"
+
+namespace rstlab::nst {
+
+namespace {
+
+/// Appends `value` as a `width`-character binary field to `out`.
+void AppendBinaryField(std::size_t value, std::size_t width,
+                       std::string& out) {
+  for (std::size_t b = 0; b < width; ++b) {
+    out.push_back(((value >> (width - 1 - b)) & 1) ? '1' : '0');
+  }
+  out.push_back(stmodel::kFieldSeparator);
+}
+
+/// Builds the guess string u for the given problem and certificate.
+std::string BuildGuessString(problems::Problem problem,
+                             const problems::Instance& instance,
+                             const Certificate& certificate,
+                             std::size_t index_width) {
+  std::string u;
+  const std::size_t m = instance.m();
+  if (problem == problems::Problem::kSetEquality) {
+    for (std::size_t i = 0; i < m; ++i) {
+      AppendBinaryField(certificate.alpha.size() == m ? certificate.alpha[i]
+                                                      : 0,
+                        index_width, u);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      AppendBinaryField(certificate.beta.size() == m ? certificate.beta[i]
+                                                     : 0,
+                        index_width, u);
+    }
+  } else {
+    for (std::size_t i = 0; i < m; ++i) {
+      AppendBinaryField(certificate.pi.size() == m ? certificate.pi[i] : 0,
+                        index_width, u);
+    }
+  }
+  u += instance.Encode();
+  return u;
+}
+
+/// Bit `b` of `v`, or nullopt when the value is shorter.
+std::optional<bool> BitOrAbsent(const BitString& v, std::size_t b) {
+  if (b >= v.size()) return std::nullopt;
+  return v.bit(b);
+}
+
+}  // namespace
+
+Result<NstRunResult> RunPaperVerifier(problems::Problem problem,
+                                      const problems::Instance& instance,
+                                      const Certificate& certificate,
+                                      stmodel::StContext& ctx) {
+  if (ctx.num_tapes() < 3) {
+    return Status::InvalidArgument("verifier needs 3 external tapes");
+  }
+  const std::size_t m = instance.m();
+  stmodel::InternalArena& arena = ctx.arena();
+  tape::Tape& input = ctx.tape(0);
+  tape::Tape& work1 = ctx.tape(1);
+  tape::Tape& work2 = ctx.tape(2);
+
+  NstRunResult result;
+  if (m == 0) {
+    result.accepted = true;
+    return result;
+  }
+
+  // Malformed guesses yield a rejecting run (the nondeterministic machine
+  // simply has no accepting continuation for them).
+  const bool shape_ok =
+      problem == problems::Problem::kSetEquality
+          ? certificate.alpha.size() == m && certificate.beta.size() == m &&
+                std::all_of(certificate.alpha.begin(),
+                            certificate.alpha.end(),
+                            [m](std::size_t v) { return v < m; }) &&
+                std::all_of(certificate.beta.begin(), certificate.beta.end(),
+                            [m](std::size_t v) { return v < m; })
+          : certificate.pi.size() == m &&
+                std::all_of(certificate.pi.begin(), certificate.pi.end(),
+                            [m](std::size_t v) { return v < m; });
+  if (!shape_ok) {
+    result.accepted = false;
+    return result;
+  }
+
+  // ---- Forward scan of the input: determine m and n_max. ----
+  const std::size_t ctr_bits =
+      stmodel::BitsFor(std::max<std::size_t>(1, ctx.input_size()));
+  stmodel::MeteredUint64 fields(arena, ctr_bits);
+  stmodel::MeteredUint64 n_max_reg(arena, ctr_bits);
+  stmodel::Rewind(input);
+  while (!stmodel::AtEnd(input)) {
+    n_max_reg = std::max<std::uint64_t>(n_max_reg.get(),
+                                        stmodel::SkipField(input));
+    fields = fields.get() + 1;
+  }
+  if (fields.get() != 2 * m) {
+    return Status::InvalidArgument("tape content disagrees with instance");
+  }
+  const std::size_t n_max = static_cast<std::size_t>(n_max_reg.get());
+
+  // ---- Plan the copies. ----
+  const std::size_t index_width = stmodel::BitsFor(m - 1);
+  const std::string u =
+      BuildGuessString(problem, instance, certificate, index_width);
+  std::size_t num_copies = 0;
+  switch (problem) {
+    case problems::Problem::kMultisetEquality:
+      num_copies = n_max * m + m;
+      break;
+    case problems::Problem::kCheckSort:
+      num_copies = n_max * m + n_max * (m - 1) + m;
+      break;
+    case problems::Problem::kSetEquality:
+      num_copies = 2 * n_max * m;
+      break;
+  }
+  result.copy_length = u.size();
+
+  // ---- Per-copy internal registers, all O(log N) bits. ----
+  stmodel::MeteredUint64 copy_idx(arena, stmodel::BitsFor(num_copies + 1));
+  stmodel::MeteredUint64 field_idx(arena, ctr_bits);
+  stmodel::MeteredUint64 bit_idx(arena, ctr_bits);
+  stmodel::MeteredUint64 target_idx(arena, stmodel::BitsFor(m));
+  // Two transient bits for the per-copy bit comparisons.
+  stmodel::MeteredUint64 captured_bits(arena, 2);
+  (void)captured_bits;
+  // Persistent lexicographic state for the CHECK-SORT adjacent-pair
+  // sweep: bit 0 = comparison decided, bit 1 = pair in order.
+  stmodel::MeteredUint64 sort_state(arena, 2);
+
+  bool ok = true;
+  auto write_copy = [&]() {
+    for (char c : u) {
+      work1.Write(c);
+      work1.MoveRight();
+      work2.Write(c);
+      work2.MoveRight();
+    }
+    ++result.copies_written;
+  };
+
+  // One check per copy, mirroring the construction in the proof of
+  // Theorem 8(b); the checked bits are tracked through metered registers
+  // so the measured internal space stays O(log N).
+  for (copy_idx = 0; ok && copy_idx.get() < num_copies;
+       copy_idx = copy_idx.get() + 1) {
+    const std::size_t c = static_cast<std::size_t>(copy_idx.get());
+    write_copy();
+
+    if (problem == problems::Problem::kSetEquality) {
+      const bool alpha_phase = c < n_max * m;
+      const std::size_t base = alpha_phase ? c : c - n_max * m;
+      field_idx = base / n_max;
+      bit_idx = base % n_max;
+      const std::size_t f = static_cast<std::size_t>(field_idx.get());
+      const std::size_t b = static_cast<std::size_t>(bit_idx.get());
+      if (alpha_phase) {
+        target_idx = certificate.alpha[f];
+        ok = BitOrAbsent(instance.first[f], b) ==
+             BitOrAbsent(instance.second[static_cast<std::size_t>(
+                             target_idx.get())],
+                         b);
+      } else {
+        target_idx = certificate.beta[f];
+        ok = BitOrAbsent(instance.second[f], b) ==
+             BitOrAbsent(
+                 instance.first[static_cast<std::size_t>(target_idx.get())],
+                 b);
+      }
+      continue;
+    }
+
+    // Multiset equality / checksort.
+    if (c < n_max * m) {
+      // Bit check: v_f and v'_{pi(f)} agree on bit b (or both lack it).
+      field_idx = c / n_max;
+      bit_idx = c % n_max;
+      const std::size_t f = static_cast<std::size_t>(field_idx.get());
+      const std::size_t b = static_cast<std::size_t>(bit_idx.get());
+      target_idx = certificate.pi[f];
+      ok = BitOrAbsent(instance.first[f], b) ==
+           BitOrAbsent(
+               instance.second[static_cast<std::size_t>(target_idx.get())],
+               b);
+      continue;
+    }
+    if (problem == problems::Problem::kCheckSort &&
+        c < n_max * m + n_max * (m - 1)) {
+      // Adjacent-pair order sweep: pair i, bit b, bits ascending per
+      // pair; two persistent state bits carried between copies.
+      const std::size_t base = c - n_max * m;
+      field_idx = base / n_max;
+      bit_idx = base % n_max;
+      const std::size_t i = static_cast<std::size_t>(field_idx.get());
+      const std::size_t b = static_cast<std::size_t>(bit_idx.get());
+      if (b == 0) sort_state = 0;  // fresh pair
+      const bool decided = (sort_state.get() & 1) != 0;
+      if (!decided) {
+        const std::optional<bool> x = BitOrAbsent(instance.second[i], b);
+        const std::optional<bool> y =
+            BitOrAbsent(instance.second[i + 1], b);
+        if (!x.has_value() && y.has_value()) {
+          sort_state = 1 | 2;  // proper prefix: in order, decided
+        } else if (x.has_value() && !y.has_value()) {
+          ok = false;  // longer than its successor prefix: out of order
+        } else if (x.has_value() && y.has_value() && *x != *y) {
+          sort_state = *x < *y ? (1 | 2) : 1;
+          ok = (sort_state.get() & 2) != 0;
+        }
+        // Equal bits (or both absent): stay undecided, which at the end
+        // of the sweep means the values are equal — in order.
+      }
+      continue;
+    }
+    // Injectivity copies: copy for line i checks pi(i) != pi(j), j > i.
+    {
+      const std::size_t offset =
+          problem == problems::Problem::kCheckSort
+              ? n_max * m + n_max * (m - 1)
+              : n_max * m;
+      const std::size_t i = c - offset;
+      target_idx = certificate.pi[i];
+      for (std::size_t j = i + 1; j < m && ok; ++j) {
+        field_idx = certificate.pi[j];
+        ok = target_idx.get() != field_idx.get();
+      }
+    }
+  }
+
+  // ---- Backward scan: copies all equal, last copy matches the input.
+  // All heads move left only, so this phase costs one reversal per tape.
+  if (ok && result.copies_written > 0) {
+    const std::size_t L = u.size();
+    const std::size_t total = result.copies_written * L;
+    const std::size_t payload = instance.N();
+    // (a) Input (backward) against the payload suffix of the last copy
+    // on work tape 2.
+    input.Seek(payload == 0 ? 0 : payload - 1);
+    for (std::size_t k = 0; ok && k < payload; ++k) {
+      work2.Seek(total - 1 - k);
+      input.Seek(payload - 1 - k);
+      ok = input.Read() == work2.Read();
+    }
+    // (b) Chain: copy c on work tape 1 against copy c-1 on work tape 2.
+    if (ok && result.copies_written > 1) {
+      for (std::size_t k = 0; ok && k < total - L; ++k) {
+        work1.Seek(total - 1 - k);
+        work2.Seek(total - L - 1 - k);
+        ok = work1.Read() == work2.Read();
+      }
+    }
+  }
+
+  result.accepted = ok;
+  return result;
+}
+
+}  // namespace rstlab::nst

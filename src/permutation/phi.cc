@@ -1,0 +1,31 @@
+#include "permutation/phi.h"
+
+#include <bit>
+#include <cassert>
+
+namespace rstlab::permutation {
+
+std::size_t ReverseBits(std::size_t value, std::size_t bits) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    out = (out << 1) | ((value >> i) & 1);
+  }
+  return out;
+}
+
+Permutation BitReversalPermutation(std::size_t m) {
+  assert(m > 0 && std::has_single_bit(m));
+  const std::size_t bits =
+      static_cast<std::size_t>(std::bit_width(m) - 1);
+  Permutation phi(m);
+  for (std::size_t i = 0; i < m; ++i) phi[i] = ReverseBits(i, bits);
+  return phi;
+}
+
+Permutation RandomPermutation(std::size_t m, Rng& rng) {
+  Permutation perm = Identity(m);
+  rng.Shuffle(perm);
+  return perm;
+}
+
+}  // namespace rstlab::permutation

@@ -1,0 +1,28 @@
+#ifndef RSTLAB_PERMUTATION_PHI_H_
+#define RSTLAB_PERMUTATION_PHI_H_
+
+#include <cstddef>
+
+#include "permutation/sortedness.h"
+#include "util/random.h"
+
+namespace rstlab::permutation {
+
+/// The "hard" permutation phi_m of Remark 20: the numbers 0..m-1 sorted
+/// lexicographically by their reversed binary representation, which for m
+/// a power of two is exactly the bit-reversal permutation
+/// phi(i) = reverse of i's log2(m)-bit representation.
+/// Satisfies sortedness(phi_m) <= 2*sqrt(m) - 1.
+/// Requires m to be a power of two.
+Permutation BitReversalPermutation(std::size_t m);
+
+/// Reverses the low `bits` bits of `value`.
+std::size_t ReverseBits(std::size_t value, std::size_t bits);
+
+/// A uniformly random permutation of {0, ..., m-1}. By Remark 20,
+/// its sortedness is Omega(sqrt(m)) with high probability.
+Permutation RandomPermutation(std::size_t m, Rng& rng);
+
+}  // namespace rstlab::permutation
+
+#endif  // RSTLAB_PERMUTATION_PHI_H_

@@ -1,0 +1,57 @@
+#include "permutation/sortedness.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rstlab::permutation {
+
+bool IsPermutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t v : perm) {
+    if (v >= perm.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+std::size_t LongestIncreasingSubsequence(
+    const std::vector<std::size_t>& values) {
+  // tails[k] = smallest possible tail of an increasing subsequence of
+  // length k+1.
+  std::vector<std::size_t> tails;
+  for (std::size_t v : values) {
+    auto it = std::lower_bound(tails.begin(), tails.end(), v);
+    if (it == tails.end()) {
+      tails.push_back(v);
+    } else {
+      *it = v;
+    }
+  }
+  return tails.size();
+}
+
+std::size_t Sortedness(const Permutation& perm) {
+  assert(IsPermutation(perm));
+  const std::size_t up = LongestIncreasingSubsequence(perm);
+  std::vector<std::size_t> reversed_values(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    // Longest decreasing subsequence == LIS after value reflection.
+    reversed_values[i] = perm.size() - 1 - perm[i];
+  }
+  const std::size_t down = LongestIncreasingSubsequence(reversed_values);
+  return std::max(up, down);
+}
+
+Permutation Inverse(const Permutation& perm) {
+  Permutation inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) inv[perm[i]] = i;
+  return inv;
+}
+
+Permutation Identity(std::size_t m) {
+  Permutation id(m);
+  for (std::size_t i = 0; i < m; ++i) id[i] = i;
+  return id;
+}
+
+}  // namespace rstlab::permutation

@@ -1,0 +1,33 @@
+#ifndef RSTLAB_PERMUTATION_SORTEDNESS_H_
+#define RSTLAB_PERMUTATION_SORTEDNESS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rstlab::permutation {
+
+/// A permutation of {0, ..., m-1}: element i maps to perm[i]. (The paper
+/// indexes from 1; we use 0-based indices throughout the code.)
+using Permutation = std::vector<std::size_t>;
+
+/// True iff `perm` is a permutation of {0, ..., perm.size()-1}.
+bool IsPermutation(const Permutation& perm);
+
+/// Length of the longest strictly increasing subsequence of `values`
+/// (patience sorting, O(m log m)).
+std::size_t LongestIncreasingSubsequence(
+    const std::vector<std::size_t>& values);
+
+/// sortedness(pi) of Definition 19: the length of the longest subsequence
+/// of (pi(0), ..., pi(m-1)) sorted in ascending or descending order.
+std::size_t Sortedness(const Permutation& perm);
+
+/// The inverse permutation.
+Permutation Inverse(const Permutation& perm);
+
+/// The identity permutation on m elements.
+Permutation Identity(std::size_t m);
+
+}  // namespace rstlab::permutation
+
+#endif  // RSTLAB_PERMUTATION_SORTEDNESS_H_

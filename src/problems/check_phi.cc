@@ -1,0 +1,92 @@
+#include "problems/check_phi.h"
+
+#include <bit>
+#include <cassert>
+
+#include "problems/reference.h"
+
+namespace rstlab::problems {
+
+CheckPhi::CheckPhi(std::size_t m, std::size_t n,
+                   permutation::Permutation phi)
+    : m_(m), n_(n), phi_(std::move(phi)) {
+  assert(m > 0 && std::has_single_bit(m));
+  assert(phi_.size() == m);
+  assert(permutation::IsPermutation(phi_));
+  interval_bits_ = static_cast<std::size_t>(std::bit_width(m) - 1);
+  assert(n >= interval_bits_);
+}
+
+std::size_t CheckPhi::IntervalOf(const BitString& value) const {
+  assert(value.size() == n_);
+  return static_cast<std::size_t>(value.TopBits(interval_bits_));
+}
+
+bool CheckPhi::IsValidInstance(const Instance& instance) const {
+  if (instance.m() != m_) return false;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (instance.first[i].size() != n_ ||
+        instance.second[i].size() != n_) {
+      return false;
+    }
+    if (IntervalOf(instance.first[i]) != phi_[i]) return false;
+    if (IntervalOf(instance.second[i]) != i) return false;
+  }
+  return true;
+}
+
+bool CheckPhi::Decide(const Instance& instance) const {
+  assert(IsValidInstance(instance));
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (instance.first[i] != instance.second[phi_[i]]) return false;
+  }
+  return true;
+}
+
+BitString CheckPhi::RandomValueIn(std::size_t j, Rng& rng) const {
+  BitString value = BitString::Random(n_, rng);
+  // Overwrite the top log2(m) bits with the interval index j.
+  for (std::size_t b = 0; b < interval_bits_; ++b) {
+    value.set_bit(b, (j >> (interval_bits_ - 1 - b)) & 1);
+  }
+  return value;
+}
+
+Instance CheckPhi::RandomYesInstance(Rng& rng) const {
+  Instance instance;
+  instance.second.reserve(m_);
+  for (std::size_t j = 0; j < m_; ++j) {
+    instance.second.push_back(RandomValueIn(j, rng));
+  }
+  instance.first.reserve(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    instance.first.push_back(instance.second[phi_[i]]);
+  }
+  return instance;
+}
+
+Instance CheckPhi::RandomNoInstance(Rng& rng) const {
+  assert(n_ > interval_bits_);
+  Instance instance = RandomYesInstance(rng);
+  const std::size_t i =
+      static_cast<std::size_t>(rng.UniformBelow(m_));
+  BitString& victim = instance.first[i];
+  // Flip a random non-interval bit so the value stays in I_{phi(i)} but
+  // no longer matches v'_{phi(i)}.
+  const std::size_t pos =
+      interval_bits_ +
+      static_cast<std::size_t>(rng.UniformBelow(n_ - interval_bits_));
+  victim.set_bit(pos, !victim.bit(pos));
+  return instance;
+}
+
+bool CheckPhi::CoincidesOnInstance(const Instance& instance) const {
+  const bool check_phi = Decide(instance);
+  const bool set_eq = RefSetEquality(instance);
+  const bool multiset_eq = RefMultisetEquality(instance);
+  const bool check_sort = RefCheckSort(instance);
+  return check_phi == set_eq && set_eq == multiset_eq &&
+         multiset_eq == check_sort;
+}
+
+}  // namespace rstlab::problems

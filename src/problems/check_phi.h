@@ -1,0 +1,72 @@
+#ifndef RSTLAB_PROBLEMS_CHECK_PHI_H_
+#define RSTLAB_PROBLEMS_CHECK_PHI_H_
+
+#include <cstddef>
+
+#include "permutation/sortedness.h"
+#include "problems/instance.h"
+#include "util/random.h"
+
+namespace rstlab::problems {
+
+/// The CHECK-phi problem of Lemma 22, the hard core of Theorem 6.
+///
+/// For m a power of two, the value domain I = {0,1}^n is split into m
+/// consecutive intervals I_0, ..., I_{m-1} (interval membership is
+/// determined by a value's top log2(m) bits). A valid instance has
+/// v_i in I_{phi(i)} and v'_j in I_j; the question is whether
+/// (v_1, ..., v_m) = (v'_{phi(1)}, ..., v'_{phi(m)}).
+///
+/// On valid instances CHECK-phi, SET-EQUALITY, MULTISET-EQUALITY and
+/// CHECK-SORT all coincide (each interval holds exactly one value of each
+/// list, and the second list is automatically sorted) — that coincidence
+/// is how Theorem 6 follows from Lemma 22, and `CoincidesOnInstance`
+/// lets tests verify it.
+class CheckPhi {
+ public:
+  /// Sets up the problem for `m` pairs (power of two) of `n`-bit values
+  /// under permutation `phi` (typically the bit-reversal permutation of
+  /// Remark 20). Requires n >= log2(m).
+  CheckPhi(std::size_t m, std::size_t n, permutation::Permutation phi);
+
+  std::size_t m() const { return m_; }
+  std::size_t n() const { return n_; }
+  const permutation::Permutation& phi() const { return phi_; }
+
+  /// The interval index j with value in I_j (the top log2(m) bits).
+  std::size_t IntervalOf(const BitString& value) const;
+
+  /// True iff `instance` satisfies the CHECK-phi domain constraints
+  /// (all lengths n, v_i in I_{phi(i)}, v'_j in I_j).
+  bool IsValidInstance(const Instance& instance) const;
+
+  /// Decides CHECK-phi: (v_1,...,v_m) = (v'_{phi(1)},...,v'_{phi(m)}).
+  /// Requires a valid instance.
+  bool Decide(const Instance& instance) const;
+
+  /// A uniformly random "yes" instance: v'_j random in I_j,
+  /// v_i = v'_{phi(i)}.
+  Instance RandomYesInstance(Rng& rng) const;
+
+  /// A "no" instance: a yes instance with one v_i replaced by a different
+  /// value of the same interval. Requires the intervals to have at least
+  /// two values (n > log2(m)).
+  Instance RandomNoInstance(Rng& rng) const;
+
+  /// True iff all four problems agree on `instance` (sanity check for the
+  /// Theorem 6 coincidence argument).
+  bool CoincidesOnInstance(const Instance& instance) const;
+
+ private:
+  /// A uniformly random value in interval I_j.
+  BitString RandomValueIn(std::size_t j, Rng& rng) const;
+
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t interval_bits_;  // log2(m)
+  permutation::Permutation phi_;
+};
+
+}  // namespace rstlab::problems
+
+#endif  // RSTLAB_PROBLEMS_CHECK_PHI_H_

@@ -1,0 +1,63 @@
+#include "problems/disjoint_sets.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace rstlab::problems {
+
+bool RefDisjoint(const Instance& instance) {
+  std::unordered_set<BitString, BitStringHash> first(
+      instance.first.begin(), instance.first.end());
+  for (const BitString& v : instance.second) {
+    if (first.count(v) > 0) return false;
+  }
+  return true;
+}
+
+Instance DisjointSets(std::size_t m, std::size_t n, Rng& rng) {
+  assert(n >= 1);
+  Instance instance;
+  for (std::size_t i = 0; i < m; ++i) {
+    BitString a = BitString::Random(n, rng);
+    a.set_bit(0, false);
+    instance.first.push_back(std::move(a));
+    BitString b = BitString::Random(n, rng);
+    b.set_bit(0, true);
+    instance.second.push_back(std::move(b));
+  }
+  return instance;
+}
+
+Instance OverlappingSets(std::size_t m, std::size_t n,
+                         std::size_t overlaps, Rng& rng) {
+  assert(overlaps >= 1 && overlaps <= m);
+  Instance instance = DisjointSets(m, n, rng);
+  std::vector<std::size_t> positions(m);
+  for (std::size_t i = 0; i < m; ++i) positions[i] = i;
+  rng.Shuffle(positions);
+  for (std::size_t c = 0; c < overlaps; ++c) {
+    instance.second[positions[c]] =
+        instance.first[rng.UniformBelow(m)];
+  }
+  return instance;
+}
+
+DisjointnessGuess GuessDisjointnessByResidues(const Instance& instance,
+                                              std::uint64_t prime) {
+  assert(prime > 0);
+  DisjointnessGuess guess;
+  std::unordered_set<std::uint64_t> residues;
+  for (const BitString& v : instance.first) {
+    residues.insert(v.ModUint64(prime));
+  }
+  guess.guessed_disjoint = true;
+  for (const BitString& v : instance.second) {
+    if (residues.count(v.ModUint64(prime)) > 0) {
+      guess.guessed_disjoint = false;  // residue collision
+      break;
+    }
+  }
+  return guess;
+}
+
+}  // namespace rstlab::problems

@@ -1,0 +1,50 @@
+#ifndef RSTLAB_PROBLEMS_DISJOINT_SETS_H_
+#define RSTLAB_PROBLEMS_DISJOINT_SETS_H_
+
+#include "problems/instance.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rstlab::problems {
+
+/// The DISJOINT-SETS problem of the paper's Section 9 (concluding
+/// remarks): given v_1#...#v_m#v'_1#...#v'_m#, decide whether
+/// {v_1,...,v_m} and {v'_1,...,v'_m} are disjoint. The paper states it
+/// as an open problem: despite looking like SET-EQUALITY, their
+/// lower-bound technique does not apply to it (and no fingerprint-style
+/// upper bound is known either — `fingerprint_disjointness` experiments
+/// with why).
+
+/// Reference oracle: true iff the two sets share no element.
+bool RefDisjoint(const Instance& instance);
+
+/// A "yes" (disjoint) instance: values drawn from disjoint halves of
+/// the value space (top bit 0 vs top bit 1). Requires n >= 1.
+Instance DisjointSets(std::size_t m, std::size_t n, Rng& rng);
+
+/// A "no" instance: DisjointSets with `overlaps` elements of the second
+/// list replaced by elements of the first. Requires 1 <= overlaps <= m.
+Instance OverlappingSets(std::size_t m, std::size_t n,
+                         std::size_t overlaps, Rng& rng);
+
+/// (The deterministic tape decider lives in sorting/deciders.h as
+/// DecideDisjointOnTapes, next to the Corollary 7 deciders it shares
+/// machinery with.)
+
+/// What goes wrong with fingerprinting: sums of x^{e_i} detect
+/// *aggregate* differences, but disjointness is about *individual*
+/// collisions, so no polynomial identity separates the cases. This
+/// demonstrator computes the Theorem 8(a)-style fingerprints of both
+/// halves and guesses "intersecting" iff some residue e_i collides
+/// between the halves — which has false positives AND false negatives
+/// (residue collisions of distinct values, experiment E17 measures
+/// both), i.e. it falls outside the paper's one-sided-error classes.
+struct DisjointnessGuess {
+  bool guessed_disjoint = false;
+};
+DisjointnessGuess GuessDisjointnessByResidues(const Instance& instance,
+                                              std::uint64_t prime);
+
+}  // namespace rstlab::problems
+
+#endif  // RSTLAB_PROBLEMS_DISJOINT_SETS_H_

@@ -1,0 +1,79 @@
+#include "problems/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "problems/reference.h"
+
+namespace rstlab::problems {
+
+Instance EqualMultisets(std::size_t m, std::size_t n, Rng& rng) {
+  Instance instance;
+  instance.first.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    instance.first.push_back(BitString::Random(n, rng));
+  }
+  instance.second = instance.first;
+  rng.Shuffle(instance.second);
+  return instance;
+}
+
+Instance EqualSets(std::size_t m, std::size_t n, Rng& rng) {
+  assert(n >= 64 || m <= (std::size_t{1} << n));
+  Instance instance;
+  std::unordered_set<BitString, BitStringHash> seen;
+  while (instance.first.size() < m) {
+    BitString v = BitString::Random(n, rng);
+    if (seen.insert(v).second) instance.first.push_back(std::move(v));
+  }
+  instance.second = instance.first;
+  rng.Shuffle(instance.second);
+  return instance;
+}
+
+Instance PerturbedMultisets(std::size_t m, std::size_t n,
+                            std::size_t num_changes, Rng& rng) {
+  assert(num_changes >= 1 && num_changes <= m);
+  Instance instance = EqualMultisets(m, n, rng);
+  std::vector<std::size_t> positions(m);
+  for (std::size_t i = 0; i < m; ++i) positions[i] = i;
+  rng.Shuffle(positions);
+  for (std::size_t c = 0; c < num_changes; ++c) {
+    BitString& victim = instance.second[positions[c]];
+    const std::size_t pos = rng.UniformBelow(n);
+    victim.set_bit(pos, !victim.bit(pos));
+  }
+  // Independent flips can in principle cancel each other out; re-flip one
+  // extra bit until the multisets genuinely differ (a single flip always
+  // suffices, so this terminates immediately in practice).
+  while (RefMultisetEquality(instance)) {
+    BitString& victim = instance.second[positions[0]];
+    const std::size_t pos = rng.UniformBelow(n);
+    victim.set_bit(pos, !victim.bit(pos));
+  }
+  return instance;
+}
+
+Instance SortedPair(std::size_t m, std::size_t n, Rng& rng) {
+  Instance instance = EqualMultisets(m, n, rng);
+  std::sort(instance.second.begin(), instance.second.end());
+  return instance;
+}
+
+Instance MisorderedPair(std::size_t m, std::size_t n, Rng& rng) {
+  Instance instance = SortedPair(m, n, rng);
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    if (instance.second[i] != instance.second[i + 1]) {
+      std::swap(instance.second[i], instance.second[i + 1]);
+      return instance;
+    }
+  }
+  // All elements equal: flip a bit instead (a multiset mismatch).
+  if (m > 0 && n > 0) {
+    instance.second[0].set_bit(0, !instance.second[0].bit(0));
+  }
+  return instance;
+}
+
+}  // namespace rstlab::problems

@@ -1,0 +1,40 @@
+#ifndef RSTLAB_PROBLEMS_GENERATORS_H_
+#define RSTLAB_PROBLEMS_GENERATORS_H_
+
+#include <cstddef>
+
+#include "problems/instance.h"
+#include "util/random.h"
+
+namespace rstlab::problems {
+
+/// Workload generators for the experiments. All values have a common
+/// length `n`, matching the regime the paper's proofs consider
+/// (N = 2m(n+1)).
+
+/// A "yes" instance of MULTISET-EQUALITY: random values (duplicates
+/// possible), second list a random permutation of the first.
+Instance EqualMultisets(std::size_t m, std::size_t n, Rng& rng);
+
+/// A "yes" instance of SET-EQUALITY with pairwise distinct values.
+Instance EqualSets(std::size_t m, std::size_t n, Rng& rng);
+
+/// A "no" instance: starts from EqualMultisets and re-randomizes
+/// `num_changes` values of the second list (each change flips at least
+/// one bit, so the multisets differ). Requires 1 <= num_changes <= m.
+Instance PerturbedMultisets(std::size_t m, std::size_t n,
+                            std::size_t num_changes, Rng& rng);
+
+/// A "yes" instance of CHECK-SORT: random first list, second list its
+/// ascending sorted version.
+Instance SortedPair(std::size_t m, std::size_t n, Rng& rng);
+
+/// A "no" instance of CHECK-SORT in which the second list has the right
+/// multiset but two adjacent distinct elements swapped (still a multiset
+/// match, so only the order is wrong). Falls back to a value perturbation
+/// when all elements are equal.
+Instance MisorderedPair(std::size_t m, std::size_t n, Rng& rng);
+
+}  // namespace rstlab::problems
+
+#endif  // RSTLAB_PROBLEMS_GENERATORS_H_

@@ -1,0 +1,73 @@
+#include "problems/instance.h"
+
+namespace rstlab::problems {
+
+std::size_t Instance::N() const {
+  std::size_t n = 0;
+  for (const auto& v : first) n += v.size() + 1;
+  for (const auto& v : second) n += v.size() + 1;
+  return n;
+}
+
+std::string Instance::Encode() const {
+  std::string out;
+  out.reserve(N());
+  for (const auto& v : first) {
+    out += v.ToString();
+    out += '#';
+  }
+  for (const auto& v : second) {
+    out += v.ToString();
+    out += '#';
+  }
+  return out;
+}
+
+Result<Instance> Instance::Parse(const std::string& encoded) {
+  std::vector<BitString> fields;
+  BitString current;
+  for (char c : encoded) {
+    switch (c) {
+      case '0':
+        current.PushBack(false);
+        break;
+      case '1':
+        current.PushBack(true);
+        break;
+      case '#':
+        fields.push_back(std::move(current));
+        current = BitString();
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' in instance");
+    }
+  }
+  if (!current.empty()) {
+    return Status::InvalidArgument("instance must end with '#'");
+  }
+  if (fields.size() % 2 != 0) {
+    return Status::InvalidArgument("instance must have 2m fields");
+  }
+  Instance instance;
+  const std::size_t m = fields.size() / 2;
+  instance.first.assign(fields.begin(),
+                        fields.begin() + static_cast<std::ptrdiff_t>(m));
+  instance.second.assign(fields.begin() + static_cast<std::ptrdiff_t>(m),
+                         fields.end());
+  return instance;
+}
+
+const char* ProblemName(Problem p) {
+  switch (p) {
+    case Problem::kSetEquality:
+      return "SET-EQUALITY";
+    case Problem::kMultisetEquality:
+      return "MULTISET-EQUALITY";
+    case Problem::kCheckSort:
+      return "CHECK-SORT";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace rstlab::problems

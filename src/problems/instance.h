@@ -1,0 +1,49 @@
+#ifndef RSTLAB_PROBLEMS_INSTANCE_H_
+#define RSTLAB_PROBLEMS_INSTANCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bitstring.h"
+#include "util/status.h"
+
+namespace rstlab::problems {
+
+/// One input instance of the paper's decision problems (Section 3):
+/// two lists (v_1, ..., v_m) and (v'_1, ..., v'_m) of 0-1 strings,
+/// encoded on tape as v1#v2#...#vm#v'1#...#v'm#.
+struct Instance {
+  std::vector<BitString> first;   // v_1 ... v_m
+  std::vector<BitString> second;  // v'_1 ... v'_m
+
+  /// Number of pairs m.
+  std::size_t m() const { return first.size(); }
+
+  /// The encoded input size N = 2m + sum |v_i| + sum |v'_i| (each value
+  /// contributes its length plus one separator).
+  std::size_t N() const;
+
+  /// Tape encoding "v1#...#vm#v'1#...#v'm#".
+  std::string Encode() const;
+
+  /// Parses a tape encoding; fails unless the string has an even number
+  /// of '#'-terminated 0-1 fields.
+  static Result<Instance> Parse(const std::string& encoded);
+
+  bool operator==(const Instance& other) const = default;
+};
+
+/// The three decision problems of Section 3.
+enum class Problem {
+  kSetEquality,
+  kMultisetEquality,
+  kCheckSort,
+};
+
+/// Human-readable problem name.
+const char* ProblemName(Problem p);
+
+}  // namespace rstlab::problems
+
+#endif  // RSTLAB_PROBLEMS_INSTANCE_H_

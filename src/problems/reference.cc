@@ -1,0 +1,43 @@
+#include "problems/reference.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rstlab::problems {
+
+bool RefSetEquality(const Instance& instance) {
+  std::unordered_set<BitString, BitStringHash> a(instance.first.begin(),
+                                                 instance.first.end());
+  std::unordered_set<BitString, BitStringHash> b(instance.second.begin(),
+                                                 instance.second.end());
+  return a == b;
+}
+
+bool RefMultisetEquality(const Instance& instance) {
+  std::vector<BitString> a = instance.first;
+  std::vector<BitString> b = instance.second;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+bool RefCheckSort(const Instance& instance) {
+  if (!std::is_sorted(instance.second.begin(), instance.second.end())) {
+    return false;
+  }
+  return RefMultisetEquality(instance);
+}
+
+bool RefDecide(Problem problem, const Instance& instance) {
+  switch (problem) {
+    case Problem::kSetEquality:
+      return RefSetEquality(instance);
+    case Problem::kMultisetEquality:
+      return RefMultisetEquality(instance);
+    case Problem::kCheckSort:
+      return RefCheckSort(instance);
+  }
+  return false;
+}
+
+}  // namespace rstlab::problems

@@ -1,0 +1,28 @@
+#ifndef RSTLAB_PROBLEMS_REFERENCE_H_
+#define RSTLAB_PROBLEMS_REFERENCE_H_
+
+#include "problems/instance.h"
+
+namespace rstlab::problems {
+
+/// Reference (oracle) deciders: straightforward in-memory implementations
+/// used as ground truth for the resource-bounded algorithms and in tests.
+/// These deliberately ignore the ST cost model.
+
+/// True iff {v_1,...,v_m} = {v'_1,...,v'_m} as sets.
+bool RefSetEquality(const Instance& instance);
+
+/// True iff the two multisets are equal (same elements with the same
+/// multiplicities).
+bool RefMultisetEquality(const Instance& instance);
+
+/// True iff (v'_1,...,v'_m) is the ascending lexicographically sorted
+/// version of (v_1,...,v_m).
+bool RefCheckSort(const Instance& instance);
+
+/// Dispatches on `problem`.
+bool RefDecide(Problem problem, const Instance& instance);
+
+}  // namespace rstlab::problems
+
+#endif  // RSTLAB_PROBLEMS_REFERENCE_H_

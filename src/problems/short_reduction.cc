@@ -1,0 +1,169 @@
+#include "problems/short_reduction.h"
+
+#include <bit>
+#include <cassert>
+#include <string>
+
+#include "stmodel/internal_arena.h"
+#include "stmodel/tape_io.h"
+
+namespace rstlab::problems {
+
+namespace {
+
+/// Appends the `width`-bit binary representation of `value` to `out`.
+void AppendBinary(std::size_t value, std::size_t width, BitString& out) {
+  for (std::size_t b = 0; b < width; ++b) {
+    out.PushBack((value >> (width - 1 - b)) & 1);
+  }
+}
+
+}  // namespace
+
+ShortReduction::ShortReduction(const CheckPhi& problem_shape)
+    : m_(problem_shape.m()),
+      n_(problem_shape.n()),
+      phi_(problem_shape.phi()) {
+  assert(m_ >= 2 && std::has_single_bit(m_));
+  block_bits_ = static_cast<std::size_t>(std::bit_width(m_) - 1);
+  blocks_per_value_ = (n_ + block_bits_ - 1) / block_bits_;
+  index_bits_ = stmodel::BitsFor(blocks_per_value_ - 1);
+}
+
+Instance ShortReduction::Reduce(const Instance& instance) const {
+  assert(instance.m() == m_);
+  Instance out;
+  out.first.reserve(m_ * blocks_per_value_);
+  out.second.reserve(m_ * blocks_per_value_);
+
+  // Block j of an n-bit value: bits [n - (mu - j) * L, ...), i.e. we pad
+  // the *first* block with leading zeros so every block has exactly L
+  // bits and the value is the concatenation of blocks read left to right.
+  // (The paper pads the last sub-block; padding position is immaterial as
+  // long as it is applied uniformly to both lists.)
+  const std::size_t total_bits = blocks_per_value_ * block_bits_;
+  const std::size_t pad = total_bits - n_;
+  auto block_of = [&](const BitString& value, std::size_t j) {
+    BitString block;
+    for (std::size_t b = 0; b < block_bits_; ++b) {
+      const std::size_t global = j * block_bits_ + b;
+      block.PushBack(global < pad ? false : value.bit(global - pad));
+    }
+    return block;
+  };
+
+  auto make_record = [&](std::size_t line_index, std::size_t j,
+                         const BitString& block) {
+    BitString record;
+    AppendBinary(line_index, block_bits_, record);
+    AppendBinary(j, index_bits_, record);
+    for (std::size_t b = 0; b < block.size(); ++b) {
+      record.PushBack(block.bit(b));
+    }
+    return record;
+  };
+
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < blocks_per_value_; ++j) {
+      out.first.push_back(
+          make_record(phi_[i], j, block_of(instance.first[i], j)));
+    }
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < blocks_per_value_; ++j) {
+      out.second.push_back(
+          make_record(i, j, block_of(instance.second[i], j)));
+    }
+  }
+  return out;
+}
+
+Status ShortReduction::ReduceOnTapes(stmodel::StContext& ctx) const {
+  if (ctx.num_tapes() < 2) {
+    return Status::InvalidArgument("reduction needs 2 external tapes");
+  }
+  tape::Tape& in = ctx.tape(0);
+  tape::Tape& out = ctx.tape(1);
+  stmodel::InternalArena& arena = ctx.arena();
+  const std::size_t N = ctx.input_size();
+
+  // All internal state is O(log N) bits: a handful of counters plus one
+  // block buffer of log m < log N bits.
+  const std::size_t ctr_bits = stmodel::BitsFor(N);
+  stmodel::MeteredUint64 field_index(arena, ctr_bits);
+  stmodel::MeteredUint64 block_index(arena, ctr_bits);
+  stmodel::MeteredUint64 bit_in_block(arena, ctr_bits);
+  stmodel::MeteredUint64 emitted(arena, ctr_bits);
+  auto block_buffer = arena.Allocate(block_bits_);
+
+  const std::size_t total_bits = blocks_per_value_ * block_bits_;
+  const std::size_t pad = total_bits - n_;
+
+  // Writes the `width`-bit binary representation of `value` to `out`.
+  auto emit_binary = [&out](std::size_t value, std::size_t width) {
+    for (std::size_t b = 0; b < width; ++b) {
+      out.Write(((value >> (width - 1 - b)) & 1) ? '1' : '0');
+      out.MoveRight();
+    }
+  };
+
+  // One forward scan of the input; m and n are known from the problem
+  // shape (the paper's variant derives them in a preliminary scan, which
+  // CountFields supports; we accept them as parameters of the reduction).
+  stmodel::Rewind(in);
+  field_index = 0;
+  while (!stmodel::AtEnd(in)) {
+    const bool first_half = field_index.get() < m_;
+    const std::size_t i = first_half
+                              ? static_cast<std::size_t>(field_index.get())
+                              : static_cast<std::size_t>(field_index.get()) -
+                                    m_;
+    const std::size_t line_index = first_half ? phi_[i] : i;
+
+    // Stream the field block by block. The block buffer holds the
+    // current log m payload bits; pad bits are synthesized.
+    char buffer[64];  // host storage for the metered block buffer
+    assert(block_bits_ <= 64);
+    block_index = 0;
+    bit_in_block = 0;
+    emitted = 0;
+    // Leading pad zeros belong to block 0.
+    for (std::size_t p = 0; p < pad; ++p) {
+      buffer[bit_in_block.get()] = '0';
+      bit_in_block = bit_in_block.get() + 1;
+    }
+    while (in.Read() != stmodel::kFieldSeparator &&
+           in.Read() != tape::kBlank) {
+      buffer[bit_in_block.get()] = in.Read();
+      bit_in_block = bit_in_block.get() + 1;
+      in.MoveRight();
+      emitted = emitted.get() + 1;
+      if (bit_in_block.get() == block_bits_) {
+        emit_binary(line_index, block_bits_);
+        emit_binary(block_index.get(), index_bits_);
+        for (std::size_t b = 0; b < block_bits_; ++b) {
+          out.Write(buffer[b]);
+          out.MoveRight();
+        }
+        out.Write(stmodel::kFieldSeparator);
+        out.MoveRight();
+        block_index = block_index.get() + 1;
+        bit_in_block = 0;
+      }
+    }
+    if (emitted.get() != n_) {
+      return Status::InvalidArgument("field length differs from n");
+    }
+    if (bit_in_block.get() != 0) {
+      return Status::Internal("padding did not align blocks");
+    }
+    if (in.Read() == stmodel::kFieldSeparator) in.MoveRight();
+    field_index = field_index.get() + 1;
+  }
+  if (field_index.get() != 2 * m_) {
+    return Status::InvalidArgument("instance does not have 2m fields");
+  }
+  return Status::OK();
+}
+
+}  // namespace rstlab::problems

@@ -1,0 +1,68 @@
+#ifndef RSTLAB_PROBLEMS_SHORT_REDUCTION_H_
+#define RSTLAB_PROBLEMS_SHORT_REDUCTION_H_
+
+#include <cstddef>
+
+#include "problems/check_phi.h"
+#include "problems/instance.h"
+#include "stmodel/st_context.h"
+#include "util/status.h"
+
+namespace rstlab::problems {
+
+/// The Appendix E reduction f(v) from CHECK-phi to the SHORT versions of
+/// SET-EQUALITY / MULTISET-EQUALITY / CHECK-SORT.
+///
+/// Every n-bit value is cut into mu = ceil(n / log m) consecutive blocks
+/// of log m bits (the last block padded with leading zeros); block j of
+/// value v_i becomes the record BIN(phi(i)) BIN'(j) v_{i,j} and block j of
+/// v'_i becomes BIN(i) BIN'(j) v'_{i,j}, where BIN is a log m-bit line
+/// index and BIN' a block index. The paper fixes n = m^3, making BIN'
+/// exactly 3 log m bits and records at most 5 log m <= 2 log m' bits for
+/// m' = mu * m record pairs; for general n we size BIN' as the number of
+/// bits needed for mu.
+///
+/// Key properties (verified by tests / experiment E14):
+///   * f(v) is a "yes" SHORT-(MULTI)SET-EQUALITY / SHORT-CHECK-SORT
+///     instance iff v is a "yes" CHECK-phi instance;
+///   * |f(v)| = Theta(|v|);
+///   * f is computable in ST(O(1), O(log N), 2) — `ReduceOnTapes` runs it
+///     on a metered context with a constant number of scans.
+class ShortReduction {
+ public:
+  /// Prepares the reduction for instances of `problem_shape`
+  /// (m = problem_shape.m() pairs of problem_shape.n()-bit values).
+  explicit ShortReduction(const CheckPhi& problem_shape);
+
+  /// Bits per block (= log2 m).
+  std::size_t block_bits() const { return block_bits_; }
+  /// Blocks per value mu.
+  std::size_t blocks_per_value() const { return blocks_per_value_; }
+  /// Bits of the BIN'(j) block index field.
+  std::size_t index_bits() const { return index_bits_; }
+  /// Record length of the produced SHORT instance.
+  std::size_t record_bits() const {
+    return 2 * block_bits_ + index_bits_;
+  }
+
+  /// The reduced instance f(v), computed in host memory.
+  Instance Reduce(const Instance& instance) const;
+
+  /// Runs the reduction on a metered ST context: the encoded CHECK-phi
+  /// instance must be loaded on tape 0; the encoded f(v) is produced on
+  /// tape 1. Uses a constant number of scans and O(log N) internal bits.
+  /// Requires a context with at least 2 tapes.
+  Status ReduceOnTapes(stmodel::StContext& ctx) const;
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t block_bits_;
+  std::size_t blocks_per_value_;
+  std::size_t index_bits_;
+  permutation::Permutation phi_;
+};
+
+}  // namespace rstlab::problems
+
+#endif  // RSTLAB_PROBLEMS_SHORT_REDUCTION_H_

@@ -1,0 +1,78 @@
+#include "query/relation.h"
+
+#include <algorithm>
+
+#include "stmodel/tape_io.h"
+
+namespace rstlab::query {
+
+bool Relation::Insert(const Tuple& tuple) {
+  if (Contains(tuple)) return false;
+  tuples.push_back(tuple);
+  return true;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  return std::find(tuples.begin(), tuples.end(), tuple) != tuples.end();
+}
+
+void Relation::Normalize() {
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+}
+
+bool Relation::operator==(const Relation& other) const {
+  // Equality is set-of-tuples equality; arity is metadata (a
+  // materialized empty result does not know its schema).
+  Relation a = *this;
+  Relation b = other;
+  a.Normalize();
+  b.Normalize();
+  return a.tuples == b.tuples;
+}
+
+std::string EncodeTuple(const Tuple& tuple) {
+  std::string out;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ',';
+    out += tuple[i];
+  }
+  return out;
+}
+
+Tuple DecodeTuple(const std::string& field) {
+  Tuple tuple;
+  std::string current;
+  for (char c : field) {
+    if (c == ',') {
+      tuple.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  tuple.push_back(std::move(current));
+  return tuple;
+}
+
+void WriteRelationToTape(const Relation& relation, tape::Tape& t) {
+  for (const Tuple& tuple : relation.tuples) {
+    stmodel::WriteString(t, EncodeTuple(tuple));
+    t.Write(stmodel::kFieldSeparator);
+    t.MoveRight();
+  }
+}
+
+Relation ReadRelationFromTape(tape::Tape& t, std::string name,
+                              std::size_t count) {
+  Relation relation;
+  relation.name = std::move(name);
+  for (std::size_t i = 0; i < count && !stmodel::AtEnd(t); ++i) {
+    Tuple tuple = DecodeTuple(stmodel::ReadField(t));
+    relation.arity = std::max(relation.arity, tuple.size());
+    relation.tuples.push_back(std::move(tuple));
+  }
+  return relation;
+}
+
+}  // namespace rstlab::query

@@ -1,0 +1,193 @@
+#include "query/streaming_xml.h"
+
+#include <optional>
+#include <string>
+
+#include "sorting/merge_sort.h"
+#include "stmodel/internal_arena.h"
+#include "stmodel/tape_io.h"
+#include "tape/tape.h"
+
+namespace rstlab::query {
+
+Status EncodeInstanceAsXmlOnTapes(stmodel::StContext& ctx) {
+  if (ctx.num_tapes() < 2) {
+    return Status::InvalidArgument("encoder needs 2 external tapes");
+  }
+  tape::Tape& in = ctx.tape(0);
+  tape::Tape& out = ctx.tape(1);
+  stmodel::InternalArena& arena = ctx.arena();
+  const std::size_t ctr_bits =
+      stmodel::BitsFor(std::max<std::size_t>(1, ctx.input_size()));
+  stmodel::MeteredUint64 fields(arena, ctr_bits);
+  stmodel::MeteredUint64 index(arena, ctr_bits);
+
+  // Scan 1: count the fields to locate the set1/set2 boundary.
+  stmodel::Rewind(in);
+  fields = 0;
+  while (!stmodel::AtEnd(in)) {
+    stmodel::SkipField(in);
+    fields = fields.get() + 1;
+  }
+  if (fields.get() % 2 != 0) {
+    return Status::InvalidArgument("instance must have 2m fields");
+  }
+  const std::uint64_t m = fields.get() / 2;
+
+  // Scan 2: emit the document while streaming the fields.
+  auto emit = [&out](const char* text) {
+    for (const char* c = text; *c != '\0'; ++c) {
+      out.Write(*c);
+      out.MoveRight();
+    }
+  };
+  stmodel::Rewind(in);
+  emit("<instance><set1>");
+  for (index = 0; index.get() < fields.get();
+       index = index.get() + 1) {
+    if (index.get() == m) emit("</set1><set2>");
+    emit("<item><string>");
+    while (in.Read() != stmodel::kFieldSeparator &&
+           in.Read() != tape::kBlank) {
+      out.Write(in.Read());
+      out.MoveRight();
+      in.MoveRight();
+    }
+    if (in.Read() == stmodel::kFieldSeparator) in.MoveRight();
+    emit("</string></item>");
+  }
+  if (m == 0) emit("</set1><set2>");
+  emit("</set2></instance>");
+  return Status::OK();
+}
+
+Status ExtractSetValues(stmodel::StContext& ctx, std::size_t out_first,
+                        std::size_t out_second, std::size_t* count_first,
+                        std::size_t* count_second) {
+  if (ctx.num_tapes() <= std::max(out_first, out_second)) {
+    return Status::InvalidArgument("output tape index out of range");
+  }
+  tape::Tape& in = ctx.tape(0);
+  stmodel::Rewind(in);
+
+  // Streaming tokenizer state: which set we are under (0 = none), and
+  // whether we are inside a <string> element. The tag-name buffer is
+  // bounded by the longest tag of the schema; all metered.
+  stmodel::InternalArena& arena = ctx.arena();
+  auto parser_state = arena.Allocate(8 * 16 + 8);
+  (void)parser_state;
+  int current_set = 0;
+  bool in_string = false;
+  std::size_t counts[2] = {0, 0};
+
+  while (!stmodel::AtEnd(in)) {
+    char c = in.Read();
+    if (c == '<') {
+      // Read the tag into a small buffer.
+      std::string tag;
+      in.MoveRight();
+      while (in.Read() != '>' && in.Read() != tape::kBlank) {
+        if (tag.size() > 16) {
+          return Status::InvalidArgument("unexpected long tag");
+        }
+        tag.push_back(in.Read());
+        in.MoveRight();
+      }
+      if (in.Read() != '>') {
+        return Status::InvalidArgument("unterminated tag");
+      }
+      in.MoveRight();
+      if (tag == "set1") {
+        current_set = 1;
+      } else if (tag == "set2") {
+        current_set = 2;
+      } else if (tag == "/set1" || tag == "/set2") {
+        current_set = 0;
+      } else if (tag == "string") {
+        if (current_set == 0) {
+          return Status::InvalidArgument("<string> outside set1/set2");
+        }
+        in_string = true;
+      } else if (tag == "/string") {
+        if (!in_string) {
+          return Status::InvalidArgument("stray </string>");
+        }
+        tape::Tape& out =
+            ctx.tape(current_set == 1 ? out_first : out_second);
+        out.Write(stmodel::kFieldSeparator);
+        out.MoveRight();
+        ++counts[current_set - 1];
+        in_string = false;
+      }
+      // Other tags (instance, item and their closers) carry no state.
+    } else {
+      if (in_string) {
+        tape::Tape& out =
+            ctx.tape(current_set == 1 ? out_first : out_second);
+        out.Write(c);
+        out.MoveRight();
+      } else if (c != ' ') {
+        return Status::InvalidArgument("text outside <string>");
+      }
+      in.MoveRight();
+    }
+  }
+  if (in_string || current_set != 0) {
+    return Status::InvalidArgument("document ended mid-element");
+  }
+  ctx.tape(out_first).Write(tape::kBlank);
+  ctx.tape(out_second).Write(tape::kBlank);
+  if (count_first != nullptr) *count_first = counts[0];
+  if (count_second != nullptr) *count_second = counts[1];
+  return Status::OK();
+}
+
+Result<bool> FilterPaperXPathOnTapes(stmodel::StContext& ctx) {
+  if (ctx.num_tapes() < kStreamingXmlTapes) {
+    return Status::InvalidArgument("filter needs 5 external tapes");
+  }
+  std::size_t count_x = 0;
+  std::size_t count_y = 0;
+  RSTLAB_RETURN_IF_ERROR(ExtractSetValues(ctx, 1, 2, &count_x, &count_y));
+  RSTLAB_RETURN_IF_ERROR(sorting::SortFieldsOnTapes(ctx, 1, 3, 4));
+  RSTLAB_RETURN_IF_ERROR(sorting::SortFieldsOnTapes(ctx, 2, 3, 4));
+
+  // The query selects a node iff some X value is absent from Y.
+  ctx.tape(1).Seek(0);
+  ctx.tape(2).Seek(0);
+  stmodel::SortedFieldCursor x(ctx.tape(1), count_x, ctx.arena());
+  stmodel::SortedFieldCursor y(ctx.tape(2), count_y, ctx.arena());
+  while (!x.exhausted()) {
+    while (!y.exhausted() && *y.value() < *x.value()) y.Advance();
+    if (y.exhausted() || *y.value() != *x.value()) {
+      return true;  // this x is in X - Y
+    }
+    x.AdvanceDistinct();
+  }
+  return false;
+}
+
+Result<bool> EvaluatePaperXQueryOnTapes(stmodel::StContext& ctx) {
+  if (ctx.num_tapes() < kStreamingXmlTapes) {
+    return Status::InvalidArgument("query needs 5 external tapes");
+  }
+  std::size_t count_x = 0;
+  std::size_t count_y = 0;
+  RSTLAB_RETURN_IF_ERROR(ExtractSetValues(ctx, 1, 2, &count_x, &count_y));
+  RSTLAB_RETURN_IF_ERROR(sorting::SortFieldsOnTapes(ctx, 1, 3, 4));
+  RSTLAB_RETURN_IF_ERROR(sorting::SortFieldsOnTapes(ctx, 2, 3, 4));
+
+  // Set equality of the sorted sequences, duplicates collapsed.
+  ctx.tape(1).Seek(0);
+  ctx.tape(2).Seek(0);
+  stmodel::SortedFieldCursor a(ctx.tape(1), count_x, ctx.arena());
+  stmodel::SortedFieldCursor b(ctx.tape(2), count_y, ctx.arena());
+  while (!a.exhausted() && !b.exhausted()) {
+    if (*a.value() != *b.value()) return false;
+    a.AdvanceDistinct();
+    b.AdvanceDistinct();
+  }
+  return a.exhausted() == b.exhausted();
+}
+
+}  // namespace rstlab::query

@@ -1,0 +1,93 @@
+#include "query/xml.h"
+
+namespace rstlab::query {
+
+XmlNode* XmlNode::AddChild(std::string child_name) {
+  auto child = std::make_unique<XmlNode>();
+  child->name = std::move(child_name);
+  child->parent = this;
+  children.push_back(std::move(child));
+  return children.back().get();
+}
+
+std::string XmlNode::StringValue() const {
+  std::string value = text;
+  for (const auto& child : children) value += child->StringValue();
+  return value;
+}
+
+namespace {
+
+void SerializeRec(const XmlNode& node, std::string& out) {
+  out += '<';
+  out += node.name;
+  out += '>';
+  out += node.text;
+  for (const auto& child : node.children) SerializeRec(*child, out);
+  out += "</";
+  out += node.name;
+  out += '>';
+}
+
+}  // namespace
+
+std::string SerializeXml(const XmlNode& root) {
+  std::string out;
+  SerializeRec(root, out);
+  return out;
+}
+
+Result<XmlDocument> ParseXml(const std::string& text) {
+  auto root_holder = std::make_unique<XmlNode>();
+  XmlNode* current = root_holder.get();
+  current->name = "(document)";
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '<') {
+      const std::size_t close = text.find('>', i);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unterminated tag");
+      }
+      std::string tag = text.substr(i + 1, close - i - 1);
+      if (!tag.empty() && tag[0] == '/') {
+        if (current->name != tag.substr(1) || current->parent == nullptr) {
+          return Status::InvalidArgument("mismatched closing tag " + tag);
+        }
+        current = current->parent;
+      } else if (!tag.empty()) {
+        current = current->AddChild(tag);
+      } else {
+        return Status::InvalidArgument("empty tag");
+      }
+      i = close + 1;
+    } else {
+      current->text.push_back(text[i]);
+      ++i;
+    }
+  }
+  if (current != root_holder.get()) {
+    return Status::InvalidArgument("unclosed element " + current->name);
+  }
+  if (root_holder->children.size() != 1) {
+    return Status::InvalidArgument("document must have one root element");
+  }
+  XmlDocument doc = std::move(root_holder->children[0]);
+  doc->parent = nullptr;
+  return doc;
+}
+
+XmlDocument EncodeSetInstanceAsXml(const problems::Instance& instance) {
+  auto root = std::make_unique<XmlNode>();
+  root->name = "instance";
+  XmlNode* set1 = root->AddChild("set1");
+  XmlNode* set2 = root->AddChild("set2");
+  for (const BitString& x : instance.first) {
+    set1->AddChild("item")->AddChild("string")->text = x.ToString();
+  }
+  for (const BitString& y : instance.second) {
+    set2->AddChild("item")->AddChild("string")->text = y.ToString();
+  }
+  return root;
+}
+
+}  // namespace rstlab::query

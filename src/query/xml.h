@@ -1,0 +1,53 @@
+#ifndef RSTLAB_QUERY_XML_H_
+#define RSTLAB_QUERY_XML_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "problems/instance.h"
+#include "util/status.h"
+
+namespace rstlab::query {
+
+/// A node of a minimal XML document model: element nodes with a name,
+/// ordered element children and (for leaves) text content. This covers
+/// exactly what the paper's Theorems 12/13 encoding uses.
+struct XmlNode {
+  std::string name;
+  std::string text;  // text content (leaf nodes)
+  std::vector<std::unique_ptr<XmlNode>> children;
+  XmlNode* parent = nullptr;  // set by the parser / AddChild
+
+  /// Appends a child element and returns it.
+  XmlNode* AddChild(std::string child_name);
+
+  /// The node's string value: its own text plus all descendant text,
+  /// document order (XPath string-value semantics, sufficient for the
+  /// paper's queries where values live in leaf <string> elements).
+  std::string StringValue() const;
+};
+
+/// Owning handle for a parsed document.
+using XmlDocument = std::unique_ptr<XmlNode>;
+
+/// Serializes a document (no declaration, no attributes, text escaped
+/// for the characters the encoding can produce — none need escaping for
+/// 0/1 strings).
+std::string SerializeXml(const XmlNode& root);
+
+/// Parses the subset of XML the serializer emits: nested tags and text.
+/// Fails on mismatched tags or stray characters.
+Result<XmlDocument> ParseXml(const std::string& text);
+
+/// Encodes a SET-EQUALITY instance as the paper's document (Section 4):
+///
+///   <instance>
+///     <set1> <item><string> x_i </string></item> ... </set1>
+///     <set2> <item><string> y_j </string></item> ... </set2>
+///   </instance>
+XmlDocument EncodeSetInstanceAsXml(const problems::Instance& instance);
+
+}  // namespace rstlab::query
+
+#endif  // RSTLAB_QUERY_XML_H_

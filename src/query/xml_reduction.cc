@@ -1,0 +1,42 @@
+#include "query/xml_reduction.h"
+
+#include <utility>
+
+#include "query/xml.h"
+#include "query/xpath.h"
+
+namespace rstlab::query {
+
+bool PaperXPathSelects(const problems::Instance& instance) {
+  const XmlDocument doc = EncodeSetInstanceAsXml(instance);
+  return FilterMatches(*doc, PaperXPathQuery());
+}
+
+FilterOracle ModelFilterOracle(double false_accept) {
+  return [false_accept](const problems::Instance& instance,
+                        Rng& rng) -> bool {
+    if (PaperXPathSelects(instance)) return true;  // property (1)
+    return rng.Bernoulli(false_accept);            // property (2)
+  };
+}
+
+bool TTildeAcceptsSetEquality(const problems::Instance& instance,
+                              const FilterOracle& oracle, Rng& rng) {
+  problems::Instance swapped;
+  swapped.first = instance.second;
+  swapped.second = instance.first;
+  const bool run1 = oracle(instance, rng);
+  const bool run2 = oracle(swapped, rng);
+  return !run1 && !run2;
+}
+
+bool BoostedTTildeAccepts(const problems::Instance& instance,
+                          const FilterOracle& oracle, Rng& rng,
+                          std::size_t rounds) {
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (TTildeAcceptsSetEquality(instance, oracle, rng)) return true;
+  }
+  return false;
+}
+
+}  // namespace rstlab::query

@@ -1,0 +1,272 @@
+#include "query/xpath.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rstlab::query {
+
+XPathExprPtr Not(XPathExprPtr e) {
+  auto expr = std::make_shared<XPathExpr>();
+  expr->kind = XPathExpr::Kind::kNot;
+  expr->child = std::move(e);
+  return expr;
+}
+
+XPathExprPtr EqualsExpr(XPathPath lhs, XPathPath rhs) {
+  auto expr = std::make_shared<XPathExpr>();
+  expr->kind = XPathExpr::Kind::kEquals;
+  expr->lhs_path = std::move(lhs);
+  expr->rhs_path = std::move(rhs);
+  return expr;
+}
+
+XPathExprPtr ExistsExpr(XPathPath path) {
+  auto expr = std::make_shared<XPathExpr>();
+  expr->kind = XPathExpr::Kind::kExists;
+  expr->lhs_path = std::move(path);
+  return expr;
+}
+
+namespace {
+
+void CollectDescendants(const XmlNode& node,
+                        std::vector<const XmlNode*>& out) {
+  for (const auto& child : node.children) {
+    out.push_back(child.get());
+    CollectDescendants(*child, out);
+  }
+}
+
+/// Applies one step's axis + name test from a single context node.
+void ApplyStep(const XmlNode& context, const XPathStep& step,
+               std::vector<const XmlNode*>& out) {
+  std::vector<const XmlNode*> axis_nodes;
+  switch (step.axis) {
+    case Axis::kChild:
+      for (const auto& child : context.children) {
+        axis_nodes.push_back(child.get());
+      }
+      break;
+    case Axis::kDescendant:
+      CollectDescendants(context, axis_nodes);
+      break;
+    case Axis::kAncestor:
+      for (const XmlNode* p = context.parent; p != nullptr;
+           p = p->parent) {
+        axis_nodes.push_back(p);
+      }
+      break;
+    case Axis::kParent:
+      if (context.parent != nullptr) axis_nodes.push_back(context.parent);
+      break;
+    case Axis::kSelf:
+      axis_nodes.push_back(&context);
+      break;
+    case Axis::kDescendantOrSelf:
+      axis_nodes.push_back(&context);
+      CollectDescendants(context, axis_nodes);
+      break;
+  }
+  for (const XmlNode* node : axis_nodes) {
+    if (!step.name_test.empty() && node->name != step.name_test) continue;
+    if (step.predicate != nullptr && !EvalExpr(*node, *step.predicate)) {
+      continue;
+    }
+    out.push_back(node);
+  }
+}
+
+}  // namespace
+
+std::vector<const XmlNode*> EvalPath(const XmlNode& context,
+                                     const XPathPath& path) {
+  std::vector<const XmlNode*> current = {&context};
+  for (const XPathStep& step : path) {
+    std::vector<const XmlNode*> next;
+    for (const XmlNode* node : current) {
+      ApplyStep(*node, step, next);
+    }
+    // De-duplicate while keeping first occurrence (document order is
+    // preserved by construction for the axes used here).
+    std::vector<const XmlNode*> dedup;
+    for (const XmlNode* node : next) {
+      if (std::find(dedup.begin(), dedup.end(), node) == dedup.end()) {
+        dedup.push_back(node);
+      }
+    }
+    current = std::move(dedup);
+  }
+  return current;
+}
+
+bool EvalExpr(const XmlNode& context, const XPathExpr& expr) {
+  switch (expr.kind) {
+    case XPathExpr::Kind::kNot:
+      return !EvalExpr(context, *expr.child);
+    case XPathExpr::Kind::kExists:
+      return !EvalPath(context, expr.lhs_path).empty();
+    case XPathExpr::Kind::kEquals: {
+      const std::vector<const XmlNode*> lhs =
+          EvalPath(context, expr.lhs_path);
+      const std::vector<const XmlNode*> rhs =
+          EvalPath(context, expr.rhs_path);
+      for (const XmlNode* a : lhs) {
+        const std::string va = a->StringValue();
+        for (const XmlNode* b : rhs) {
+          if (va == b->StringValue()) return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursive-descent parser for the XPath subset (see the header
+/// grammar). Reports the first error with its input position.
+class XPathParser {
+ public:
+  explicit XPathParser(const std::string& text) : text_(text) {}
+
+  Result<XPathPath> ParsePathToEnd() {
+    Result<XPathPath> path = ParsePath();
+    if (!path.ok()) return path;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters");
+    }
+    return path;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(what + " at position " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (!Peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string ReadIdentifier() {
+    SkipSpace();
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '_')) {
+      out.push_back(text_[pos_]);
+      ++pos_;
+    }
+    return out;
+  }
+
+  Result<XPathPath> ParsePath() {
+    XPathPath path;
+    while (true) {
+      Result<XPathStep> step = ParseStep();
+      if (!step.ok()) return step.status();
+      path.push_back(std::move(step).value());
+      if (!Consume('/')) break;
+    }
+    return path;
+  }
+
+  Result<XPathStep> ParseStep() {
+    const std::string axis_name = ReadIdentifier();
+    XPathStep step;
+    if (axis_name == "child") {
+      step.axis = Axis::kChild;
+    } else if (axis_name == "descendant") {
+      step.axis = Axis::kDescendant;
+    } else if (axis_name == "ancestor") {
+      step.axis = Axis::kAncestor;
+    } else if (axis_name == "parent") {
+      step.axis = Axis::kParent;
+    } else if (axis_name == "self") {
+      step.axis = Axis::kSelf;
+    } else if (axis_name == "descendant-or-self") {
+      step.axis = Axis::kDescendantOrSelf;
+    } else {
+      return Error("unknown axis '" + axis_name + "'");
+    }
+    if (!(Consume(':') && Consume(':'))) {
+      return Error("expected '::' after axis");
+    }
+    step.name_test = ReadIdentifier();  // may be empty: match any
+    if (Consume('[')) {
+      Result<XPathExprPtr> predicate = ParseExpr();
+      if (!predicate.ok()) return predicate.status();
+      if (!Consume(']')) return Error("expected ']'");
+      step.predicate = std::move(predicate).value();
+    }
+    return step;
+  }
+
+  Result<XPathExprPtr> ParseExpr() {
+    SkipSpace();
+    // not( expr )
+    if (text_.compare(pos_, 4, "not(") == 0 ||
+        text_.compare(pos_, 4, "not ") == 0) {
+      pos_ += 3;
+      if (!Consume('(')) return Error("expected '(' after not");
+      Result<XPathExprPtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) return Error("expected ')'");
+      return Not(std::move(inner).value());
+    }
+    Result<XPathPath> lhs = ParsePath();
+    if (!lhs.ok()) return lhs.status();
+    if (Consume('=')) {
+      Result<XPathPath> rhs = ParsePath();
+      if (!rhs.ok()) return rhs.status();
+      return EqualsExpr(std::move(lhs).value(), std::move(rhs).value());
+    }
+    return ExistsExpr(std::move(lhs).value());
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XPathPath> ParseXPath(const std::string& text) {
+  XPathParser parser(text);
+  return parser.ParsePathToEnd();
+}
+
+XPathPath PaperXPathQuery() {
+  // child::string
+  XPathPath lhs = {{Axis::kChild, "string", nullptr}};
+  // ancestor::instance/child::set2/child::item/child::string
+  XPathPath rhs = {{Axis::kAncestor, "instance", nullptr},
+                   {Axis::kChild, "set2", nullptr},
+                   {Axis::kChild, "item", nullptr},
+                   {Axis::kChild, "string", nullptr}};
+  XPathExprPtr predicate = Not(EqualsExpr(std::move(lhs), std::move(rhs)));
+  return {{Axis::kDescendant, "set1", nullptr},
+          {Axis::kChild, "item", predicate}};
+}
+
+bool FilterMatches(const XmlNode& document_root, const XPathPath& query) {
+  return !EvalPath(document_root, query).empty();
+}
+
+}  // namespace rstlab::query

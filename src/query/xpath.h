@@ -1,0 +1,100 @@
+#ifndef RSTLAB_QUERY_XPATH_H_
+#define RSTLAB_QUERY_XPATH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/xml.h"
+
+namespace rstlab::query {
+
+/// XPath axes: the three the paper's Figure 1 query uses plus the
+/// standard companions needed to express its common variations.
+enum class Axis {
+  kChild,
+  kDescendant,
+  kAncestor,
+  kParent,
+  kSelf,
+  kDescendantOrSelf,
+};
+
+struct XPathExpr;
+using XPathExprPtr = std::shared_ptr<const XPathExpr>;
+
+/// One location step `axis::name[predicate]`.
+struct XPathStep {
+  Axis axis = Axis::kChild;
+  std::string name_test;
+  XPathExprPtr predicate;  // optional
+};
+
+/// A location path: a sequence of steps applied left to right.
+using XPathPath = std::vector<XPathStep>;
+
+/// A boolean XPath expression (predicate body) with the paper-relevant
+/// forms: `not(e)`, the existential node-set comparison `path = path`
+/// (true iff some node of the left set and some node of the right set
+/// have equal string values — the "existential semantics" the proof of
+/// Theorem 13 leans on), and plain node-set existence.
+struct XPathExpr {
+  enum class Kind {
+    kNot,     // not(child)
+    kEquals,  // lhs_path = rhs_path, existential
+    kExists,  // lhs_path evaluates to a nonempty node set
+  };
+
+  Kind kind = Kind::kExists;
+  XPathExprPtr child;  // kNot
+  XPathPath lhs_path;
+  XPathPath rhs_path;  // kEquals
+};
+
+/// Expression factories.
+XPathExprPtr Not(XPathExprPtr e);
+XPathExprPtr EqualsExpr(XPathPath lhs, XPathPath rhs);
+XPathExprPtr ExistsExpr(XPathPath path);
+
+/// Evaluates `path` from `context`, returning matching nodes in
+/// document order without duplicates.
+std::vector<const XmlNode*> EvalPath(const XmlNode& context,
+                                     const XPathPath& path);
+
+/// Evaluates a boolean expression at `context`.
+bool EvalExpr(const XmlNode& context, const XPathExpr& expr);
+
+/// Parses a location path from the paper's XPath syntax subset:
+///
+///   path      := step ('/' step)*
+///   step      := axis '::' name? predicate?
+///   axis      := 'child' | 'descendant' | 'ancestor' | 'parent'
+///              | 'self' | 'descendant-or-self'
+///   predicate := '[' expr ']'
+///   expr      := 'not' '(' expr ')' | path '=' path | path
+///
+/// An omitted name test matches any element. Whitespace is
+/// insignificant. This covers the paper's Figure 1 query verbatim:
+///
+///   ParseXPath("descendant::set1/child::item[not(child::string = "
+///              "ancestor::instance/child::set2/child::item/"
+///              "child::string)]")
+Result<XPathPath> ParseXPath(const std::string& text);
+
+/// The query of Figure 1:
+///
+///   descendant::set1 / child::item
+///     [ not( child::string =
+///            ancestor::instance/child::set2/child::item/child::string ) ]
+///
+/// which selects the <item> nodes below <set1> whose string does not
+/// occur below <set2> — i.e. the elements of X − Y.
+XPathPath PaperXPathQuery();
+
+/// Streaming filtering (Theorem 13): true iff the query selects at least
+/// one node of the document.
+bool FilterMatches(const XmlNode& document_root, const XPathPath& query);
+
+}  // namespace rstlab::query
+
+#endif  // RSTLAB_QUERY_XPATH_H_

@@ -1,0 +1,47 @@
+#include "query/xquery.h"
+
+#include <unordered_set>
+
+namespace rstlab::query {
+
+bool QuantifiedContainment::Holds(const XmlNode& document_root) const {
+  std::unordered_set<std::string> rhs_values;
+  for (const XmlNode* node : EvalPath(document_root, rhs)) {
+    rhs_values.insert(node->StringValue());
+  }
+  for (const XmlNode* node : EvalPath(document_root, lhs)) {
+    if (rhs_values.count(node->StringValue()) == 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+XPathPath SetStringsPath(const std::string& set_name) {
+  // /instance/set{1,2}/item/string, evaluated from the <instance> root:
+  // the leading /instance is the context node itself.
+  return {{Axis::kChild, set_name, nullptr},
+          {Axis::kChild, "item", nullptr},
+          {Axis::kChild, "string", nullptr}};
+}
+
+}  // namespace
+
+XmlDocument EvaluatePaperXQuery(const XmlNode& document_root) {
+  const QuantifiedContainment forward{SetStringsPath("set1"),
+                                      SetStringsPath("set2")};
+  const QuantifiedContainment backward{SetStringsPath("set2"),
+                                       SetStringsPath("set1")};
+  auto result = std::make_unique<XmlNode>();
+  result->name = "result";
+  if (forward.Holds(document_root) && backward.Holds(document_root)) {
+    result->AddChild("true");
+  }
+  return result;
+}
+
+std::string EvaluatePaperXQueryToString(const XmlNode& document_root) {
+  return SerializeXml(*EvaluatePaperXQuery(document_root));
+}
+
+}  // namespace rstlab::query

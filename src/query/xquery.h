@@ -1,0 +1,39 @@
+#ifndef RSTLAB_QUERY_XQUERY_H_
+#define RSTLAB_QUERY_XQUERY_H_
+
+#include <string>
+
+#include "query/xml.h"
+#include "query/xpath.h"
+
+namespace rstlab::query {
+
+/// The quantified comparison at the core of the paper's XQuery query
+/// (proof of Theorem 12):
+///
+///   every $x in `lhs` satisfies some $y in `rhs` satisfies $x = $y
+///
+/// evaluated over string values of the nodes selected by the two paths.
+struct QuantifiedContainment {
+  XPathPath lhs;
+  XPathPath rhs;
+
+  /// True iff every lhs string value occurs among the rhs string values.
+  bool Holds(const XmlNode& document_root) const;
+};
+
+/// The paper's XQuery query Q: returns
+/// <result><true/></result> if {x_1..x_m} = {y_1..y_m} and
+/// <result></result> otherwise. `EvaluatePaperXQuery` computes the
+/// conjunction of the two containments
+/// (/instance/set1/item/string vs /instance/set2/item/string and vice
+/// versa) and materializes the result document.
+XmlDocument EvaluatePaperXQuery(const XmlNode& document_root);
+
+/// Serialized form of the query result ("<result><true/></result>" or
+/// "<result></result>").
+std::string EvaluatePaperXQueryToString(const XmlNode& document_root);
+
+}  // namespace rstlab::query
+
+#endif  // RSTLAB_QUERY_XQUERY_H_

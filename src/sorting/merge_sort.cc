@@ -1,0 +1,233 @@
+#include "sorting/merge_sort.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "stmodel/internal_arena.h"
+#include "stmodel/tape_io.h"
+#include "tape/tape.h"
+
+namespace rstlab::sorting {
+
+namespace {
+
+/// Buffered single-field reader over a bounded number of fields. The
+/// host-side `buffer` string mirrors an internal-memory record buffer
+/// whose bits are metered by the caller.
+class RunReader {
+ public:
+  RunReader(tape::Tape& t, std::size_t total_fields)
+      : tape_(t), remaining_(total_fields) {}
+
+  /// True iff a field is buffered and available.
+  bool has_value() const { return loaded_; }
+  /// The buffered field.
+  const std::string& value() const { return buffer_; }
+
+  /// Loads the next field into the buffer if any remain in the current
+  /// allowance. `allowance` counts fields still permitted in the current
+  /// run; decremented on load.
+  void LoadNext(std::size_t& allowance) {
+    loaded_ = false;
+    if (allowance == 0 || remaining_ == 0) return;
+    buffer_ = stmodel::ReadField(tape_);
+    loaded_ = true;
+    --allowance;
+    --remaining_;
+  }
+
+  /// Fields left on the tape overall.
+  std::size_t remaining() const { return remaining_; }
+
+ private:
+  tape::Tape& tape_;
+  std::size_t remaining_;
+  std::string buffer_;
+  bool loaded_ = false;
+};
+
+void WriteField(tape::Tape& t, const std::string& payload) {
+  stmodel::WriteString(t, payload);
+  t.Write(stmodel::kFieldSeparator);
+  t.MoveRight();
+}
+
+}  // namespace
+
+Status SortFieldsOnTapes(stmodel::StContext& ctx, std::size_t src,
+                         std::size_t aux1, std::size_t aux2,
+                         SortStats* stats) {
+  if (src >= ctx.num_tapes() || aux1 >= ctx.num_tapes() ||
+      aux2 >= ctx.num_tapes() || src == aux1 || src == aux2 ||
+      aux1 == aux2) {
+    return Status::InvalidArgument("sort needs three distinct tapes");
+  }
+  tape::Tape& source = ctx.tape(src);
+  tape::Tape& a = ctx.tape(aux1);
+  tape::Tape& b = ctx.tape(aux2);
+  stmodel::InternalArena& arena = ctx.arena();
+
+  // Pass 0: count fields and the maximum field length (sizes the two
+  // record buffers).
+  stmodel::Rewind(source);
+  std::size_t num_fields = 0;
+  std::size_t max_len = 0;
+  while (!stmodel::AtEnd(source)) {
+    max_len = std::max(max_len, stmodel::SkipField(source));
+    ++num_fields;
+  }
+  if (stats != nullptr) {
+    stats->num_fields = num_fields;
+    stats->passes = 0;
+  }
+  if (num_fields <= 1) return Status::OK();
+
+  // Internal memory: two record buffers (1 bit per 0/1 character) plus
+  // O(log N) counters, all metered.
+  auto buffer_bits = arena.Allocate(2 * max_len);
+  const std::size_t ctr_bits =
+      stmodel::BitsFor(std::max<std::size_t>(1, ctx.input_size()));
+  stmodel::MeteredUint64 counters(arena, 4 * ctr_bits);
+  (void)counters;
+
+  for (std::size_t run_len = 1; run_len < num_fields; run_len *= 2) {
+    if (stats != nullptr) ++stats->passes;
+
+    // Distribute runs of `run_len` fields alternately onto a and b.
+    stmodel::Rewind(source);
+    a.Seek(0);
+    b.Seek(0);
+    std::size_t fields_to_a = 0;
+    std::size_t fields_to_b = 0;
+    std::size_t field_index = 0;
+    while (field_index < num_fields) {
+      const bool to_a = (field_index / run_len) % 2 == 0;
+      stmodel::CopyField(source, to_a ? a : b);
+      ++(to_a ? fields_to_a : fields_to_b);
+      ++field_index;
+    }
+
+    // Merge pairs of runs back onto source.
+    a.Seek(0);
+    b.Seek(0);
+    source.Seek(0);
+    RunReader reader_a(a, fields_to_a);
+    RunReader reader_b(b, fields_to_b);
+    while (reader_a.remaining() > 0 || reader_b.remaining() > 0 ||
+           reader_a.has_value() || reader_b.has_value()) {
+      std::size_t allowance_a = run_len;
+      std::size_t allowance_b = run_len;
+      reader_a.LoadNext(allowance_a);
+      reader_b.LoadNext(allowance_b);
+      while (reader_a.has_value() || reader_b.has_value()) {
+        const bool take_a =
+            reader_a.has_value() &&
+            (!reader_b.has_value() ||
+             reader_a.value() <= reader_b.value());
+        if (take_a) {
+          WriteField(source, reader_a.value());
+          reader_a.LoadNext(allowance_a);
+        } else {
+          WriteField(source, reader_b.value());
+          reader_b.LoadNext(allowance_b);
+        }
+      }
+    }
+  }
+
+  buffer_bits.Release();
+  return Status::OK();
+}
+
+Status SortFieldsOnTapesKWay(stmodel::StContext& ctx, std::size_t src,
+                             const std::vector<std::size_t>& aux,
+                             SortStats* stats) {
+  const std::size_t k = aux.size();
+  if (k < 2 || src >= ctx.num_tapes()) {
+    return Status::InvalidArgument("k-way sort needs >= 2 aux tapes");
+  }
+  for (std::size_t a : aux) {
+    if (a >= ctx.num_tapes() || a == src) {
+      return Status::InvalidArgument("bad aux tape index");
+    }
+  }
+  tape::Tape& source = ctx.tape(src);
+  stmodel::InternalArena& arena = ctx.arena();
+
+  stmodel::Rewind(source);
+  std::size_t num_fields = 0;
+  std::size_t max_len = 0;
+  while (!stmodel::AtEnd(source)) {
+    max_len = std::max(max_len, stmodel::SkipField(source));
+    ++num_fields;
+  }
+  if (stats != nullptr) {
+    stats->num_fields = num_fields;
+    stats->passes = 0;
+  }
+  if (num_fields <= 1) return Status::OK();
+
+  // k record buffers plus counters, metered.
+  auto buffer_bits = arena.Allocate(k * max_len);
+  const std::size_t ctr_bits =
+      stmodel::BitsFor(std::max<std::size_t>(1, ctx.input_size()));
+  stmodel::MeteredUint64 counters(arena, (k + 3) * ctr_bits);
+  (void)counters;
+
+  for (std::size_t run_len = 1; run_len < num_fields; run_len *= k) {
+    if (stats != nullptr) ++stats->passes;
+
+    // Distribute runs of `run_len` fields round-robin over the k tapes.
+    stmodel::Rewind(source);
+    std::vector<std::size_t> fields_to(k, 0);
+    for (std::size_t t : aux) ctx.tape(t).Seek(0);
+    for (std::size_t field_index = 0; field_index < num_fields;
+         ++field_index) {
+      const std::size_t target = (field_index / run_len) % k;
+      stmodel::CopyField(source, ctx.tape(aux[target]));
+      ++fields_to[target];
+    }
+
+    // k-way merge of aligned runs back onto the source.
+    source.Seek(0);
+    std::vector<RunReader> readers;
+    readers.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      ctx.tape(aux[i]).Seek(0);
+      readers.emplace_back(ctx.tape(aux[i]), fields_to[i]);
+    }
+    auto any_left = [&readers]() {
+      for (const RunReader& r : readers) {
+        if (r.remaining() > 0 || r.has_value()) return true;
+      }
+      return false;
+    };
+    while (any_left()) {
+      std::vector<std::size_t> allowances(k, run_len);
+      for (std::size_t i = 0; i < k; ++i) {
+        readers[i].LoadNext(allowances[i]);
+      }
+      while (true) {
+        int best = -1;
+        for (std::size_t i = 0; i < k; ++i) {
+          if (!readers[i].has_value()) continue;
+          if (best < 0 ||
+              readers[i].value() <
+                  readers[static_cast<std::size_t>(best)].value()) {
+            best = static_cast<int>(i);
+          }
+        }
+        if (best < 0) break;
+        const std::size_t b = static_cast<std::size_t>(best);
+        WriteField(source, readers[b].value());
+        readers[b].LoadNext(allowances[b]);
+      }
+    }
+  }
+
+  buffer_bits.Release();
+  return Status::OK();
+}
+
+}  // namespace rstlab::sorting

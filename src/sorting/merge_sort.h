@@ -1,0 +1,54 @@
+#ifndef RSTLAB_SORTING_MERGE_SORT_H_
+#define RSTLAB_SORTING_MERGE_SORT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stmodel/st_context.h"
+#include "util/status.h"
+
+namespace rstlab::sorting {
+
+/// Statistics of one external merge sort.
+struct SortStats {
+  /// Number of distribute+merge passes (= ceil(log2(#fields))).
+  std::size_t passes = 0;
+  /// Number of '#'-terminated fields sorted.
+  std::size_t num_fields = 0;
+};
+
+/// Sorts the '#'-terminated fields of tape `src` in ascending
+/// lexicographic order using tapes `aux1` and `aux2` as working storage,
+/// by balanced two-way external merge sort.
+///
+/// Resource profile (the Corollary 7 upper-bound side): O(log N) head
+/// reversals — a constant number per pass, ceil(log2 m) passes — and
+/// internal memory of O(max field length + log N) bits (two record
+/// comparison buffers plus counters).
+///
+/// The paper's O(1)-internal-space bound cites the Chen-Yap construction
+/// [7, Lemma 7], whose head-recycling comparison is considerably more
+/// intricate; this implementation is the "standard merge sort" the paper
+/// itself invokes for the SHORT problem variants, where fields have
+/// O(log N) bits and the measured internal space is O(log N). The
+/// quantity the lower-bound experiments test — Theta(log N) scans — is
+/// identical for both constructions.
+///
+/// On return the sorted fields are on `src` and `stats` (if non-null)
+/// holds pass counts. Fails if tape indices are invalid or coincide.
+Status SortFieldsOnTapes(stmodel::StContext& ctx, std::size_t src,
+                         std::size_t aux1, std::size_t aux2,
+                         SortStats* stats = nullptr);
+
+/// k-way generalization: sorts tape `src` using the tapes in `aux`
+/// (k = aux.size() >= 2) as working storage, with ceil(log_k m) passes —
+/// the tape-count/scan-count trade-off inherent in the ST model (more
+/// external devices, fewer sequential scans; the ablation bench A4
+/// sweeps k). Internal memory grows to k record buffers.
+Status SortFieldsOnTapesKWay(stmodel::StContext& ctx, std::size_t src,
+                             const std::vector<std::size_t>& aux,
+                             SortStats* stats = nullptr);
+
+}  // namespace rstlab::sorting
+
+#endif  // RSTLAB_SORTING_MERGE_SORT_H_

@@ -1,0 +1,79 @@
+#include "stmodel/internal_arena.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <utility>
+
+namespace rstlab::stmodel {
+
+InternalArena::Allocation::Allocation(Allocation&& other) noexcept
+    : arena_(std::exchange(other.arena_, nullptr)),
+      bits_(std::exchange(other.bits_, 0)) {}
+
+InternalArena::Allocation& InternalArena::Allocation::operator=(
+    Allocation&& other) noexcept {
+  if (this != &other) {
+    Release();
+    arena_ = std::exchange(other.arena_, nullptr);
+    bits_ = std::exchange(other.bits_, 0);
+  }
+  return *this;
+}
+
+InternalArena::Allocation::~Allocation() { Release(); }
+
+void InternalArena::Allocation::Resize(std::size_t bits) {
+  if (arena_ == nullptr) return;
+  if (bits > bits_) {
+    arena_->Add(bits - bits_);
+  } else {
+    arena_->Remove(bits_ - bits);
+  }
+  bits_ = bits;
+}
+
+void InternalArena::Allocation::Release() {
+  if (arena_ != nullptr) {
+    arena_->Remove(bits_);
+    arena_ = nullptr;
+    bits_ = 0;
+  }
+}
+
+InternalArena::Allocation InternalArena::Allocate(std::size_t bits) {
+  Add(bits);
+  return Allocation(this, bits);
+}
+
+void InternalArena::Add(std::size_t bits) {
+  current_bits_ += bits;
+  high_water_bits_ = std::max(high_water_bits_, current_bits_);
+}
+
+void InternalArena::Remove(std::size_t bits) {
+  assert(bits <= current_bits_);
+  current_bits_ -= bits;
+}
+
+void InternalArena::Reset() {
+  current_bits_ = 0;
+  high_water_bits_ = 0;
+}
+
+std::size_t BitsFor(std::uint64_t value) {
+  return value == 0 ? 1 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+MeteredUint64::MeteredUint64(InternalArena& arena, std::size_t width_bits,
+                             std::uint64_t initial_value)
+    : allocation_(arena.Allocate(width_bits)), width_bits_(width_bits) {
+  set(initial_value);
+}
+
+void MeteredUint64::set(std::uint64_t v) {
+  assert(width_bits_ >= 64 || v < (std::uint64_t{1} << width_bits_));
+  value_ = v;
+}
+
+}  // namespace rstlab::stmodel

@@ -1,0 +1,109 @@
+#ifndef RSTLAB_STMODEL_INTERNAL_ARENA_H_
+#define RSTLAB_STMODEL_INTERNAL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rstlab::stmodel {
+
+/// Metered internal memory of an ST-machine (the tapes t+1..t+u of
+/// Definition 1, whose total space is bounded by s(N)).
+///
+/// Algorithms written against the ST model declare every piece of internal
+/// state they keep by allocating it here, in bits. The arena tracks the
+/// current total and the high-water mark; the high-water mark is the
+/// run's measured s-value. Allocations are RAII: releasing an Allocation
+/// returns its bits.
+///
+/// The arena does not hand out storage — algorithms keep their state in
+/// ordinary C++ variables — it is purely an accounting device, which keeps
+/// the model costs separated from the host representation.
+class InternalArena {
+ public:
+  InternalArena() = default;
+  InternalArena(const InternalArena&) = delete;
+  InternalArena& operator=(const InternalArena&) = delete;
+
+  /// An RAII lease of `bits` bits of internal memory.
+  class Allocation {
+   public:
+    Allocation() = default;
+    Allocation(Allocation&& other) noexcept;
+    Allocation& operator=(Allocation&& other) noexcept;
+    Allocation(const Allocation&) = delete;
+    Allocation& operator=(const Allocation&) = delete;
+    ~Allocation();
+
+    /// Number of bits this allocation holds.
+    std::size_t bits() const { return bits_; }
+
+    /// Grows (or shrinks) the allocation to `bits` bits, e.g. when a
+    /// buffer's worst-case width becomes known mid-run.
+    void Resize(std::size_t bits);
+
+    /// Returns the bits to the arena early.
+    void Release();
+
+   private:
+    friend class InternalArena;
+    Allocation(InternalArena* arena, std::size_t bits)
+        : arena_(arena), bits_(bits) {}
+
+    InternalArena* arena_ = nullptr;
+    std::size_t bits_ = 0;
+  };
+
+  /// Leases `bits` bits of internal memory.
+  Allocation Allocate(std::size_t bits);
+
+  /// Bits currently leased.
+  std::size_t current_bits() const { return current_bits_; }
+
+  /// Maximum of current_bits() over the run so far: the measured s-value.
+  std::size_t high_water_bits() const { return high_water_bits_; }
+
+  /// Resets the accounting (start of a fresh run).
+  void Reset();
+
+ private:
+  void Add(std::size_t bits);
+  void Remove(std::size_t bits);
+
+  std::size_t current_bits_ = 0;
+  std::size_t high_water_bits_ = 0;
+};
+
+/// Number of bits needed to store a value in {0, ..., value}; at least 1.
+std::size_t BitsFor(std::uint64_t value);
+
+/// A uint64 register whose declared width is leased from an arena.
+///
+/// Use for the O(log N)-bit counters and residues of the paper's
+/// algorithms: the register's width must be declared up front as the
+/// worst case the algorithm is entitled to (e.g. BitsFor(N)).
+class MeteredUint64 {
+ public:
+  /// Leases `width_bits` from `arena` for the lifetime of the register.
+  MeteredUint64(InternalArena& arena, std::size_t width_bits,
+                std::uint64_t initial_value = 0);
+
+  /// Current value.
+  std::uint64_t get() const { return value_; }
+  /// Assigns `v`; asserts that it fits the declared width.
+  void set(std::uint64_t v);
+
+  MeteredUint64& operator=(std::uint64_t v) {
+    set(v);
+    return *this;
+  }
+  operator std::uint64_t() const { return value_; }  // NOLINT
+
+ private:
+  InternalArena::Allocation allocation_;
+  std::size_t width_bits_;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace rstlab::stmodel
+
+#endif  // RSTLAB_STMODEL_INTERNAL_ARENA_H_

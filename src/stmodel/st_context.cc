@@ -1,0 +1,36 @@
+#include "stmodel/st_context.h"
+
+#include <cassert>
+
+namespace rstlab::stmodel {
+
+StContext::StContext(std::size_t num_external_tapes)
+    : tapes_(num_external_tapes) {
+  assert(num_external_tapes >= 1);
+}
+
+tape::Tape& StContext::tape(std::size_t i) {
+  assert(i < tapes_.size());
+  return tapes_[i];
+}
+
+const tape::Tape& StContext::tape(std::size_t i) const {
+  assert(i < tapes_.size());
+  return tapes_[i];
+}
+
+void StContext::LoadInput(std::string content) {
+  input_size_ = content.size();
+  tapes_[0].Reset(std::move(content));
+  for (std::size_t i = 1; i < tapes_.size(); ++i) tapes_[i].Reset("");
+  arena_.Reset();
+}
+
+tape::ResourceReport StContext::Report() const {
+  std::vector<const tape::Tape*> ptrs;
+  ptrs.reserve(tapes_.size());
+  for (const auto& t : tapes_) ptrs.push_back(&t);
+  return tape::MeasureTapes(ptrs, arena_.high_water_bits());
+}
+
+}  // namespace rstlab::stmodel

@@ -1,0 +1,56 @@
+#ifndef RSTLAB_STMODEL_ST_CONTEXT_H_
+#define RSTLAB_STMODEL_ST_CONTEXT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stmodel/internal_arena.h"
+#include "tape/resource_meter.h"
+#include "tape/tape.h"
+
+namespace rstlab::stmodel {
+
+/// Execution context for an algorithm in the ST model (Section 2):
+/// `t` external tapes (tape 0 is the input tape) plus metered internal
+/// memory. Algorithms read and write only through the tapes and declare
+/// internal state via `arena()`; afterwards `Report()` yields the run's
+/// measured (r, s, t) costs for compliance checking against a class such
+/// as ST(O(log N), O(1), 2).
+class StContext {
+ public:
+  /// A context with `num_external_tapes` empty tapes.
+  explicit StContext(std::size_t num_external_tapes);
+
+  StContext(const StContext&) = delete;
+  StContext& operator=(const StContext&) = delete;
+
+  /// Number of external tapes t.
+  std::size_t num_tapes() const { return tapes_.size(); }
+
+  /// External tape `i` (0 = input tape).
+  tape::Tape& tape(std::size_t i);
+  const tape::Tape& tape(std::size_t i) const;
+
+  /// The internal-memory accounting arena.
+  InternalArena& arena() { return arena_; }
+
+  /// Installs `content` on the input tape (tape 0) and records the input
+  /// size N = content.size(). Resets all accounting.
+  void LoadInput(std::string content);
+
+  /// Input size N of the current run.
+  std::size_t input_size() const { return input_size_; }
+
+  /// The run's measured costs so far.
+  tape::ResourceReport Report() const;
+
+ private:
+  std::vector<tape::Tape> tapes_;
+  InternalArena arena_;
+  std::size_t input_size_ = 0;
+};
+
+}  // namespace rstlab::stmodel
+
+#endif  // RSTLAB_STMODEL_ST_CONTEXT_H_

@@ -1,0 +1,35 @@
+#include "tape/resource_meter.h"
+
+#include <sstream>
+
+namespace rstlab::tape {
+
+std::string ResourceReport::ToString() const {
+  std::ostringstream os;
+  os << "r=" << scan_bound << " s=" << internal_space << " t="
+     << num_external_tapes << " ext=" << external_space;
+  return os.str();
+}
+
+ResourceReport MeasureTapes(const std::vector<const Tape*>& tapes,
+                            std::size_t internal_space) {
+  ResourceReport report;
+  report.num_external_tapes = tapes.size();
+  report.internal_space = internal_space;
+  std::uint64_t total_reversals = 0;
+  for (const Tape* t : tapes) {
+    report.reversals_per_tape.push_back(t->reversals());
+    total_reversals += t->reversals();
+    report.external_space += t->cells_used();
+  }
+  report.scan_bound = 1 + total_reversals;
+  return report;
+}
+
+bool Complies(const ResourceReport& report, const StBounds& bounds) {
+  return report.scan_bound <= bounds.max_scans &&
+         report.internal_space <= bounds.max_internal_space &&
+         report.num_external_tapes <= bounds.max_external_tapes;
+}
+
+}  // namespace rstlab::tape

@@ -1,0 +1,55 @@
+#ifndef RSTLAB_TAPE_RESOURCE_METER_H_
+#define RSTLAB_TAPE_RESOURCE_METER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tape/tape.h"
+
+namespace rstlab::tape {
+
+/// A snapshot of the costs an ST-machine run incurred, in the units of
+/// Definition 1.
+struct ResourceReport {
+  /// 1 + sum over external tapes of rev(rho, i). The paper's r(N) bounds
+  /// this quantity, i.e. the number of sequential scans.
+  std::uint64_t scan_bound = 1;
+  /// Per-tape head-direction change counts.
+  std::vector<std::uint64_t> reversals_per_tape;
+  /// High-water internal memory usage in cells (paper: sum of
+  /// space(rho, i) over internal tapes). The paper's s(N) bounds this.
+  std::size_t internal_space = 0;
+  /// Total external cells used (bounded by Lemma 3, not by the class
+  /// definition).
+  std::size_t external_space = 0;
+  /// Number of external tapes t.
+  std::size_t num_external_tapes = 0;
+
+  /// Renders a one-line summary, e.g. "r=5 s=34 t=2 ext=1024".
+  std::string ToString() const;
+};
+
+/// Collects a ResourceReport from a set of tapes plus an internal-space
+/// high-water mark.
+ResourceReport MeasureTapes(const std::vector<const Tape*>& tapes,
+                            std::size_t internal_space);
+
+/// Declarative resource bounds (r(N), s(N), t) for compliance checks:
+/// r and s are evaluated at the run's input size N.
+struct StBounds {
+  /// Maximum admissible scan bound r(N).
+  std::uint64_t max_scans = 0;
+  /// Maximum admissible internal space s(N) in cells.
+  std::size_t max_internal_space = 0;
+  /// Maximum number of external tapes t.
+  std::size_t max_external_tapes = 0;
+};
+
+/// True iff `report` complies with `bounds` (Definition 2 membership for
+/// one particular run).
+bool Complies(const ResourceReport& report, const StBounds& bounds);
+
+}  // namespace rstlab::tape
+
+#endif  // RSTLAB_TAPE_RESOURCE_METER_H_

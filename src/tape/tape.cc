@@ -1,0 +1,49 @@
+#include "tape/tape.h"
+
+#include <cassert>
+
+namespace rstlab::tape {
+
+Tape::Tape(std::string content) : cells_(std::move(content)) {}
+
+void Tape::Reset(std::string content) {
+  cells_ = std::move(content);
+  head_ = 0;
+  direction_ = Direction::kRight;
+  reversals_ = 0;
+}
+
+char Tape::Read() const {
+  if (head_ >= cells_.size()) return kBlank;
+  return cells_[head_];
+}
+
+void Tape::Write(char symbol) {
+  if (head_ >= cells_.size()) cells_.resize(head_ + 1, kBlank);
+  cells_[head_] = symbol;
+}
+
+void Tape::RecordDirection(Direction d) {
+  if (d != direction_) {
+    ++reversals_;
+    direction_ = d;
+  }
+}
+
+void Tape::MoveRight() {
+  RecordDirection(Direction::kRight);
+  ++head_;
+  if (head_ >= cells_.size()) cells_.resize(head_ + 1, kBlank);
+}
+
+void Tape::MoveLeft() {
+  RecordDirection(Direction::kLeft);
+  if (head_ > 0) --head_;
+}
+
+void Tape::Seek(std::size_t position) {
+  while (head_ < position) MoveRight();
+  while (head_ > position) MoveLeft();
+}
+
+}  // namespace rstlab::tape

@@ -1,0 +1,96 @@
+#ifndef RSTLAB_TAPE_TAPE_H_
+#define RSTLAB_TAPE_TAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rstlab::tape {
+
+/// The blank symbol present on every unwritten cell (paper: the square
+/// symbol in Sigma).
+inline constexpr char kBlank = '_';
+
+/// Head movement directions.
+enum class Direction : int {
+  kLeft = -1,
+  kRight = +1,
+};
+
+/// One external-memory tape of an ST-machine (paper Section 2).
+///
+/// The tape is one-sided infinite (cells numbered from 0, growing on
+/// demand), holds `char` symbols, and meters exactly the quantity the
+/// paper's cost model charges for: the number of head-direction changes
+/// `rev(rho, i)` (Definition 1). Sequential scans are free; each change of
+/// direction increments `reversals()`. A random access is expressible as
+/// `Seek`, which costs at most two direction changes — mirroring the
+/// paper's observation that random access can be simulated by head
+/// movement.
+///
+/// The head starts at cell 0 moving right. Reads and writes never move the
+/// head; movement is explicit via MoveLeft/MoveRight/Seek.
+class Tape {
+ public:
+  /// An empty tape (all blanks).
+  Tape() = default;
+
+  /// A tape whose cells 0..content.size()-1 hold `content`.
+  explicit Tape(std::string content);
+
+  /// Replaces the entire tape content and rewinds the head to cell 0
+  /// moving right, resetting reversal accounting. Use only to set up an
+  /// input tape before a run.
+  void Reset(std::string content);
+
+  /// The symbol under the head.
+  char Read() const;
+
+  /// Overwrites the symbol under the head (the head does not move).
+  void Write(char symbol);
+
+  /// Moves the head one cell to the right, growing the tape with blanks
+  /// as needed.
+  void MoveRight();
+
+  /// Moves the head one cell to the left. At cell 0 the head stays (the
+  /// tape is one-sided) but a direction change is still recorded, matching
+  /// list-machine semantics (Definition 24(c)).
+  void MoveLeft();
+
+  /// Moves the head to absolute cell `position`, metering the direction
+  /// changes this incurs (at most 2). This is the model's "random access".
+  void Seek(std::size_t position);
+
+  /// Current head position.
+  std::size_t head() const { return head_; }
+
+  /// Current head direction (the direction of the most recent move;
+  /// right initially).
+  Direction direction() const { return direction_; }
+
+  /// Number of head-direction changes so far: rev(rho, i) of Definition 1.
+  std::uint64_t reversals() const { return reversals_; }
+
+  /// Number of cells ever used (written or visited): space(rho, i).
+  std::size_t cells_used() const { return cells_.size(); }
+
+  /// The first `cells_used()` cells as a string (diagnostics and result
+  /// extraction; not part of the machine model).
+  const std::string& contents() const { return cells_; }
+
+  /// True iff the symbol under the head is blank.
+  bool AtBlank() const { return Read() == kBlank; }
+
+ private:
+  void RecordDirection(Direction d);
+
+  std::string cells_;
+  std::size_t head_ = 0;
+  Direction direction_ = Direction::kRight;
+  std::uint64_t reversals_ = 0;
+};
+
+}  // namespace rstlab::tape
+
+#endif  // RSTLAB_TAPE_TAPE_H_

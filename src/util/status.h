@@ -1,0 +1,134 @@
+#ifndef RSTLAB_UTIL_STATUS_H_
+#define RSTLAB_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace rstlab {
+
+/// Error category for a failed operation.
+///
+/// The library does not throw exceptions across its public boundary;
+/// fallible operations return a `Status` or a `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kResourceExhausted,  // an (r, s, t) bound was violated
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail but produces no value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for an OK status.
+  static Status OK() { return Status(); }
+  /// Factory for an invalid-argument failure.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Factory for an out-of-range failure.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// Factory for a resource-bound violation, e.g. exceeding r(N) reversals.
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  /// Factory for a failed-precondition failure.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  /// Factory for a not-found failure.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// Factory for an internal invariant violation.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The diagnostic message (empty for OK).
+  const std::string& message() const { return message_; }
+  /// Renders "Code: message" for logging.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Outcome of an operation that produces a `T` on success.
+///
+/// Accessing `value()` on a failed result aborts in debug builds; callers
+/// must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicitly constructs a successful result. NOLINT(runtime/explicit)
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicitly constructs a failed result. NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The failure status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the contained value out; requires `ok()`.
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// The contained value or `fallback` when failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rstlab
+
+/// Propagates a failed Status out of the enclosing function.
+#define RSTLAB_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::rstlab::Status _rstlab_st = (expr);     \
+    if (!_rstlab_st.ok()) return _rstlab_st;  \
+  } while (false)
+
+#endif  // RSTLAB_UTIL_STATUS_H_

@@ -1,0 +1,109 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/complexity.h"
+#include "core/experiment.h"
+
+namespace rstlab::core {
+namespace {
+
+TEST(ComplexityTest, BoundEvaluators) {
+  EXPECT_EQ(ConstScans(3)(1000), 3u);
+  EXPECT_EQ(LogScans(1.0)(1024), 10u);
+  EXPECT_EQ(LogScans(2.0)(1024), 20u);
+  EXPECT_EQ(ConstSpace(64)(1), 64u);
+  EXPECT_EQ(LogSpace(1.0)(1 << 16), 16u);
+  // N^{1/4}/log N at N = 2^16: 16 / 16 = 1.
+  EXPECT_EQ(FourthRootOverLogSpace(1.0)(1 << 16), 1u);
+  EXPECT_GT(FourthRootOverLogSpace(1.0)(1 << 28),
+            FourthRootOverLogSpace(1.0)(1 << 16));
+}
+
+TEST(ComplexityTest, ClassAdmission) {
+  ResourceClass cls =
+      CoRstClass("co-RST(2, O(log N), 1)", ConstScans(2), LogSpace(64.0), 1);
+  tape::ResourceReport report;
+  report.scan_bound = 2;
+  report.internal_space = 100;
+  report.num_external_tapes = 1;
+  EXPECT_TRUE(cls.Admits(report, 1 << 10));  // 64*10 = 640 >= 100
+  report.scan_bound = 3;
+  EXPECT_FALSE(cls.Admits(report, 1 << 10));
+  report.scan_bound = 2;
+  report.internal_space = 10000;
+  EXPECT_FALSE(cls.Admits(report, 1 << 10));
+}
+
+TEST(ComplexityTest, ModesAreRecorded) {
+  EXPECT_EQ(StClass("x", ConstScans(1), ConstSpace(1), 1).mode,
+            MachineMode::kDeterministic);
+  EXPECT_EQ(RstClass("x", ConstScans(1), ConstSpace(1), 1).mode,
+            MachineMode::kRandomized);
+  EXPECT_EQ(NstClass("x", ConstScans(1), ConstSpace(1), 1).mode,
+            MachineMode::kNondeterministic);
+}
+
+TEST(ExperimentTest, TablePrintsAligned) {
+  Table table("demo", {"N", "scans"});
+  table.AddRow({"1024", "20"});
+  table.AddRow({"2048", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("scans"), std::string::npos);
+  EXPECT_NE(out.find("2048"), std::string::npos);
+}
+
+TEST(ExperimentTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.5), "0.500");
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+}
+
+
+TEST(ExperimentTest, ToCsv) {
+  Table table("demo", {"N", "label"});
+  table.AddRow({"1024", "plain"});
+  table.AddRow({"2048", "has,comma"});
+  table.AddRow({"4096", "has\"quote"});
+  EXPECT_EQ(table.ToCsv(),
+            "N,label\n"
+            "1024,plain\n"
+            "2048,\"has,comma\"\n"
+            "4096,\"has\"\"quote\"\n");
+}
+
+TEST(ExperimentTest, FitRecoversExactLogLaw) {
+  // y = 3 log2 x + 5.
+  std::vector<double> xs = {2, 4, 8, 16, 32, 64};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3 * std::log2(x) + 5);
+  LogFit fit = FitLog2(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(ExperimentTest, FitOnNoisyData) {
+  std::vector<double> xs = {2, 4, 8, 16, 32, 64, 128};
+  std::vector<double> ys;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ys.push_back(2 * std::log2(xs[i]) + (i % 2 == 0 ? 0.2 : -0.2));
+  }
+  LogFit fit = FitLog2(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.2);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(ExperimentTest, FitConstantSeries) {
+  std::vector<double> xs = {2, 4, 8};
+  std::vector<double> ys = {5, 5, 5};
+  LogFit fit = FitLog2(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rstlab::core

@@ -1,0 +1,194 @@
+// Property tests of the list-machine execution engine: randomized
+// machine programs drive the Definition 24 semantics into corners that
+// hand-written machines do not reach, and the Lemma 30/31 invariants
+// plus skeleton determinism must survive all of them.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "listmachine/analysis.h"
+#include "listmachine/list_machine.h"
+#include "listmachine/machines.h"
+#include "listmachine/skeleton.h"
+#include "util/random.h"
+
+namespace rstlab::listmachine {
+namespace {
+
+/// A machine whose transition table is filled with seeded random
+/// movements and state successors. States 0..num_states-1 are interior;
+/// the step counter in the state id guarantees termination: state ids
+/// encode (step, table_row) and any step >= max_steps is final.
+class RandomProgram : public ListMachineProgram {
+ public:
+  RandomProgram(std::uint64_t seed, std::size_t t, std::size_t rows,
+                std::size_t max_steps)
+      : t_(t), rows_(rows), max_steps_(max_steps) {
+    Rng rng(seed);
+    table_.resize(rows);
+    for (auto& row : table_) {
+      row.next_row = static_cast<int>(rng.UniformBelow(rows));
+      for (std::size_t i = 0; i < t; ++i) {
+        row.movements.push_back(
+            Movement{rng.Bernoulli(0.5) ? +1 : -1, rng.Bernoulli(0.6)});
+      }
+      row.accept = rng.Bernoulli(0.5);
+    }
+  }
+
+  std::size_t num_lists() const override { return t_; }
+  std::size_t num_choices() const override { return 1; }
+  StateId initial_state() const override { return 0; }
+  bool IsFinal(StateId state) const override {
+    return static_cast<std::size_t>(state) / rows_ >= max_steps_;
+  }
+  bool IsAccepting(StateId state) const override {
+    return IsFinal(state) &&
+           table_[static_cast<std::size_t>(state) % rows_].accept;
+  }
+  TransitionResult Step(StateId state,
+                        const std::vector<const CellContent*>& reads,
+                        ChoiceId choice) const override {
+    (void)reads;
+    (void)choice;
+    const std::size_t step = static_cast<std::size_t>(state) / rows_;
+    const std::size_t row = static_cast<std::size_t>(state) % rows_;
+    TransitionResult tr;
+    tr.movements = table_[row].movements;
+    tr.next_state = static_cast<StateId>((step + 1) * rows_ +
+                                         static_cast<std::size_t>(
+                                             table_[row].next_row));
+    return tr;
+  }
+
+ private:
+  struct Row {
+    int next_row = 0;
+    std::vector<Movement> movements;
+    bool accept = false;
+  };
+  std::size_t t_;
+  std::size_t rows_;
+  std::size_t max_steps_;
+  std::vector<Row> table_;
+};
+
+class ExecutorPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorPropertyTest, InvariantsHoldOnRandomPrograms) {
+  Rng rng(GetParam() * 7919);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random programs reverse direction almost every step, and each
+    // reversal lets trace strings embed all current reads — growth is
+    // exponential in the reversal count (exactly what Lemma 30's
+    // 11 * max(t,2)^r bound says). Keep r small enough to stay in RAM.
+    const std::size_t t = 2;
+    const std::size_t rows = 2 + rng.UniformBelow(5);
+    const std::size_t steps = 4 + rng.UniformBelow(9);
+    const std::size_t m = 1 + rng.UniformBelow(6);
+    RandomProgram program(rng.Next64(), t, rows, steps);
+    ListMachineExecutor exec(&program);
+
+    std::vector<std::uint64_t> input(m);
+    for (auto& v : input) v = rng.UniformBelow(100);
+
+    Result<ListMachineRun> run =
+        exec.RunDeterministic(input, steps + 2);
+    ASSERT_TRUE(run.ok());
+    ASSERT_TRUE(run.value().halted);
+
+    // Invariant 1: heads stay on their lists.
+    const ListMachineConfig& fc = run.value().final_config;
+    for (std::size_t i = 0; i < t; ++i) {
+      ASSERT_LT(fc.heads[i], fc.lists[i].size());
+    }
+
+    // Invariant 2: Lemma 30 growth bounds.
+    GrowthCheck growth = CheckGrowth(run.value(), m);
+    EXPECT_TRUE(growth.within_bounds)
+        << "t=" << t << " steps=" << steps << " m=" << m << ": lists "
+        << growth.measured_total_list_length << "/"
+        << growth.bound_total_list_length << ", cells "
+        << growth.measured_max_cell_size << "/"
+        << growth.bound_max_cell_size;
+
+    // Invariant 3: Lemma 31 run shape (k = rows * (steps + 1) states).
+    RunShapeCheck shape =
+        CheckRunShape(run.value(), m, rows * (steps + 1));
+    EXPECT_TRUE(shape.within_bounds);
+
+    // Invariant 4: every trace cell is well-bracketed (TraceComponent
+    // finds all t + 1 components on freshly written cells).
+    for (std::size_t i = 0; i < t; ++i) {
+      for (const CellContent& cell : fc.lists[i]) {
+        if (cell.empty() || cell.front().kind != Symbol::Kind::kState) {
+          continue;
+        }
+        for (std::size_t comp = 0; comp <= t; ++comp) {
+          EXPECT_TRUE(TraceComponent(cell, comp).has_value());
+        }
+        EXPECT_FALSE(TraceComponent(cell, t + 1).has_value());
+      }
+    }
+
+    // Invariant 5: determinism — identical reruns give identical
+    // skeletons and acceptance.
+    Result<ListMachineRun> rerun =
+        exec.RunDeterministic(input, steps + 2);
+    ASSERT_TRUE(rerun.ok());
+    EXPECT_EQ(BuildSkeleton(run.value()), BuildSkeleton(rerun.value()));
+    EXPECT_EQ(run.value().accepted, rerun.value().accepted);
+
+    // Invariant 6: value-obliviousness — RandomProgram ignores reads,
+    // so a different same-length input yields the same skeleton.
+    std::vector<std::uint64_t> other(m);
+    for (auto& v : other) v = 100 + rng.UniformBelow(100);
+    Result<ListMachineRun> other_run =
+        exec.RunDeterministic(other, steps + 2);
+    ASSERT_TRUE(other_run.ok());
+    EXPECT_EQ(BuildSkeleton(run.value()),
+              BuildSkeleton(other_run.value()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                           10));
+
+TEST(ExecutorPropertyTest, ReversalAccountingMatchesDirectionChanges) {
+  // Cross-check reversal counters against a recomputation from the
+  // recorded step directions.
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t t = 2;
+    RandomProgram program(rng.Next64(), t, 3, 10);
+    ListMachineExecutor exec(&program);
+    Result<ListMachineRun> run = exec.RunDeterministic({1, 2, 3}, 15);
+    ASSERT_TRUE(run.ok());
+    // Recompute: direction changes visible in consecutive step records.
+    std::vector<std::uint64_t> recomputed(t, 0);
+    for (std::size_t s = 1; s < run.value().steps.size(); ++s) {
+      for (std::size_t i = 0; i < t; ++i) {
+        if (run.value().steps[s].directions_before[i] !=
+            run.value().steps[s - 1].directions_before[i]) {
+          ++recomputed[i];
+        }
+      }
+    }
+    // The final configuration may add one more change after the last
+    // recorded step.
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!run.value().steps.empty() &&
+          run.value().final_config.directions[i] !=
+              run.value().steps.back().directions_before[i]) {
+        ++recomputed[i];
+      }
+    }
+    EXPECT_EQ(run.value().reversals, recomputed);
+  }
+}
+
+}  // namespace
+}  // namespace rstlab::listmachine

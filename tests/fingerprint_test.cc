@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "fingerprint/fingerprint.h"
+#include "fingerprint/prime.h"
+#include "problems/generators.h"
+#include "problems/reference.h"
+#include "stmodel/internal_arena.h"
+#include "stmodel/st_context.h"
+#include "util/random.h"
+
+namespace rstlab::fingerprint {
+namespace {
+
+// ---------------------------------------------------------------------
+// Modular arithmetic and primes
+// ---------------------------------------------------------------------
+
+TEST(PrimeTest, MulModLargeOperands) {
+  const std::uint64_t p = 0xffffffffffffffc5ULL;  // largest 64-bit prime
+  EXPECT_EQ(MulMod(p - 1, p - 1, p), 1u);
+  EXPECT_EQ(MulMod(123456789, 987654321, 1000000007),
+            (123456789ULL * 987654321ULL) % 1000000007ULL);
+}
+
+TEST(PrimeTest, PowModKnownValues) {
+  EXPECT_EQ(PowMod(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(PowMod(5, 0, 7), 1u);
+  EXPECT_EQ(PowMod(7, 1, 7), 0u);
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(PowMod(3, 1000000006, 1000000007), 1u);
+  EXPECT_EQ(PowMod(2, 100, 1), 0u);
+}
+
+TEST(PrimeTest, IsPrimeMatchesTrialDivisionBelow10000) {
+  auto trial = [](std::uint64_t n) {
+    if (n < 2) return false;
+    for (std::uint64_t d = 2; d * d <= n; ++d) {
+      if (n % d == 0) return false;
+    }
+    return true;
+  };
+  for (std::uint64_t n = 0; n < 10000; ++n) {
+    ASSERT_EQ(IsPrime(n), trial(n)) << n;
+  }
+}
+
+TEST(PrimeTest, IsPrimeLargeKnownValues) {
+  EXPECT_TRUE(IsPrime(1000000007ULL));
+  EXPECT_TRUE(IsPrime(0xffffffffffffffc5ULL));
+  EXPECT_FALSE(IsPrime(1000000007ULL * 3));
+  // Carmichael numbers are composite.
+  EXPECT_FALSE(IsPrime(561));
+  EXPECT_FALSE(IsPrime(41041));
+}
+
+TEST(PrimeTest, RandomPrimeAtMostIsPrimeAndBounded) {
+  Rng rng(5);
+  for (std::uint64_t k : {2ULL, 10ULL, 1000ULL, 1000000ULL}) {
+    for (int i = 0; i < 20; ++i) {
+      Result<std::uint64_t> p = RandomPrimeAtMost(k, rng);
+      ASSERT_TRUE(p.ok());
+      EXPECT_LE(p.value(), k);
+      EXPECT_TRUE(IsPrime(p.value()));
+    }
+  }
+  EXPECT_FALSE(RandomPrimeAtMost(1, rng).ok());
+}
+
+TEST(PrimeTest, RandomPrimeIsRoughlyUniform) {
+  // Sanity: both halves of [2, k] are hit.
+  Rng rng(6);
+  const std::uint64_t k = 10000;
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t p = RandomPrimeAtMost(k, rng).value();
+    (p <= k / 2 ? low : high)++;
+  }
+  EXPECT_GT(low, 50);
+  EXPECT_GT(high, 50);
+}
+
+TEST(PrimeTest, BertrandIntervalPrime) {
+  for (std::uint64_t k : {1ULL, 2ULL, 7ULL, 100ULL, 12345ULL, 1000000ULL}) {
+    Result<std::uint64_t> p = PrimeInBertrandInterval(k);
+    ASSERT_TRUE(p.ok());
+    EXPECT_GT(p.value(), 3 * k);
+    EXPECT_LE(p.value(), 6 * k);
+    EXPECT_TRUE(IsPrime(p.value()));
+  }
+  EXPECT_FALSE(PrimeInBertrandInterval(~std::uint64_t{0} / 2).ok());
+}
+
+TEST(PrimeTest, CountPrimesUpTo) {
+  EXPECT_EQ(CountPrimesUpTo(10), 4u);
+  EXPECT_EQ(CountPrimesUpTo(100), 25u);
+  EXPECT_EQ(CountPrimesUpTo(1), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fingerprinting (Theorem 8(a))
+// ---------------------------------------------------------------------
+
+TEST(FingerprintTest, ParamsSatisfyPaperConstraints) {
+  Rng rng(7);
+  Result<FingerprintParams> params = SampleFingerprintParams(64, 32, rng);
+  ASSERT_TRUE(params.ok());
+  const FingerprintParams& p = params.value();
+  EXPECT_LE(p.p1, p.k);
+  EXPECT_TRUE(IsPrime(p.p1));
+  EXPECT_GT(p.p2, 3 * p.k);
+  EXPECT_LE(p.p2, 6 * p.k);
+  EXPECT_GE(p.x, 1u);
+  EXPECT_LT(p.x, p.p2);
+}
+
+TEST(FingerprintTest, OverflowGuard) {
+  Rng rng(8);
+  // m^3 * n around 2^63 must be rejected, not wrapped.
+  EXPECT_FALSE(SampleFingerprintParams(1 << 21, 1 << 10, rng).ok());
+}
+
+// Completeness (no false negatives): equal multisets are ALWAYS
+// accepted, for every parameter draw.
+class FingerprintCompletenessTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FingerprintCompletenessTest, EqualMultisetsAlwaysAccepted) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    problems::Instance inst = problems::EqualMultisets(16, 24, rng);
+    FingerprintOutcome outcome = TestMultisetEquality(inst, rng);
+    EXPECT_TRUE(outcome.accepted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FingerprintCompletenessTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Soundness: unequal multisets are accepted with probability well below
+// 1/2 (the paper's bound is 1/3 + O(1/m); measured rates are far
+// smaller).
+TEST(FingerprintTest, UnequalMultisetsRarelyAccepted) {
+  Rng rng(11);
+  int false_accepts = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    problems::Instance inst = problems::PerturbedMultisets(16, 24, 1, rng);
+    false_accepts += TestMultisetEquality(inst, rng).accepted;
+  }
+  EXPECT_LE(false_accepts, trials / 2);  // the Theorem 8(a) guarantee
+  EXPECT_LE(false_accepts, trials / 10);  // and in practice much better
+}
+
+TEST(FingerprintTest, DetectsMultiplicityChanges) {
+  // Multiset {a, a, b} vs {a, b, b}: set-equal but multiset-different.
+  Rng rng(13);
+  problems::Instance inst;
+  const BitString a = BitString::Random(24, rng);
+  const BitString b = BitString::Random(24, rng);
+  inst.first = {a, a, b};
+  inst.second = {a, b, b};
+  int accepts = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    accepts += TestMultisetEquality(inst, rng).accepted;
+  }
+  EXPECT_LE(accepts, 50);
+}
+
+TEST(FingerprintTest, AcceptsEmptyInstance) {
+  Rng rng(17);
+  problems::Instance inst;
+  EXPECT_TRUE(TestMultisetEquality(inst, rng).accepted);
+}
+
+TEST(FingerprintTest, OrderInsensitive) {
+  Rng rng(19);
+  problems::Instance inst = problems::EqualMultisets(32, 16, rng);
+  // AcceptsWithParams must agree for any fixed params regardless of
+  // order (the fingerprint is a multiset invariant).
+  Result<FingerprintParams> params = SampleFingerprintParams(32, 16, rng);
+  ASSERT_TRUE(params.ok());
+  EXPECT_TRUE(AcceptsWithParams(inst, params.value()));
+  rng.Shuffle(inst.second);
+  EXPECT_TRUE(AcceptsWithParams(inst, params.value()));
+}
+
+
+// ---------------------------------------------------------------------
+// Exact error probabilities (full enumeration of the random choices)
+// ---------------------------------------------------------------------
+
+TEST(ExactProbabilityTest, EqualMultisetsHaveProbabilityOne) {
+  problems::Instance inst;
+  inst.first = {BitString::FromString("01"), BitString::FromString("10")};
+  inst.second = {BitString::FromString("10"),
+                 BitString::FromString("01")};
+  Result<double> p = ExactAcceptProbability(inst);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_DOUBLE_EQ(p.value(), 1.0);
+}
+
+TEST(ExactProbabilityTest, UnequalMultisetsBelowPaperBound) {
+  // Exhaust all m = 2, n = 2 unequal instances and verify the exact
+  // false-positive probability never reaches the paper's 1/2 bound.
+  double worst = 0.0;
+  for (std::uint64_t code = 0; code < 256; ++code) {
+    problems::Instance inst;
+    inst.first = {BitString::FromUint64((code >> 0) & 3, 2),
+                  BitString::FromUint64((code >> 2) & 3, 2)};
+    inst.second = {BitString::FromUint64((code >> 4) & 3, 2),
+                   BitString::FromUint64((code >> 6) & 3, 2)};
+    if (problems::RefMultisetEquality(inst)) continue;
+    Result<double> p = ExactAcceptProbability(inst);
+    ASSERT_TRUE(p.ok()) << p.status();
+    worst = std::max(worst, p.value());
+  }
+  EXPECT_LT(worst, 0.5);
+  // At these tiny parameters the exact worst case is far below the
+  // bound (the polynomial test leaves little room with p2 >> degree).
+  EXPECT_LT(worst, 0.1);
+}
+
+TEST(ExactProbabilityTest, RejectsLargeParameters) {
+  Rng rng(1);
+  problems::Instance inst = problems::EqualMultisets(64, 32, rng);
+  EXPECT_FALSE(ExactAcceptProbability(inst, 5000).ok());
+}
+
+// ---------------------------------------------------------------------
+// Tape-level implementation: the co-RST(2, O(log N), 1) profile
+// ---------------------------------------------------------------------
+
+class FingerprintTapeTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FingerprintTapeTest, MatchesHostSemanticsAndBudget) {
+  Rng rng(GetParam());
+  for (bool equal : {true, false}) {
+    problems::Instance inst =
+        equal ? problems::EqualMultisets(8, 16, rng)
+              : problems::PerturbedMultisets(8, 16, 1, rng);
+    stmodel::StContext ctx(1);
+    ctx.LoadInput(inst.Encode());
+    Rng run_rng(GetParam() * 1000 + equal);
+    Result<FingerprintOutcome> outcome =
+        TestMultisetEqualityOnTapes(ctx, run_rng);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    if (equal) {
+      EXPECT_TRUE(outcome.value().accepted);  // no false negatives, ever
+    }
+    // Exactly 2 scans (1 reversal), never writing external memory.
+    tape::ResourceReport report = ctx.Report();
+    EXPECT_EQ(report.scan_bound, 2u);
+    EXPECT_EQ(report.num_external_tapes, 1u);
+    // O(log N) internal bits: generous constant.
+    EXPECT_LE(report.internal_space,
+              64 * stmodel::BitsFor(ctx.input_size()));
+
+    // The tape decision must replay exactly on the host with the same
+    // parameters.
+    EXPECT_EQ(outcome.value().accepted,
+              AcceptsWithParams(inst, outcome.value().params));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FingerprintTapeTest,
+                         ::testing::Values(3, 6, 9, 12, 15));
+
+TEST(FingerprintTapeTest, RejectsMalformedInput) {
+  stmodel::StContext ctx(1);
+  Rng rng(1);
+  ctx.LoadInput("01#2#");
+  EXPECT_FALSE(TestMultisetEqualityOnTapes(ctx, rng).ok());
+  ctx.LoadInput("01#1");
+  EXPECT_FALSE(TestMultisetEqualityOnTapes(ctx, rng).ok());
+  ctx.LoadInput("01#1#0#");
+  EXPECT_FALSE(TestMultisetEqualityOnTapes(ctx, rng).ok());
+}
+
+// ---------------------------------------------------------------------
+// Claim 1
+// ---------------------------------------------------------------------
+
+TEST(Claim1Test, CollisionRateSmall) {
+  Rng rng(23);
+  problems::Instance inst = problems::PerturbedMultisets(16, 24, 4, rng);
+  const double rate = EstimateClaim1CollisionRate(inst, 100, rng);
+  // Claim 1: O(1/m); with m = 16 and the large k, collisions are rare.
+  EXPECT_LE(rate, 0.25);
+}
+
+TEST(Claim1Test, ZeroTrialsIsZero) {
+  Rng rng(29);
+  problems::Instance inst = problems::EqualMultisets(4, 8, rng);
+  EXPECT_EQ(EstimateClaim1CollisionRate(inst, 0, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace rstlab::fingerprint

@@ -1,0 +1,437 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "listmachine/analysis.h"
+#include "listmachine/list_machine.h"
+#include "listmachine/machines.h"
+#include "listmachine/skeleton.h"
+#include "permutation/sortedness.h"
+#include "util/random.h"
+
+namespace rstlab::listmachine {
+namespace {
+
+std::vector<std::uint64_t> Iota(std::size_t count, std::uint64_t start) {
+  std::vector<std::uint64_t> v(count);
+  for (std::size_t i = 0; i < count; ++i) v[i] = start + i;
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Executor semantics
+// ---------------------------------------------------------------------
+
+TEST(ExecutorTest, InitialConfiguration) {
+  ZigZagMachine machine(2, 1, 3);
+  ListMachineExecutor exec(&machine);
+  ListMachineConfig config = exec.InitialConfiguration({7, 8, 9});
+  EXPECT_EQ(config.state, machine.initial_state());
+  ASSERT_EQ(config.lists.size(), 2u);
+  ASSERT_EQ(config.lists[0].size(), 3u);
+  // Cell j holds <v_j> with origin j.
+  EXPECT_EQ(config.lists[0][1][1].kind, Symbol::Kind::kInput);
+  EXPECT_EQ(config.lists[0][1][1].payload, 8u);
+  EXPECT_EQ(config.lists[0][1][1].origin, 1u);
+  // Other lists hold one empty cell <>.
+  ASSERT_EQ(config.lists[1].size(), 1u);
+  EXPECT_EQ(config.lists[1][0].size(), 2u);
+  EXPECT_EQ(config.heads, (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(config.directions, (std::vector<int>{+1, +1}));
+}
+
+TEST(ExecutorTest, ZigZagSingleSweepCosts) {
+  // One sweep right over m=4 cells: no direction changes.
+  ZigZagMachine machine(2, 1, 4);
+  ListMachineExecutor exec(&machine);
+  Result<ListMachineRun> run = exec.RunDeterministic(Iota(4, 0), 100);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().halted);
+  EXPECT_TRUE(run.value().accepted);
+  EXPECT_EQ(run.value().ScanBound(), 1u);
+  EXPECT_EQ(run.value().steps.size(), 3u);  // m-1 moves
+}
+
+class ZigZagSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ZigZagSweepTest, ReversalsMatchSweeps) {
+  const std::size_t sweeps = GetParam();
+  ZigZagMachine machine(2, sweeps, 4);
+  ListMachineExecutor exec(&machine);
+  Result<ListMachineRun> run = exec.RunDeterministic(Iota(4, 0), 10000);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run.value().halted);
+  // Each sweep after the first turns the list-1 head around once.
+  EXPECT_EQ(run.value().reversals[0], sweeps - 1);
+  EXPECT_EQ(run.value().ScanBound(),
+            1 + run.value().reversals[0] + run.value().reversals[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, ZigZagSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(ExecutorTest, TraceStringStructure) {
+  // After one step of a ZigZag machine, the written cell is
+  // a <x1> <x2> <c>.
+  ZigZagMachine machine(2, 1, 2);
+  ListMachineExecutor exec(&machine);
+  Result<ListMachineRun> run = exec.RunDeterministic({5, 6}, 100);
+  ASSERT_TRUE(run.ok());
+  const ListMachineConfig& fc = run.value().final_config;
+  // List 1 cell 0 was replaced by the trace string.
+  const CellContent& y = fc.lists[0][0];
+  ASSERT_GE(y.size(), 7u);
+  EXPECT_EQ(y[0].kind, Symbol::Kind::kState);
+  EXPECT_EQ(y[1].kind, Symbol::Kind::kOpen);
+  // The embedded input symbol keeps value and origin.
+  bool found_input = false;
+  for (const Symbol& s : y) {
+    if (s.kind == Symbol::Kind::kInput) {
+      EXPECT_EQ(s.payload, 5u);
+      EXPECT_EQ(s.origin, 0u);
+      found_input = true;
+    }
+  }
+  EXPECT_TRUE(found_input);
+  EXPECT_EQ(y.back().kind, Symbol::Kind::kClose);
+}
+
+TEST(ExecutorTest, ListsNeverShrink) {
+  ZigZagMachine machine(3, 4, 5);
+  ListMachineExecutor exec(&machine);
+  Result<ListMachineRun> run = exec.RunDeterministic(Iota(5, 0), 10000);
+  ASSERT_TRUE(run.ok());
+  std::size_t total = 0;
+  for (const auto& list : run.value().final_config.lists) {
+    total += list.size();
+  }
+  EXPECT_GE(total, 5u + 2u);  // initial cells at minimum
+}
+
+TEST(ExecutorTest, CoinMachineProbability) {
+  CoinListMachine coin;
+  ListMachineExecutor exec(&coin);
+  EXPECT_DOUBLE_EQ(exec.AcceptanceProbability({1}, 10), 0.5);
+  // Empirical check of the randomized runner.
+  Rng rng(3);
+  int accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    accepted += exec.RunRandomized({1}, rng, 10).accepted;
+  }
+  EXPECT_NEAR(accepted / 2000.0, 0.5, 0.04);
+}
+
+TEST(ExecutorTest, DeterministicRunnerRejectsRandomMachines) {
+  CoinListMachine coin;
+  ListMachineExecutor exec(&coin);
+  EXPECT_FALSE(exec.RunDeterministic({1}, 10).ok());
+}
+
+// Lemma 25-style counting: acceptance probability equals the fraction of
+// accepting choice sequences.
+TEST(ExecutorTest, ChoiceCountingMatchesProbability) {
+  CoinListMachine coin;
+  ListMachineExecutor exec(&coin);
+  int accepting = 0;
+  for (ChoiceId c : {0, 1}) {
+    accepting += exec.RunWithChoices({1}, {c}, 10).accepted;
+  }
+  EXPECT_DOUBLE_EQ(accepting / 2.0, exec.AcceptanceProbability({1}, 10));
+}
+
+// ---------------------------------------------------------------------
+// ReverseCompareMachine
+// ---------------------------------------------------------------------
+
+class ReverseCompareTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReverseCompareTest, AcceptsIffComparedPairsMatch) {
+  Rng rng(GetParam());
+  const std::size_t m = 4;
+  ReverseCompareMachine machine(m, m);
+  ListMachineExecutor exec(&machine);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> input(2 * m);
+    for (auto& v : input) v = rng.UniformBelow(3);
+    Result<ListMachineRun> run = exec.RunDeterministic(input, 1000);
+    ASSERT_TRUE(run.ok());
+    ASSERT_TRUE(run.value().halted);
+    // The machine checks v'_j == v_{m-j} for 1 <= j <= budget-1 (it can
+    // never reach the (v_0, v'_0) pair).
+    bool expected = true;
+    for (std::size_t j = 1; j < m; ++j) {
+      if (input[m + j] != input[m - j]) expected = false;
+    }
+    EXPECT_EQ(run.value().accepted, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReverseCompareTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(ReverseCompareTest, ScanBoundIsSmall) {
+  const std::size_t m = 8;
+  ReverseCompareMachine machine(m, m);
+  ListMachineExecutor exec(&machine);
+  Result<ListMachineRun> run = exec.RunDeterministic(Iota(2 * m, 0), 1000);
+  ASSERT_TRUE(run.ok());
+  // Head 1 never turns; head 2 turns once.
+  EXPECT_LE(run.value().ScanBound(), 3u);
+}
+
+TEST(ReverseCompareTest, ComparedPairsAreTheReversePairs) {
+  const std::size_t m = 4;
+  ReverseCompareMachine machine(m, m);
+  ListMachineExecutor exec(&machine);
+  // All-equal input so the machine runs to completion.
+  std::vector<std::uint64_t> input(2 * m, 7);
+  Result<ListMachineRun> run = exec.RunDeterministic(input, 1000);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run.value().accepted);
+  // Pairs (m - j, m + j) for j = 1..m-1 must be compared...
+  for (std::size_t j = 1; j < m; ++j) {
+    EXPECT_TRUE(ArePositionsCompared(run.value(), m - j, m + j))
+        << "j=" << j;
+  }
+  // ...and the blind-spot pair (0, m) must NOT be compared.
+  EXPECT_FALSE(ArePositionsCompared(run.value(), 0, m));
+}
+
+// ---------------------------------------------------------------------
+// Skeletons
+// ---------------------------------------------------------------------
+
+TEST(SkeletonTest, IndexStringAbstractsValues) {
+  CellContent cell = {Symbol::Open(), Symbol::Input(42, 3),
+                      Symbol::Close()};
+  const std::string ind = IndexString(cell);
+  EXPECT_NE(ind.find("i3"), std::string::npos);
+  EXPECT_EQ(ind.find("42"), std::string::npos);
+}
+
+TEST(SkeletonTest, EqualAcrossInputsWithSameShape) {
+  // Two different inputs produce the same skeleton on an input-oblivious
+  // machine (ZigZag never branches on values).
+  ZigZagMachine machine(2, 3, 4);
+  ListMachineExecutor exec(&machine);
+  Result<ListMachineRun> run_a = exec.RunDeterministic(Iota(4, 0), 10000);
+  Result<ListMachineRun> run_b =
+      exec.RunDeterministic(Iota(4, 100), 10000);
+  ASSERT_TRUE(run_a.ok());
+  ASSERT_TRUE(run_b.ok());
+  EXPECT_EQ(BuildSkeleton(run_a.value()), BuildSkeleton(run_b.value()));
+  EXPECT_NE(BuildSkeleton(run_a.value()).Serialize(), "");
+}
+
+TEST(SkeletonTest, DiffersAcrossMachines) {
+  ZigZagMachine two_sweeps(2, 2, 4);
+  ZigZagMachine three_sweeps(2, 3, 4);
+  ListMachineExecutor exec2(&two_sweeps);
+  ListMachineExecutor exec3(&three_sweeps);
+  Result<ListMachineRun> a = exec2.RunDeterministic(Iota(4, 0), 10000);
+  Result<ListMachineRun> b = exec3.RunDeterministic(Iota(4, 0), 10000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(BuildSkeleton(a.value()), BuildSkeleton(b.value()));
+}
+
+TEST(SkeletonTest, MovesRecorded) {
+  ZigZagMachine machine(2, 1, 3);
+  ListMachineExecutor exec(&machine);
+  Result<ListMachineRun> run = exec.RunDeterministic(Iota(3, 0), 100);
+  ASSERT_TRUE(run.ok());
+  RunSkeleton skel = BuildSkeleton(run.value());
+  ASSERT_EQ(skel.moves.size(), run.value().steps.size());
+  // Every ZigZag step moves the list-1 head.
+  for (const auto& mv : skel.moves) {
+    EXPECT_NE(mv[0], 0);
+  }
+  EXPECT_EQ(skel.views.size(), skel.moves.size() + 1);
+}
+
+TEST(SkeletonTest, ComparedPairsSymmetricAndReflexive) {
+  ReverseCompareMachine machine(2, 2);
+  ListMachineExecutor exec(&machine);
+  Result<ListMachineRun> run =
+      exec.RunDeterministic({1, 2, 2, 1}, 1000);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(ArePositionsCompared(run.value(), 1, 1));  // reflexive
+  EXPECT_EQ(ArePositionsCompared(run.value(), 1, 3),
+            ArePositionsCompared(run.value(), 3, 1));
+}
+
+
+// ---------------------------------------------------------------------
+// Structured trace access + IdentityCompareMachine
+// ---------------------------------------------------------------------
+
+TEST(TraceComponentTest, ParsesTopLevelGroups) {
+  // y = a5 <v7@2> <> <c3>
+  CellContent y = {Symbol::State(5), Symbol::Open(),
+                   Symbol::Input(7, 2), Symbol::Close(), Symbol::Open(),
+                   Symbol::Close(), Symbol::Open(), Symbol::Choice(3),
+                   Symbol::Close()};
+  auto x1 = TraceComponent(y, 0);
+  ASSERT_TRUE(x1.has_value());
+  ASSERT_EQ(x1->size(), 1u);
+  EXPECT_EQ((*x1)[0].kind, Symbol::Kind::kInput);
+  auto x2 = TraceComponent(y, 1);
+  ASSERT_TRUE(x2.has_value());
+  EXPECT_TRUE(x2->empty());
+  auto c = TraceComponent(y, 2);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ((*c)[0].kind, Symbol::Kind::kChoice);
+  EXPECT_FALSE(TraceComponent(y, 3).has_value());
+  // Non-trace cells have no components.
+  CellContent initial = {Symbol::Open(), Symbol::Input(1, 0),
+                         Symbol::Close()};
+  EXPECT_FALSE(TraceComponent(initial, 0).has_value());
+}
+
+TEST(TraceComponentTest, HandlesNesting) {
+  CellContent inner = {Symbol::State(1), Symbol::Open(),
+                       Symbol::Input(9, 4), Symbol::Close(),
+                       Symbol::Open(), Symbol::Close()};
+  CellContent outer;
+  outer.push_back(Symbol::State(2));
+  outer.push_back(Symbol::Open());
+  outer.insert(outer.end(), inner.begin(), inner.end());
+  outer.push_back(Symbol::Close());
+  outer.push_back(Symbol::Open());
+  outer.push_back(Symbol::Close());
+  auto x1 = TraceComponent(outer, 0);
+  ASSERT_TRUE(x1.has_value());
+  EXPECT_EQ(*x1, inner);
+}
+
+TEST(CarriedInputSymbolTest, RecursesAndFallsBack) {
+  // Initial cell: carries its own input.
+  CellContent initial = {Symbol::Open(), Symbol::Input(11, 3),
+                         Symbol::Close()};
+  auto carried = CarriedInputSymbol(initial, 1);
+  ASSERT_TRUE(carried.has_value());
+  EXPECT_EQ(carried->origin, 3u);
+  // Trace whose x2 is empty: falls back to the x1 value (copy-phase
+  // cells).
+  CellContent y = {Symbol::State(5), Symbol::Open(),
+                   Symbol::Input(7, 2), Symbol::Close(), Symbol::Open(),
+                   Symbol::Close(), Symbol::Open(), Symbol::Choice(0),
+                   Symbol::Close()};
+  carried = CarriedInputSymbol(y, 1);
+  ASSERT_TRUE(carried.has_value());
+  EXPECT_EQ(carried->origin, 2u);
+  // Overwritten cell: recurses into x2 and recovers the buried value.
+  CellContent overwrite;
+  overwrite.push_back(Symbol::State(6));
+  overwrite.push_back(Symbol::Open());
+  overwrite.push_back(Symbol::Input(99, 8));  // x1: some other value
+  overwrite.push_back(Symbol::Close());
+  overwrite.push_back(Symbol::Open());
+  overwrite.insert(overwrite.end(), y.begin(), y.end());  // x2 = y
+  overwrite.push_back(Symbol::Close());
+  carried = CarriedInputSymbol(overwrite, 1);
+  ASSERT_TRUE(carried.has_value());
+  EXPECT_EQ(carried->origin, 2u);  // not 8
+}
+
+class IdentityCompareTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IdentityCompareTest, DecidesIdentityAlignment) {
+  Rng rng(GetParam());
+  const std::size_t m = 6;
+  IdentityCompareMachine machine(m);
+  ListMachineExecutor exec(&machine);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::uint64_t> input(2 * m);
+    for (std::size_t j = 0; j < m; ++j) {
+      input[j] = rng.UniformBelow(4);
+      input[m + j] =
+          rng.Bernoulli(0.7) ? input[j] : rng.UniformBelow(4);
+    }
+    Result<ListMachineRun> run = exec.RunDeterministic(input, 100000);
+    ASSERT_TRUE(run.ok());
+    ASSERT_TRUE(run.value().halted);
+    EXPECT_EQ(run.value().accepted,
+              IdentityCompareMachine::ReferencePredicate(input, m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdentityCompareTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IdentityCompareTest, ConstantScanBound) {
+  for (std::size_t m : {2u, 8u, 32u, 128u}) {
+    IdentityCompareMachine machine(m);
+    ListMachineExecutor exec(&machine);
+    std::vector<std::uint64_t> input(2 * m, 5);
+    Result<ListMachineRun> run = exec.RunDeterministic(input, 1000000);
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run.value().accepted);
+    // 2 reversals on list 2, none on list 1: scan bound 3 at EVERY m —
+    // the identity permutation (sortedness m) is decidable with O(1)
+    // scans, in sharp contrast to the Lemma 21 blind spot.
+    EXPECT_EQ(run.value().ScanBound(), 3u) << m;
+  }
+}
+
+TEST(IdentityCompareTest, ComparesAllIdentityPairs) {
+  const std::size_t m = 8;
+  IdentityCompareMachine machine(m);
+  ListMachineExecutor exec(&machine);
+  std::vector<std::uint64_t> input(2 * m, 1);
+  Result<ListMachineRun> run = exec.RunDeterministic(input, 1000000);
+  ASSERT_TRUE(run.ok());
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_TRUE(ArePositionsCompared(run.value(), j, m + j)) << j;
+  }
+  // Consistency with Lemma 38: m compared pairs <= t^{2r} * m.
+  MergeLemmaCheck check = CheckMergeLemma(
+      run.value(), rstlab::permutation::Identity(m));
+  EXPECT_TRUE(check.within_bounds);
+  EXPECT_EQ(check.compared_count, m);
+}
+
+TEST(IdentityCompareTest, EmptyInputAccepts) {
+  IdentityCompareMachine machine(0);
+  ListMachineExecutor exec(&machine);
+  Result<ListMachineRun> run = exec.RunDeterministic({}, 100);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().accepted);
+}
+
+// ---------------------------------------------------------------------
+// Lemma 26 (averaging)
+// ---------------------------------------------------------------------
+
+TEST(Lemma26Test, FindsGoodChoiceSequenceForCoin) {
+  CoinListMachine coin;
+  ListMachineExecutor exec(&coin);
+  // Both inputs are accepted under the choice sequence (0): choice 0
+  // accepts regardless of input.
+  std::vector<std::vector<std::uint64_t>> inputs = {{1}, {2}};
+  auto seq = FindGoodChoiceSequence(exec, coin, inputs, 1, 10);
+  ASSERT_TRUE(seq.has_value());
+  int accepted = 0;
+  for (const auto& input : inputs) {
+    accepted += exec.RunWithChoices(input, *seq, 10).accepted;
+  }
+  EXPECT_GE(accepted, 1);
+}
+
+TEST(Lemma26Test, ReturnsNulloptWhenImpossible) {
+  // A machine that always rejects: ZigZag variant is always accepting,
+  // so use the coin machine with inputs but demand acceptance of both
+  // under a single choice... choice 0 accepts both, so instead ask for a
+  // sequence of length 0 on a machine that needs one step.
+  CoinListMachine coin;
+  ListMachineExecutor exec(&coin);
+  std::vector<std::vector<std::uint64_t>> inputs = {{1}};
+  auto seq = FindGoodChoiceSequence(exec, coin, inputs, 0, 0);
+  EXPECT_FALSE(seq.has_value());
+}
+
+}  // namespace
+}  // namespace rstlab::listmachine

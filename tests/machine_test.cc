@@ -1,0 +1,297 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "machine/machine_builder.h"
+#include "machine/turing_machine.h"
+#include "util/random.h"
+
+namespace rstlab::machine {
+namespace {
+
+TuringMachine Make(MachineSpec spec) {
+  Result<TuringMachine> tm = TuringMachine::Create(std::move(spec));
+  EXPECT_TRUE(tm.ok()) << tm.status();
+  return std::move(tm).value();
+}
+
+TEST(TuringMachineTest, CreateRejectsBadSpecs) {
+  MachineSpec spec;
+  spec.accepting_states = {5};  // not final
+  EXPECT_FALSE(TuringMachine::Create(spec).ok());
+
+  MachineSpec arity = zoo::FirstSymbolOne();
+  arity.transitions.begin()->second[0].moves.clear();
+  EXPECT_FALSE(TuringMachine::Create(arity).ok());
+}
+
+TEST(TuringMachineTest, FirstSymbolOne) {
+  TuringMachine tm = Make(zoo::FirstSymbolOne());
+  Result<RunResult> yes = tm.RunDeterministic("101", 100);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes.value().halted);
+  EXPECT_TRUE(yes.value().accepted);
+  Result<RunResult> no = tm.RunDeterministic("011", 100);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no.value().accepted);
+  Result<RunResult> empty = tm.RunDeterministic("", 100);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty.value().accepted);
+}
+
+class EvenOnesTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EvenOnesTest, MatchesParity) {
+  TuringMachine tm = Make(zoo::EvenOnes());
+  const std::string& input = GetParam();
+  const std::size_t ones =
+      static_cast<std::size_t>(std::count(input.begin(), input.end(), '1'));
+  Result<RunResult> run = tm.RunDeterministic(input, 1000);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().halted);
+  EXPECT_EQ(run.value().accepted, ones % 2 == 0) << input;
+  // A single forward scan: no reversals.
+  EXPECT_EQ(run.value().costs.scan_bound, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, EvenOnesTest,
+                         ::testing::Values("", "0", "1", "11", "101",
+                                           "0110", "111", "11011011",
+                                           "000000", "10101010"));
+
+TEST(TuringMachineTest, FairCoinAcceptsWithHalf) {
+  TuringMachine tm = Make(zoo::FairCoin());
+  EXPECT_DOUBLE_EQ(tm.AcceptanceProbability("0", 10), 0.5);
+  // Empirically too.
+  Rng rng(3);
+  int accepted = 0;
+  for (int i = 0; i < 4000; ++i) {
+    accepted += tm.RunRandomized("0", rng, 10).accepted;
+  }
+  EXPECT_NEAR(accepted / 4000.0, 0.5, 0.03);
+}
+
+class BiasedCoinTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(BiasedCoinTest, ExactProbability) {
+  const auto [num, k] = GetParam();
+  TuringMachine tm = Make(zoo::BiasedCoin(num, k));
+  const double expected =
+      static_cast<double>(num) / std::pow(2.0, static_cast<double>(k));
+  EXPECT_NEAR(tm.AcceptanceProbability("1", 50), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BiasedCoinTest,
+    ::testing::Values(std::make_pair(0u, 2u), std::make_pair(1u, 2u),
+                      std::make_pair(3u, 2u), std::make_pair(4u, 2u),
+                      std::make_pair(5u, 3u), std::make_pair(7u, 4u),
+                      std::make_pair(11u, 4u)));
+
+TEST(TuringMachineTest, GuessFirstBitHasProbabilityHalf) {
+  TuringMachine tm = Make(zoo::GuessFirstBit());
+  EXPECT_DOUBLE_EQ(tm.AcceptanceProbability("0", 10), 0.5);
+  EXPECT_DOUBLE_EQ(tm.AcceptanceProbability("1", 10), 0.5);
+}
+
+TEST(TuringMachineTest, DeterministicRunnerRejectsNondeterminism) {
+  TuringMachine tm = Make(zoo::FairCoin());
+  EXPECT_FALSE(tm.RunDeterministic("0", 10).ok());
+}
+
+// Definition 17 / Lemma 18: probability == fraction of accepting choice
+// sequences over C^l.
+TEST(TuringMachineTest, ChoiceSequenceCountingMatchesProbability) {
+  TuringMachine tm = Make(zoo::GuessFirstBit());
+  const std::size_t b = tm.MaxBranching();
+  EXPECT_EQ(b, 2u);
+  // l = 2 steps suffice; enumerate C^2 with C = {0, 1} (lcm(1,2) = 2).
+  int accepting = 0;
+  int total = 0;
+  for (std::uint64_t c1 = 0; c1 < 2; ++c1) {
+    for (std::uint64_t c2 = 0; c2 < 2; ++c2) {
+      RunResult run = tm.RunWithChoices("1", {c1, c2}, 10);
+      EXPECT_TRUE(run.halted);
+      accepting += run.accepted;
+      ++total;
+    }
+  }
+  EXPECT_DOUBLE_EQ(static_cast<double>(accepting) / total,
+                   tm.AcceptanceProbability("1", 10));
+}
+
+class TwoFieldEqualityTest
+    : public ::testing::TestWithParam<std::pair<std::string, std::string>> {
+};
+
+TEST_P(TwoFieldEqualityTest, DecidesEquality) {
+  TuringMachine tm = Make(zoo::TwoFieldEquality());
+  const auto& [v, w] = GetParam();
+  Result<RunResult> run = tm.RunDeterministic(v + "#" + w + "#", 10000);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run.value().halted);
+  EXPECT_EQ(run.value().accepted, v == w) << v << " vs " << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, TwoFieldEqualityTest,
+    ::testing::Values(std::make_pair("0", "0"), std::make_pair("1", "0"),
+                      std::make_pair("01", "01"),
+                      std::make_pair("01", "10"),
+                      std::make_pair("0110", "0110"),
+                      std::make_pair("0110", "0111"),
+                      std::make_pair("0110", "011"),
+                      std::make_pair("011", "0110"),
+                      std::make_pair("10101", "10101")));
+
+TEST(TwoFieldEqualityTest, UsesReversalsOnBothTapes) {
+  TuringMachine tm = Make(zoo::TwoFieldEquality());
+  Result<RunResult> run =
+      tm.RunDeterministic("0110#0110#", 10000);
+  ASSERT_TRUE(run.ok());
+  // Tape 1 rewinds once (1 reversal); tape 0 keeps moving right.
+  EXPECT_EQ(run.value().costs.external_reversals[0], 0u);
+  EXPECT_EQ(run.value().costs.external_reversals[1], 2u);
+  EXPECT_EQ(run.value().costs.scan_bound, 3u);
+}
+
+TEST(TuringMachineTest, RunCostsCountInternalSpace) {
+  // A machine with one internal tape that writes 3 cells.
+  MachineBuilder b(1, 1);
+  b.SetStart(0).AddFinal(3, true);
+  const char B = kBlank;
+  b.On(0, std::string({B, B})).Go(1, "xy", {Move::kStay, Move::kRight});
+  b.On(1, std::string({'x', B})).Go(2, "xy", {Move::kStay, Move::kRight});
+  b.On(2, std::string({'x', B})).Go(3, "xy", {Move::kStay, Move::kStay});
+  TuringMachine tm = Make(b.Build());
+  Result<RunResult> run = tm.RunDeterministic("", 100);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().accepted);
+  EXPECT_EQ(run.value().costs.internal_space, 3u);
+}
+
+TEST(TuringMachineTest, MaxStepsReportsNotHalted) {
+  // A machine that loops forever moving right.
+  MachineBuilder b(1, 0);
+  b.SetStart(0).AddFinal(9, true);
+  for (char c : {'0', '1', kBlank}) {
+    b.On(0, std::string(1, c)).Go(0, std::string(1, c), {Move::kRight});
+  }
+  TuringMachine tm = Make(b.Build());
+  RunResult run = tm.RunWithChoices("0101", std::vector<std::uint64_t>(50, 0), 50);
+  EXPECT_FALSE(run.halted);
+  EXPECT_FALSE(run.accepted);
+}
+
+
+class PalindromeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PalindromeTest, DecidesPalindromes) {
+  TuringMachine tm = Make(zoo::Palindrome());
+  const std::string& v = GetParam();
+  const bool is_palindrome =
+      std::equal(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(
+                                            v.size() / 2),
+                 v.rbegin());
+  Result<RunResult> run = tm.RunDeterministic(v + "#", 100000);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run.value().halted);
+  EXPECT_EQ(run.value().accepted, is_palindrome) << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Words, PalindromeTest,
+    ::testing::Values("", "0", "1", "00", "01", "010", "011", "0110",
+                      "0101", "10101", "110011", "110010",
+                      "01011010010110101101001011010"));
+
+TEST(PalindromeTest, TurnsBothHeads) {
+  TuringMachine tm = Make(zoo::Palindrome());
+  Result<RunResult> run = tm.RunDeterministic("011110#", 100000);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().accepted);
+  EXPECT_EQ(run.value().costs.external_reversals[0], 2u);
+  EXPECT_EQ(run.value().costs.external_reversals[1], 1u);
+}
+
+
+class BalancedZerosOnesTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BalancedZerosOnesTest, CountsCorrectly) {
+  TuringMachine tm = Make(zoo::BalancedZerosOnes());
+  const std::string& v = GetParam();
+  const auto zeros = std::count(v.begin(), v.end(), '0');
+  const auto ones = std::count(v.begin(), v.end(), '1');
+  Result<RunResult> run = tm.RunDeterministic(v + "#", 1000000);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_TRUE(run.value().halted) << v;
+  EXPECT_EQ(run.value().accepted, zeros == ones) << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Words, BalancedZerosOnesTest,
+    ::testing::Values("", "0", "1", "01", "10", "00", "0011", "0101",
+                      "0001", "11110000", "111100001", "010101010101",
+                      "000000001111111101", "0110100110010110"));
+
+TEST(BalancedZerosOnesTest, UsesOneScanAndLogSpace) {
+  TuringMachine tm = Make(zoo::BalancedZerosOnes());
+  // A 64-character balanced input.
+  std::string v;
+  for (int i = 0; i < 32; ++i) v += "01";
+  Result<RunResult> run = tm.RunDeterministic(v + "#", 1000000);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().accepted);
+  // One external scan, no reversals: ST(1, O(log N), 1).
+  EXPECT_EQ(run.value().costs.scan_bound, 1u);
+  // Internal space: two counters of ~log2(32) digits plus markers.
+  EXPECT_LE(run.value().costs.internal_space, 20u);
+  EXPECT_GE(run.value().costs.internal_space, 4u);
+}
+
+TEST(BalancedZerosOnesTest, InternalSpaceGrowsLogarithmically) {
+  TuringMachine tm = Make(zoo::BalancedZerosOnes());
+  std::vector<std::size_t> space;
+  for (std::size_t half : {8u, 64u, 512u}) {
+    std::string v(half, '0');
+    v += std::string(half, '1');
+    Result<RunResult> run = tm.RunDeterministic(v + "#", 10000000);
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run.value().accepted);
+    space.push_back(run.value().costs.internal_space);
+  }
+  // +3 digits per 8x input growth, per counter (plus slack).
+  EXPECT_LE(space[2], space[0] + 16);
+  EXPECT_GT(space[2], space[0]);
+}
+
+// Lemma 3: run lengths and external space of bounded machines stay
+// below N * 2^{O(r(t+s))}.
+TEST(Lemma3Test, HoldsForTheZooMachines) {
+  struct Case {
+    MachineSpec spec;
+    std::string input;
+  };
+  std::vector<Case> cases;
+  cases.push_back({zoo::EvenOnes(), "0110101#"});
+  cases.push_back({zoo::TwoFieldEquality(), "0101#0101#"});
+  cases.push_back({zoo::Palindrome(), "0110110#"});
+  for (auto& c : cases) {
+    TuringMachine tm = Make(std::move(c.spec));
+    Result<RunResult> run = tm.RunDeterministic(c.input, 100000);
+    ASSERT_TRUE(run.ok());
+    ASSERT_TRUE(run.value().halted);
+    Lemma3Check check =
+        CheckLemma3(run.value(), c.input.size(), tm.spec());
+    EXPECT_TRUE(check.within_bounds)
+        << "len " << check.run_length << " space "
+        << check.external_space << " vs 2^" << check.log2_bound;
+  }
+}
+
+}  // namespace
+}  // namespace rstlab::machine

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "nst/certificate.h"
+#include "nst/paper_verifier.h"
+#include "permutation/phi.h"
+#include "problems/generators.h"
+#include "problems/reference.h"
+#include "stmodel/internal_arena.h"
+#include "stmodel/st_context.h"
+#include "util/random.h"
+
+namespace rstlab::nst {
+namespace {
+
+using problems::Instance;
+using problems::Problem;
+
+Instance MakeInstance(const std::vector<std::string>& first,
+                      const std::vector<std::string>& second) {
+  Instance instance;
+  for (const auto& v : first) {
+    instance.first.push_back(BitString::FromString(v));
+  }
+  for (const auto& v : second) {
+    instance.second.push_back(BitString::FromString(v));
+  }
+  return instance;
+}
+
+// ---------------------------------------------------------------------
+// Host-level certificates
+// ---------------------------------------------------------------------
+
+TEST(CertificateTest, VerifyPermutationCertificate) {
+  Instance inst = MakeInstance({"01", "10"}, {"10", "01"});
+  Certificate good;
+  good.pi = {1, 0};
+  EXPECT_TRUE(
+      VerifyCertificate(Problem::kMultisetEquality, inst, good));
+  Certificate bad;
+  bad.pi = {0, 1};
+  EXPECT_FALSE(
+      VerifyCertificate(Problem::kMultisetEquality, inst, bad));
+  Certificate not_perm;
+  not_perm.pi = {1, 1};
+  EXPECT_FALSE(
+      VerifyCertificate(Problem::kMultisetEquality, inst, not_perm));
+}
+
+TEST(CertificateTest, CheckSortNeedsSortedSecond) {
+  Instance unsorted = MakeInstance({"01", "10"}, {"10", "01"});
+  Certificate cert;
+  cert.pi = {1, 0};
+  EXPECT_FALSE(unsorted.second[0] < unsorted.second[1]);
+  // Multiset-wise fine...
+  EXPECT_TRUE(
+      VerifyCertificate(Problem::kMultisetEquality, unsorted, cert));
+  // ...but CHECK-SORT needs the second list ascending.
+  EXPECT_FALSE(VerifyCertificate(Problem::kCheckSort, unsorted, cert));
+
+  Instance sorted = MakeInstance({"10", "01"}, {"01", "10"});
+  EXPECT_TRUE(VerifyCertificate(Problem::kCheckSort, sorted, cert));
+}
+
+TEST(CertificateTest, SetEqualityUsesMaps) {
+  // {a, a, b} vs {b, a, a} as sets: alpha/beta need not be injective.
+  Instance inst = MakeInstance({"00", "00", "11"}, {"11", "00", "00"});
+  Certificate cert;
+  cert.alpha = {1, 1, 0};
+  cert.beta = {2, 0, 0};
+  EXPECT_TRUE(VerifyCertificate(Problem::kSetEquality, inst, cert));
+  cert.alpha = {0, 1, 0};  // v_0 = "00" mapped to "11": wrong
+  EXPECT_FALSE(VerifyCertificate(Problem::kSetEquality, inst, cert));
+}
+
+class HonestCertificateTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HonestCertificateTest, FoundExactlyOnYesInstances) {
+  Rng rng(GetParam());
+  struct Case {
+    Problem problem;
+    Instance instance;
+  };
+  std::vector<Case> cases = {
+      {Problem::kMultisetEquality, problems::EqualMultisets(8, 8, rng)},
+      {Problem::kMultisetEquality,
+       problems::PerturbedMultisets(8, 8, 1, rng)},
+      {Problem::kCheckSort, problems::SortedPair(8, 8, rng)},
+      {Problem::kCheckSort, problems::MisorderedPair(8, 8, rng)},
+      {Problem::kSetEquality, problems::EqualSets(8, 8, rng)},
+  };
+  for (const Case& c : cases) {
+    const bool yes = RefDecide(c.problem, c.instance);
+    auto cert = FindHonestCertificate(c.problem, c.instance);
+    EXPECT_EQ(cert.has_value(), yes);
+    if (cert.has_value()) {
+      EXPECT_TRUE(VerifyCertificate(c.problem, c.instance, *cert));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HonestCertificateTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// Soundness + completeness, exhaustively over certificates for tiny m:
+// a certificate exists iff the reference decider says yes.
+class ExhaustiveCertificateTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExhaustiveCertificateTest, ExistsIffYes) {
+  Rng rng(GetParam());
+  std::vector<Instance> instances = {
+      problems::EqualMultisets(4, 6, rng),
+      problems::PerturbedMultisets(4, 6, 1, rng),
+      problems::SortedPair(4, 6, rng),
+      problems::MisorderedPair(4, 6, rng),
+      MakeInstance({"00", "00", "11", "01"}, {"11", "00", "01", "00"}),
+      MakeInstance({"00", "00", "11", "01"}, {"11", "00", "01", "01"}),
+  };
+  for (const Instance& inst : instances) {
+    for (Problem problem :
+         {Problem::kMultisetEquality, Problem::kCheckSort,
+          Problem::kSetEquality}) {
+      EXPECT_EQ(ExistsAcceptingCertificate(problem, inst),
+                RefDecide(problem, inst))
+          << ProblemName(problem) << " on " << inst.Encode();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveCertificateTest,
+                         ::testing::Values(10, 20, 30, 40));
+
+// ---------------------------------------------------------------------
+// The paper's tape-level verifier (Theorem 8(b))
+// ---------------------------------------------------------------------
+
+class PaperVerifierTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PaperVerifierTest, HonestCertificateAcceptedOnYes) {
+  Rng rng(GetParam());
+  struct Case {
+    Problem problem;
+    Instance instance;
+  };
+  std::vector<Case> cases = {
+      {Problem::kMultisetEquality, problems::EqualMultisets(4, 6, rng)},
+      {Problem::kCheckSort, problems::SortedPair(4, 6, rng)},
+      {Problem::kSetEquality, problems::EqualSets(4, 6, rng)},
+  };
+  for (const Case& c : cases) {
+    auto cert = FindHonestCertificate(c.problem, c.instance);
+    ASSERT_TRUE(cert.has_value());
+    stmodel::StContext ctx(3);
+    ctx.LoadInput(c.instance.Encode());
+    Result<NstRunResult> run =
+        RunPaperVerifier(c.problem, c.instance, *cert, ctx);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_TRUE(run.value().accepted) << ProblemName(c.problem);
+
+    // Constant scans, O(log N) internal memory.
+    tape::ResourceReport report = ctx.Report();
+    EXPECT_LE(report.scan_bound, 5u);
+    EXPECT_LE(report.internal_space,
+              64 * stmodel::BitsFor(ctx.input_size()));
+  }
+}
+
+TEST_P(PaperVerifierTest, NoCertificateAcceptedOnNo) {
+  Rng rng(GetParam() + 100);
+  const std::size_t m = 3;
+  Instance no_multiset = problems::PerturbedMultisets(m, 5, 1, rng);
+  // Try every permutation certificate.
+  permutation::Permutation pi = permutation::Identity(m);
+  do {
+    Certificate cert;
+    cert.pi = pi;
+    stmodel::StContext ctx(3);
+    ctx.LoadInput(no_multiset.Encode());
+    Result<NstRunResult> run = RunPaperVerifier(
+        Problem::kMultisetEquality, no_multiset, cert, ctx);
+    ASSERT_TRUE(run.ok());
+    EXPECT_FALSE(run.value().accepted);
+  } while (std::next_permutation(pi.begin(), pi.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperVerifierTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(PaperVerifierTest, CheckSortRejectsUnsortedSecondList) {
+  // Multiset-equal but unsorted: every permutation certificate must be
+  // rejected for CHECK-SORT (the adjacent-pair sweep fires).
+  Instance inst = MakeInstance({"01", "10"}, {"10", "01"});
+  permutation::Permutation pi = permutation::Identity(2);
+  do {
+    Certificate cert;
+    cert.pi = pi;
+    stmodel::StContext ctx(3);
+    ctx.LoadInput(inst.Encode());
+    Result<NstRunResult> run =
+        RunPaperVerifier(Problem::kCheckSort, inst, cert, ctx);
+    ASSERT_TRUE(run.ok());
+    EXPECT_FALSE(run.value().accepted);
+  } while (std::next_permutation(pi.begin(), pi.end()));
+}
+
+TEST(PaperVerifierTest, MalformedCertificateRejected) {
+  Rng rng(7);
+  Instance inst = problems::EqualMultisets(3, 5, rng);
+  Certificate bad;
+  bad.pi = {0, 1};  // wrong size
+  stmodel::StContext ctx(3);
+  ctx.LoadInput(inst.Encode());
+  Result<NstRunResult> run =
+      RunPaperVerifier(Problem::kMultisetEquality, inst, bad, ctx);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run.value().accepted);
+}
+
+TEST(PaperVerifierTest, CopyCountMatchesConstruction) {
+  Rng rng(9);
+  const std::size_t m = 3;
+  const std::size_t n = 5;
+  Instance inst = problems::EqualMultisets(m, n, rng);
+  auto cert = FindHonestCertificate(Problem::kMultisetEquality, inst);
+  ASSERT_TRUE(cert.has_value());
+  stmodel::StContext ctx(3);
+  ctx.LoadInput(inst.Encode());
+  Result<NstRunResult> run =
+      RunPaperVerifier(Problem::kMultisetEquality, inst, *cert, ctx);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().accepted);
+  // n*m bit-check copies plus m injectivity copies.
+  EXPECT_EQ(run.value().copies_written, n * m + m);
+  // |u| = m index fields + the encoded instance.
+  EXPECT_GT(run.value().copy_length, inst.N());
+}
+
+TEST(PaperVerifierTest, EmptyInstanceAccepted) {
+  Instance empty;
+  Certificate cert;
+  stmodel::StContext ctx(3);
+  ctx.LoadInput("");
+  Result<NstRunResult> run =
+      RunPaperVerifier(Problem::kMultisetEquality, empty, cert, ctx);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().accepted);
+}
+
+}  // namespace
+}  // namespace rstlab::nst

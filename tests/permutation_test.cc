@@ -1,0 +1,134 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "permutation/phi.h"
+#include "permutation/sortedness.h"
+#include "util/random.h"
+
+namespace rstlab::permutation {
+namespace {
+
+/// Brute-force longest monotone (ascending or descending) subsequence,
+/// O(2^m); ground truth for small m.
+std::size_t BruteForceSortedness(const Permutation& perm) {
+  const std::size_t m = perm.size();
+  std::size_t best = 0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+    std::vector<std::size_t> sub;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (std::size_t{1} << i)) sub.push_back(perm[i]);
+    }
+    const bool asc = std::is_sorted(sub.begin(), sub.end());
+    const bool desc = std::is_sorted(sub.rbegin(), sub.rend());
+    if (asc || desc) best = std::max(best, sub.size());
+  }
+  return best;
+}
+
+TEST(SortednessTest, IsPermutationDetectsValidity) {
+  EXPECT_TRUE(IsPermutation({0, 1, 2}));
+  EXPECT_TRUE(IsPermutation({2, 0, 1}));
+  EXPECT_TRUE(IsPermutation({}));
+  EXPECT_FALSE(IsPermutation({0, 0, 1}));
+  EXPECT_FALSE(IsPermutation({0, 3, 1}));
+}
+
+TEST(SortednessTest, LisKnownCases) {
+  EXPECT_EQ(LongestIncreasingSubsequence({}), 0u);
+  EXPECT_EQ(LongestIncreasingSubsequence({5}), 1u);
+  EXPECT_EQ(LongestIncreasingSubsequence({1, 2, 3, 4}), 4u);
+  EXPECT_EQ(LongestIncreasingSubsequence({4, 3, 2, 1}), 1u);
+  EXPECT_EQ(LongestIncreasingSubsequence({3, 1, 2, 5, 4}), 3u);
+}
+
+TEST(SortednessTest, IdentityHasFullSortedness) {
+  EXPECT_EQ(Sortedness(Identity(16)), 16u);
+}
+
+TEST(SortednessTest, ReversalHasFullSortedness) {
+  Permutation rev(10);
+  for (std::size_t i = 0; i < 10; ++i) rev[i] = 9 - i;
+  EXPECT_EQ(Sortedness(rev), 10u);  // descending run counts too
+}
+
+class SortednessBruteForceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SortednessBruteForceTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  for (std::size_t m : {1u, 2u, 3u, 5u, 8u, 10u, 12u}) {
+    Permutation perm = RandomPermutation(m, rng);
+    EXPECT_EQ(Sortedness(perm), BruteForceSortedness(perm))
+        << "m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortednessBruteForceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SortednessTest, InverseIsInverse) {
+  Rng rng(11);
+  Permutation perm = RandomPermutation(20, rng);
+  Permutation inv = Inverse(perm);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(inv[perm[i]], i);
+    EXPECT_EQ(perm[inv[i]], i);
+  }
+}
+
+TEST(PhiTest, ReverseBits) {
+  EXPECT_EQ(ReverseBits(0b001, 3), 0b100u);
+  EXPECT_EQ(ReverseBits(0b110, 3), 0b011u);
+  EXPECT_EQ(ReverseBits(0b1, 1), 0b1u);
+  EXPECT_EQ(ReverseBits(0, 4), 0u);
+}
+
+TEST(PhiTest, BitReversalIsPermutationAndInvolution) {
+  for (std::size_t m : {2u, 4u, 8u, 16u, 64u}) {
+    Permutation phi = BitReversalPermutation(m);
+    EXPECT_TRUE(IsPermutation(phi));
+    // Bit reversal is an involution: phi(phi(i)) == i.
+    for (std::size_t i = 0; i < m; ++i) EXPECT_EQ(phi[phi[i]], i);
+  }
+}
+
+// Remark 20: sortedness(phi_m) <= 2*sqrt(m) - 1.
+class Remark20Test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Remark20Test, BitReversalSortednessBound) {
+  const std::size_t m = GetParam();
+  Permutation phi = BitReversalPermutation(m);
+  const double bound = 2.0 * std::sqrt(static_cast<double>(m)) - 1.0;
+  EXPECT_LE(static_cast<double>(Sortedness(phi)), bound) << "m=" << m;
+}
+
+// (m = 2 is excluded: every 2-permutation has sortedness 2 > 2*sqrt(2)-1;
+// Remark 20's bound is meaningful from m = 4 on.)
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, Remark20Test,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256,
+                                           512, 1024, 4096, 16384));
+
+TEST(Remark20Test, RandomPermutationSortednessAtLeastSqrt) {
+  // Erdos-Szekeres: every permutation has sortedness >= sqrt(m).
+  Rng rng(13);
+  for (std::size_t m : {16u, 64u, 256u, 1024u}) {
+    Permutation perm = RandomPermutation(m, rng);
+    EXPECT_GE(static_cast<double>(Sortedness(perm)),
+              std::sqrt(static_cast<double>(m)));
+  }
+}
+
+TEST(Remark20Test, EveryPermutationSatisfiesErdosSzekeres) {
+  // Exhaustive for m = 6: sortedness >= ceil(sqrt(6)) = 3 requires only
+  // sortedness >= sqrt(m); check all 720 permutations.
+  Permutation perm = Identity(6);
+  do {
+    EXPECT_GE(static_cast<double>(Sortedness(perm)), std::sqrt(6.0));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+}  // namespace
+}  // namespace rstlab::permutation

@@ -1,0 +1,284 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "permutation/phi.h"
+#include "problems/check_phi.h"
+#include "problems/generators.h"
+#include "problems/instance.h"
+#include "problems/reference.h"
+#include "problems/short_reduction.h"
+#include "stmodel/st_context.h"
+#include "stmodel/tape_io.h"
+#include "util/random.h"
+
+namespace rstlab::problems {
+namespace {
+
+Instance MakeInstance(const std::vector<std::string>& first,
+                      const std::vector<std::string>& second) {
+  Instance instance;
+  for (const auto& v : first) {
+    instance.first.push_back(BitString::FromString(v));
+  }
+  for (const auto& v : second) {
+    instance.second.push_back(BitString::FromString(v));
+  }
+  return instance;
+}
+
+// ---------------------------------------------------------------------
+// Instance encoding
+// ---------------------------------------------------------------------
+
+TEST(InstanceTest, EncodeAndSize) {
+  Instance inst = MakeInstance({"01", "10"}, {"10", "01"});
+  EXPECT_EQ(inst.m(), 2u);
+  EXPECT_EQ(inst.Encode(), "01#10#10#01#");
+  EXPECT_EQ(inst.N(), 12u);
+}
+
+TEST(InstanceTest, ParseRoundtrip) {
+  Instance inst = MakeInstance({"0", "111", "01"}, {"01", "111", "0"});
+  Result<Instance> parsed = Instance::Parse(inst.Encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), inst);
+}
+
+TEST(InstanceTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Instance::Parse("01#2#").ok());
+  EXPECT_FALSE(Instance::Parse("01#1").ok());   // missing trailing '#'
+  EXPECT_FALSE(Instance::Parse("01#1#0#").ok());  // odd field count
+}
+
+TEST(InstanceTest, EmptyInstance) {
+  Result<Instance> parsed = Instance::Parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().m(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Reference deciders
+// ---------------------------------------------------------------------
+
+TEST(ReferenceTest, SetEqualityIgnoresMultiplicity) {
+  Instance inst = MakeInstance({"0", "0", "1"}, {"1", "1", "0"});
+  EXPECT_TRUE(RefSetEquality(inst));
+  EXPECT_FALSE(RefMultisetEquality(inst));
+}
+
+TEST(ReferenceTest, MultisetEqualityCountsMultiplicity) {
+  Instance eq = MakeInstance({"0", "1", "0"}, {"0", "0", "1"});
+  EXPECT_TRUE(RefMultisetEquality(eq));
+  Instance ne = MakeInstance({"0", "1", "1"}, {"0", "0", "1"});
+  EXPECT_FALSE(RefMultisetEquality(ne));
+}
+
+TEST(ReferenceTest, CheckSortRequiresSortedSecond) {
+  Instance sorted = MakeInstance({"10", "01"}, {"01", "10"});
+  EXPECT_TRUE(RefCheckSort(sorted));
+  Instance unsorted = MakeInstance({"10", "01"}, {"10", "01"});
+  EXPECT_FALSE(RefCheckSort(unsorted));
+  Instance wrong_values = MakeInstance({"10", "01"}, {"00", "10"});
+  EXPECT_FALSE(RefCheckSort(wrong_values));
+}
+
+TEST(ReferenceTest, ProblemNames) {
+  EXPECT_STREQ(ProblemName(Problem::kSetEquality), "SET-EQUALITY");
+  EXPECT_STREQ(ProblemName(Problem::kMultisetEquality),
+               "MULTISET-EQUALITY");
+  EXPECT_STREQ(ProblemName(Problem::kCheckSort), "CHECK-SORT");
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+class GeneratorTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorTest, EqualMultisetsIsYes) {
+  Rng rng(GetParam());
+  Instance inst = EqualMultisets(16, 12, rng);
+  EXPECT_TRUE(RefMultisetEquality(inst));
+  EXPECT_TRUE(RefSetEquality(inst));
+}
+
+TEST_P(GeneratorTest, EqualSetsHasDistinctValues) {
+  Rng rng(GetParam());
+  Instance inst = EqualSets(16, 12, rng);
+  EXPECT_TRUE(RefSetEquality(inst));
+  std::set<std::string> values;
+  for (const auto& v : inst.first) values.insert(v.ToString());
+  EXPECT_EQ(values.size(), 16u);
+}
+
+TEST_P(GeneratorTest, PerturbedMultisetsIsNo) {
+  Rng rng(GetParam());
+  for (std::size_t changes : {1u, 2u, 5u}) {
+    Instance inst = PerturbedMultisets(16, 12, changes, rng);
+    EXPECT_FALSE(RefMultisetEquality(inst));
+  }
+}
+
+TEST_P(GeneratorTest, SortedPairIsYesCheckSort) {
+  Rng rng(GetParam());
+  Instance inst = SortedPair(16, 12, rng);
+  EXPECT_TRUE(RefCheckSort(inst));
+}
+
+TEST_P(GeneratorTest, MisorderedPairIsNoCheckSort) {
+  Rng rng(GetParam());
+  Instance inst = MisorderedPair(16, 12, rng);
+  EXPECT_FALSE(RefCheckSort(inst));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------
+// CHECK-phi
+// ---------------------------------------------------------------------
+
+class CheckPhiTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckPhiTest, YesInstancesAreYes) {
+  Rng rng(GetParam());
+  const std::size_t m = 8;
+  CheckPhi problem(m, 10, permutation::BitReversalPermutation(m));
+  Instance yes = problem.RandomYesInstance(rng);
+  EXPECT_TRUE(problem.IsValidInstance(yes));
+  EXPECT_TRUE(problem.Decide(yes));
+}
+
+TEST_P(CheckPhiTest, NoInstancesAreNo) {
+  Rng rng(GetParam());
+  const std::size_t m = 8;
+  CheckPhi problem(m, 10, permutation::BitReversalPermutation(m));
+  Instance no = problem.RandomNoInstance(rng);
+  EXPECT_TRUE(problem.IsValidInstance(no));
+  EXPECT_FALSE(problem.Decide(no));
+}
+
+// Theorem 6's coincidence argument: on valid CHECK-phi instances all
+// four problems agree.
+TEST_P(CheckPhiTest, FourProblemsCoincide) {
+  Rng rng(GetParam());
+  const std::size_t m = 8;
+  CheckPhi problem(m, 10, permutation::BitReversalPermutation(m));
+  EXPECT_TRUE(problem.CoincidesOnInstance(problem.RandomYesInstance(rng)));
+  EXPECT_TRUE(problem.CoincidesOnInstance(problem.RandomNoInstance(rng)));
+}
+
+TEST_P(CheckPhiTest, IntervalsPartitionByTopBits) {
+  Rng rng(GetParam());
+  const std::size_t m = 16;
+  CheckPhi problem(m, 12, permutation::BitReversalPermutation(m));
+  Instance yes = problem.RandomYesInstance(rng);
+  for (std::size_t j = 0; j < m; ++j) {
+    EXPECT_EQ(problem.IntervalOf(yes.second[j]), j);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckPhiTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(CheckPhiTest, RejectsForeignInstances) {
+  CheckPhi problem(4, 6, permutation::BitReversalPermutation(4));
+  // Wrong m.
+  Instance wrong_m = MakeInstance({"000000"}, {"000000"});
+  EXPECT_FALSE(problem.IsValidInstance(wrong_m));
+  // Wrong value length.
+  Rng rng(1);
+  Instance wrong_len = EqualMultisets(4, 5, rng);
+  EXPECT_FALSE(problem.IsValidInstance(wrong_len));
+}
+
+// ---------------------------------------------------------------------
+// SHORT reduction (Appendix E)
+// ---------------------------------------------------------------------
+
+class ShortReductionTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ShortReductionTest, PreservesTheAnswer) {
+  Rng rng(GetParam());
+  for (std::size_t m : {4u, 8u}) {
+    // n = m^3 per Lemma 22 would be large; any n >= log2 m works for
+    // the construction, so use a moderate multiple.
+    const std::size_t n = 4 * m;
+    CheckPhi problem(m, n, permutation::BitReversalPermutation(m));
+    ShortReduction reduction(problem);
+    const Instance yes = problem.RandomYesInstance(rng);
+    const Instance no = problem.RandomNoInstance(rng);
+    EXPECT_TRUE(RefMultisetEquality(reduction.Reduce(yes)));
+    EXPECT_TRUE(RefSetEquality(reduction.Reduce(yes)));
+    EXPECT_TRUE(RefCheckSort(reduction.Reduce(yes)));
+    EXPECT_FALSE(RefMultisetEquality(reduction.Reduce(no)));
+    EXPECT_FALSE(RefSetEquality(reduction.Reduce(no)));
+    EXPECT_FALSE(RefCheckSort(reduction.Reduce(no)));
+  }
+}
+
+TEST_P(ShortReductionTest, RecordsAreShort) {
+  Rng rng(GetParam());
+  const std::size_t m = 8;
+  const std::size_t n = m * m * m;  // the paper's n = m^3
+  CheckPhi problem(m, n, permutation::BitReversalPermutation(m));
+  ShortReduction reduction(problem);
+  const Instance yes = problem.RandomYesInstance(rng);
+  const Instance reduced = reduction.Reduce(yes);
+  const std::size_t m_prime = reduced.m();
+  EXPECT_EQ(m_prime, m * reduction.blocks_per_value());
+  for (const auto& v : reduced.first) {
+    EXPECT_EQ(v.size(), reduction.record_bits());
+    // Records are O(log m') bits: the SHORT regime.
+    EXPECT_LE(v.size(), 5 * stmodel::BitsFor(m_prime));
+  }
+  // Output size is Theta(input size): each log m payload block becomes
+  // a 5 log m record (plus separator), a constant blow-up just above 5x.
+  EXPECT_GE(reduced.N(), yes.N());
+  EXPECT_LE(reduced.N(), 6 * yes.N());
+}
+
+TEST_P(ShortReductionTest, TapeVersionMatchesHostVersion) {
+  Rng rng(GetParam());
+  const std::size_t m = 4;
+  const std::size_t n = 8;
+  CheckPhi problem(m, n, permutation::BitReversalPermutation(m));
+  ShortReduction reduction(problem);
+  const Instance instance = problem.RandomYesInstance(rng);
+
+  stmodel::StContext ctx(2);
+  ctx.LoadInput(instance.Encode());
+  Status status = reduction.ReduceOnTapes(ctx);
+  ASSERT_TRUE(status.ok()) << status;
+
+  const Instance host = reduction.Reduce(instance);
+  std::string expected = host.Encode();
+  std::string actual = ctx.tape(1).contents().substr(0, expected.size());
+  EXPECT_EQ(actual, expected);
+
+  // Resource profile: constant scans, O(log N) internal bits.
+  tape::ResourceReport report = ctx.Report();
+  EXPECT_LE(report.scan_bound, 3u);
+  EXPECT_LE(report.internal_space,
+            10 * stmodel::BitsFor(ctx.input_size()) + 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortReductionTest,
+                         ::testing::Values(7, 14, 21));
+
+TEST(ShortReductionTest, SecondHalfOfReductionIsSorted) {
+  // The reduced second list must be ascending (so SHORT-CHECK-SORT
+  // coincides with SHORT-MULTISET-EQUALITY, as Appendix E requires).
+  Rng rng(3);
+  const std::size_t m = 8;
+  CheckPhi problem(m, 16, permutation::BitReversalPermutation(m));
+  ShortReduction reduction(problem);
+  const Instance reduced = reduction.Reduce(problem.RandomYesInstance(rng));
+  EXPECT_TRUE(
+      std::is_sorted(reduced.second.begin(), reduced.second.end()));
+}
+
+}  // namespace
+}  // namespace rstlab::problems

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include "problems/generators.h"
+#include "problems/reference.h"
+#include "query/xml.h"
+#include "query/xml_reduction.h"
+#include "query/xpath.h"
+#include "query/xquery.h"
+#include "util/random.h"
+
+namespace rstlab::query {
+namespace {
+
+problems::Instance MakeInstance(const std::vector<std::string>& first,
+                                const std::vector<std::string>& second) {
+  problems::Instance instance;
+  for (const auto& v : first) {
+    instance.first.push_back(BitString::FromString(v));
+  }
+  for (const auto& v : second) {
+    instance.second.push_back(BitString::FromString(v));
+  }
+  return instance;
+}
+
+// ---------------------------------------------------------------------
+// XML model
+// ---------------------------------------------------------------------
+
+TEST(XmlTest, SerializeParseRoundtrip) {
+  auto root = std::make_unique<XmlNode>();
+  root->name = "a";
+  root->AddChild("b")->text = "01";
+  XmlNode* c = root->AddChild("c");
+  c->AddChild("d")->text = "10";
+  const std::string serialized = SerializeXml(*root);
+  EXPECT_EQ(serialized, "<a><b>01</b><c><d>10</d></c></a>");
+  Result<XmlDocument> parsed = ParseXml(serialized);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(SerializeXml(*parsed.value()), serialized);
+}
+
+TEST(XmlTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></a><b></b>").ok());
+  EXPECT_FALSE(ParseXml("<a><</a>").ok());
+  EXPECT_FALSE(ParseXml("<>x</>").ok());
+}
+
+TEST(XmlTest, StringValueConcatenatesDescendants) {
+  Result<XmlDocument> doc = ParseXml("<a><b>01</b><c><d>10</d></c></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->StringValue(), "0110");
+}
+
+TEST(XmlTest, EncodeSetInstanceShape) {
+  problems::Instance inst = MakeInstance({"01", "10"}, {"11"});
+  XmlDocument doc = EncodeSetInstanceAsXml(inst);
+  EXPECT_EQ(
+      SerializeXml(*doc),
+      "<instance>"
+      "<set1><item><string>01</string></item>"
+      "<item><string>10</string></item></set1>"
+      "<set2><item><string>11</string></item></set2>"
+      "</instance>");
+}
+
+// ---------------------------------------------------------------------
+// XPath
+// ---------------------------------------------------------------------
+
+TEST(XPathTest, AxesWork) {
+  problems::Instance inst = MakeInstance({"01", "10"}, {"10", "11"});
+  XmlDocument doc = EncodeSetInstanceAsXml(inst);
+  // child::set1
+  XPathPath child_path = {{Axis::kChild, "set1", nullptr}};
+  EXPECT_EQ(EvalPath(*doc, child_path).size(), 1u);
+  // descendant::string finds all four strings.
+  XPathPath desc_path = {{Axis::kDescendant, "string", nullptr}};
+  EXPECT_EQ(EvalPath(*doc, desc_path).size(), 4u);
+  // ancestor::instance from a string node.
+  const XmlNode* s = EvalPath(*doc, desc_path)[0];
+  XPathPath anc_path = {{Axis::kAncestor, "instance", nullptr}};
+  EXPECT_EQ(EvalPath(*s, anc_path).size(), 1u);
+}
+
+TEST(XPathTest, PaperQuerySelectsSetDifference) {
+  // X = {01, 10}, Y = {10, 11}: X - Y = {01}, one item selected.
+  problems::Instance inst = MakeInstance({"01", "10"}, {"10", "11"});
+  XmlDocument doc = EncodeSetInstanceAsXml(inst);
+  std::vector<const XmlNode*> selected =
+      EvalPath(*doc, PaperXPathQuery());
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0]->StringValue(), "01");
+}
+
+TEST(XPathTest, PaperQueryEmptyWhenSubset) {
+  // X subset of Y: nothing selected.
+  problems::Instance inst = MakeInstance({"10"}, {"10", "11"});
+  XmlDocument doc = EncodeSetInstanceAsXml(inst);
+  EXPECT_FALSE(FilterMatches(*doc, PaperXPathQuery()));
+}
+
+class XPathSemanticsTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(XPathSemanticsTest, SelectsExactlyXMinusY) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    problems::Instance inst = problems::EqualMultisets(6, 5, rng);
+    if (trial % 2 == 0) {
+      inst = problems::PerturbedMultisets(6, 5, 2, rng);
+    }
+    XmlDocument doc = EncodeSetInstanceAsXml(inst);
+    std::vector<const XmlNode*> selected =
+        EvalPath(*doc, PaperXPathQuery());
+    // Reference: multiset of selected strings == items of X whose value
+    // is not in Y (with multiplicity of occurrences in the item list).
+    std::set<std::string> y_values;
+    for (const auto& v : inst.second) y_values.insert(v.ToString());
+    std::size_t expected = 0;
+    for (const auto& v : inst.first) {
+      if (y_values.count(v.ToString()) == 0) ++expected;
+    }
+    EXPECT_EQ(selected.size(), expected);
+    EXPECT_EQ(PaperXPathSelects(inst), expected > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XPathSemanticsTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+
+TEST(XPathTest, ExtraAxes) {
+  problems::Instance inst = MakeInstance({"01"}, {"10"});
+  XmlDocument doc = EncodeSetInstanceAsXml(inst);
+  // descendant-or-self::instance from the root selects the root.
+  XPathPath dos = {{Axis::kDescendantOrSelf, "instance", nullptr}};
+  EXPECT_EQ(EvalPath(*doc, dos).size(), 1u);
+  // self::instance selects the context itself.
+  XPathPath self_path = {{Axis::kSelf, "instance", nullptr}};
+  EXPECT_EQ(EvalPath(*doc, self_path).size(), 1u);
+  XPathPath self_wrong = {{Axis::kSelf, "set1", nullptr}};
+  EXPECT_TRUE(EvalPath(*doc, self_wrong).empty());
+  // parent:: from a string node climbs exactly one level.
+  XPathPath strings = {{Axis::kDescendant, "string", nullptr}};
+  const XmlNode* s = EvalPath(*doc, strings)[0];
+  XPathPath parent = {{Axis::kParent, "item", nullptr}};
+  EXPECT_EQ(EvalPath(*s, parent).size(), 1u);
+  XPathPath grandparent = {{Axis::kParent, "item", nullptr},
+                           {Axis::kParent, "set1", nullptr}};
+  EXPECT_EQ(EvalPath(*s, grandparent).size(), 1u);
+  // The paper's query expressed with descendant-or-self (the common
+  // "//" spelling) selects the same items.
+  XPathPath lhs = {{Axis::kChild, "string", nullptr}};
+  XPathPath rhs = {{Axis::kAncestor, "instance", nullptr},
+                   {Axis::kChild, "set2", nullptr},
+                   {Axis::kChild, "item", nullptr},
+                   {Axis::kChild, "string", nullptr}};
+  XPathPath variant = {{Axis::kDescendantOrSelf, "", nullptr},
+                       {Axis::kSelf, "set1", nullptr},
+                       {Axis::kChild, "item",
+                        Not(EqualsExpr(lhs, rhs))}};
+  // Empty name test matches any element.
+  EXPECT_EQ(EvalPath(*doc, variant).size(),
+            EvalPath(*doc, PaperXPathQuery()).size());
+}
+
+
+TEST(XPathParserTest, ParsesThePaperQueryVerbatim) {
+  Result<XPathPath> parsed = ParseXPath(
+      "descendant::set1 / child::item [ not( child::string = "
+      "ancestor::instance/child::set2/child::item/child::string ) ]");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  // The parsed query behaves identically to the hand-built one on
+  // random instances.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    problems::Instance inst =
+        trial % 2 == 0 ? problems::EqualSets(5, 5, rng)
+                       : problems::PerturbedMultisets(5, 5, 1, rng);
+    XmlDocument doc = EncodeSetInstanceAsXml(inst);
+    EXPECT_EQ(EvalPath(*doc, parsed.value()).size(),
+              EvalPath(*doc, PaperXPathQuery()).size());
+  }
+}
+
+TEST(XPathParserTest, ParsesAllAxes) {
+  for (const char* text :
+       {"child::a", "descendant::b", "ancestor::c", "parent::d",
+        "self::e", "descendant-or-self::f", "child::",
+        "child::a/child::b", "child::a[child::b]",
+        "child::a[child::b = child::c]",
+        "child::a[not(child::b)]"}) {
+    Result<XPathPath> parsed = ParseXPath(text);
+    EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status();
+  }
+}
+
+TEST(XPathParserTest, RejectsMalformedQueries) {
+  for (const char* text :
+       {"", "bogus::a", "child:a", "child::a[", "child::a[child::b",
+        "child::a]", "child::a[not child::b]", "child::a//child::b",
+        "child::a[child::b = ]"}) {
+    EXPECT_FALSE(ParseXPath(text).ok()) << text;
+  }
+}
+
+TEST(XPathParserTest, ParsedQueryEvaluates) {
+  problems::Instance inst = MakeInstance({"01", "10"}, {"10", "11"});
+  XmlDocument doc = EncodeSetInstanceAsXml(inst);
+  Result<XPathPath> q = ParseXPath("descendant::string");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(EvalPath(*doc, q.value()).size(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// XQuery
+// ---------------------------------------------------------------------
+
+TEST(XQueryTest, ReturnsTrueElementIffSetsEqual) {
+  problems::Instance equal = MakeInstance({"01", "10"}, {"10", "01"});
+  problems::Instance unequal = MakeInstance({"01", "10"}, {"10", "11"});
+  XmlDocument doc_eq = EncodeSetInstanceAsXml(equal);
+  XmlDocument doc_ne = EncodeSetInstanceAsXml(unequal);
+  EXPECT_EQ(EvaluatePaperXQueryToString(*doc_eq),
+            "<result><true></true></result>");
+  EXPECT_EQ(EvaluatePaperXQueryToString(*doc_ne), "<result></result>");
+}
+
+class XQuerySemanticsTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XQuerySemanticsTest, MatchesSetEquality) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    problems::Instance inst =
+        trial % 2 == 0 ? problems::EqualSets(6, 5, rng)
+                       : problems::PerturbedMultisets(6, 5, 1, rng);
+    XmlDocument doc = EncodeSetInstanceAsXml(inst);
+    const bool query_true =
+        EvaluatePaperXQueryToString(*doc) ==
+        "<result><true></true></result>";
+    EXPECT_EQ(query_true, problems::RefSetEquality(inst));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XQuerySemanticsTest,
+                         ::testing::Values(5, 6, 7, 8));
+
+TEST(XQueryTest, MultisetsWithEqualSetsAreEqualForTheQuery) {
+  // The XQuery checks SET equality: multiplicities are invisible.
+  problems::Instance inst =
+      MakeInstance({"01", "01", "10"}, {"10", "10", "01"});
+  XmlDocument doc = EncodeSetInstanceAsXml(inst);
+  EXPECT_EQ(EvaluatePaperXQueryToString(*doc),
+            "<result><true></true></result>");
+}
+
+// ---------------------------------------------------------------------
+// The T-tilde reduction (Theorem 13)
+// ---------------------------------------------------------------------
+
+TEST(TTildeTest, NoInstancesAlwaysRejected) {
+  Rng rng(31);
+  FilterOracle oracle = ModelFilterOracle(0.5);
+  for (int trial = 0; trial < 50; ++trial) {
+    problems::Instance inst = problems::PerturbedMultisets(6, 6, 1, rng);
+    if (problems::RefSetEquality(inst)) continue;
+    EXPECT_FALSE(TTildeAcceptsSetEquality(inst, oracle, rng));
+  }
+}
+
+TEST(TTildeTest, YesInstancesAcceptedAboutQuarter) {
+  Rng rng(37);
+  FilterOracle oracle = ModelFilterOracle(0.5);
+  problems::Instance inst = problems::EqualSets(6, 6, rng);
+  int accepted = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    accepted += TTildeAcceptsSetEquality(inst, oracle, rng);
+  }
+  EXPECT_NEAR(accepted / static_cast<double>(trials), 0.25, 0.03);
+}
+
+TEST(TTildeTest, BoostingNeedsThreeRoundsForHalf) {
+  // The paper suggests two rounds reach probability 1/2; with
+  // per-round acceptance exactly 1/4 the true boosted probabilities are
+  // 1-(3/4)^k: 0.4375 at k = 2 and 0.578 at k = 3.
+  Rng rng(41);
+  FilterOracle oracle = ModelFilterOracle(0.5);
+  problems::Instance inst = problems::EqualSets(6, 6, rng);
+  const int trials = 4000;
+  int two_rounds = 0;
+  int three_rounds = 0;
+  for (int i = 0; i < trials; ++i) {
+    two_rounds += BoostedTTildeAccepts(inst, oracle, rng, 2);
+    three_rounds += BoostedTTildeAccepts(inst, oracle, rng, 3);
+  }
+  EXPECT_NEAR(two_rounds / static_cast<double>(trials), 0.4375, 0.03);
+  EXPECT_NEAR(three_rounds / static_cast<double>(trials), 0.578, 0.03);
+  EXPECT_LT(two_rounds, trials / 2);   // 2 rounds are NOT enough
+  EXPECT_GT(three_rounds, trials / 2);  // 3 rounds are
+}
+
+TEST(TTildeTest, BoostedStillSoundOnNoInstances) {
+  Rng rng(43);
+  FilterOracle oracle = ModelFilterOracle(0.5);
+  problems::Instance inst = problems::PerturbedMultisets(6, 6, 1, rng);
+  ASSERT_FALSE(problems::RefSetEquality(inst));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(BoostedTTildeAccepts(inst, oracle, rng, 3));
+  }
+}
+
+}  // namespace
+}  // namespace rstlab::query

@@ -1,0 +1,235 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "listmachine/analysis.h"
+#include "listmachine/machines.h"
+#include "listmachine/simulation.h"
+#include "listmachine/skeleton.h"
+#include "machine/machine_builder.h"
+#include "machine/turing_machine.h"
+
+namespace rstlab::listmachine {
+namespace {
+
+machine::TuringMachine Make(machine::MachineSpec spec) {
+  Result<machine::TuringMachine> tm =
+      machine::TuringMachine::Create(std::move(spec));
+  EXPECT_TRUE(tm.ok()) << tm.status();
+  return std::move(tm).value();
+}
+
+TEST(SimulationTest, DeterministicAcceptanceTransfers) {
+  machine::TuringMachine tm = Make(machine::zoo::EvenOnes());
+  for (const char* field_cstr : {"0110", "111", "1", "0000"}) {
+    const std::string field = field_cstr;
+    Result<SimulationResult> sim =
+        SimulateTmAsNlm(tm, {field}, {}, 10000);
+    ASSERT_TRUE(sim.ok()) << sim.status();
+    EXPECT_TRUE(sim.value().tm_halted);
+    const std::size_t ones = static_cast<std::size_t>(
+        std::count(field.begin(), field.end(), '1'));
+    EXPECT_EQ(sim.value().tm_accepted, ones % 2 == 0);
+    EXPECT_EQ(sim.value().run.accepted, sim.value().tm_accepted);
+  }
+}
+
+TEST(SimulationTest, TwoFieldEqualityTransfers) {
+  machine::TuringMachine tm = Make(machine::zoo::TwoFieldEquality());
+  struct Case {
+    std::string v;
+    std::string w;
+  };
+  for (const Case& c : {Case{"0110", "0110"}, Case{"0110", "0111"},
+                        Case{"10", "10"}, Case{"10", "01"},
+                        Case{"1", "1"}, Case{"0", "1"}}) {
+    Result<SimulationResult> sim =
+        SimulateTmAsNlm(tm, {c.v, c.w}, {}, 100000);
+    ASSERT_TRUE(sim.ok()) << sim.status();
+    ASSERT_TRUE(sim.value().tm_halted);
+    EXPECT_EQ(sim.value().tm_accepted, c.v == c.w) << c.v << "#" << c.w;
+    EXPECT_EQ(sim.value().run.accepted, sim.value().tm_accepted);
+  }
+}
+
+TEST(SimulationTest, NondeterministicProbabilityTransfers) {
+  // For every choice sequence, the NLM run must accept iff the TM run
+  // accepts — which is exactly how Lemma 16 preserves acceptance
+  // probabilities (Lemma 18 counting).
+  machine::TuringMachine tm = Make(machine::zoo::GuessFirstBit());
+  int tm_accepting = 0;
+  int nlm_accepting = 0;
+  const int kChoices = 2;
+  for (std::uint64_t c1 = 0; c1 < kChoices; ++c1) {
+    for (std::uint64_t c2 = 0; c2 < kChoices; ++c2) {
+      machine::RunResult tm_run = tm.RunWithChoices("1", {c1, c2}, 100);
+      ASSERT_TRUE(tm_run.halted);
+      Result<SimulationResult> sim =
+          SimulateTmAsNlm(tm, {std::string("1")}, {c1, c2}, 100);
+      ASSERT_TRUE(sim.ok());
+      tm_accepting += tm_run.accepted;
+      nlm_accepting += sim.value().run.accepted;
+      EXPECT_EQ(sim.value().run.accepted, tm_run.accepted);
+    }
+  }
+  EXPECT_EQ(tm_accepting, nlm_accepting);
+  EXPECT_EQ(tm_accepting, 2);  // probability 1/2
+}
+
+TEST(SimulationTest, ReversalsMatchTuringMachine) {
+  machine::TuringMachine tm = Make(machine::zoo::TwoFieldEquality());
+  Result<SimulationResult> sim =
+      SimulateTmAsNlm(tm, {"0101", "0101"}, {}, 100000);
+  ASSERT_TRUE(sim.ok());
+  // The TM reverses tape 1 twice (rewind + direction change at
+  // comparison start); the NLM must record the same reversal counts
+  // (the (r, t)-boundedness transfer in Lemma 16).
+  machine::RunResult tm_run = tm.RunWithChoices(
+      "0101#0101#", std::vector<std::uint64_t>(100000, 0), 100000);
+  ASSERT_TRUE(tm_run.halted);
+  ASSERT_EQ(sim.value().run.reversals.size(), 2u);
+  EXPECT_EQ(sim.value().run.reversals[0],
+            tm_run.costs.external_reversals[0]);
+  EXPECT_EQ(sim.value().run.reversals[1],
+            tm_run.costs.external_reversals[1]);
+}
+
+TEST(SimulationTest, InitialCellsCarryInputPositions) {
+  machine::TuringMachine tm = Make(machine::zoo::EvenOnes());
+  Result<SimulationResult> sim =
+      SimulateTmAsNlm(tm, {"01", "10", "11"}, {}, 10000);
+  ASSERT_TRUE(sim.ok());
+  // The first recorded local view reads list-1 cell 0 = <v_0>.
+  ASSERT_FALSE(sim.value().run.steps.empty());
+  const StepRecord& first = sim.value().run.steps.front();
+  bool found = false;
+  for (const Symbol& s : first.reads[0]) {
+    if (s.kind == Symbol::Kind::kInput) {
+      EXPECT_EQ(s.origin, 0u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SimulationTest, StateCensusStaysBelowLemma16Bound) {
+  machine::TuringMachine tm = Make(machine::zoo::TwoFieldEquality());
+  Result<SimulationResult> sim =
+      SimulateTmAsNlm(tm, {"010101", "010101"}, {}, 100000);
+  ASSERT_TRUE(sim.ok());
+  // Bound (2) of Lemma 16: |A| <= 2^{d t^2 r s} + 3t log(m(n+1)); with
+  // s = 0 internal space the dominating term is polynomial in the run
+  // length. Loose operational check: far fewer states than TM steps + a
+  // constant.
+  EXPECT_LE(sim.value().distinct_states, sim.value().tm_steps + 2);
+  EXPECT_GE(sim.value().distinct_states, 2u);
+}
+
+TEST(SimulationTest, SkeletonMachineryAppliesToSimulatedRuns) {
+  machine::TuringMachine tm = Make(machine::zoo::TwoFieldEquality());
+  Result<SimulationResult> a =
+      SimulateTmAsNlm(tm, {"0101", "0101"}, {}, 100000);
+  Result<SimulationResult> b =
+      SimulateTmAsNlm(tm, {"0110", "0110"}, {}, 100000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Equal-shape runs on same-length inputs: both machines compare the
+  // two fields, so positions 0 and 1 are compared in both runs.
+  EXPECT_TRUE(ArePositionsCompared(a.value().run, 0, 1));
+  EXPECT_TRUE(ArePositionsCompared(b.value().run, 0, 1));
+  // Growth bounds hold for the induced list machine runs too.
+  GrowthCheck growth = CheckGrowth(a.value().run, 2);
+  EXPECT_TRUE(growth.within_bounds);
+}
+
+TEST(SimulationTest, RejectsBadInputs) {
+  machine::TuringMachine tm = Make(machine::zoo::EvenOnes());
+  EXPECT_FALSE(SimulateTmAsNlm(tm, {"01a"}, {}, 100).ok());
+}
+
+TEST(SimulationTest, EmptyInputRuns) {
+  machine::TuringMachine tm = Make(machine::zoo::EvenOnes());
+  Result<SimulationResult> sim = SimulateTmAsNlm(tm, {}, {}, 100);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_TRUE(sim.value().tm_halted);
+  EXPECT_TRUE(sim.value().tm_accepted);  // zero ones is even
+}
+
+
+TEST(SimulationTest, PalindromeTurningCasesTransfer) {
+  // The palindrome machine turns both heads mid-content, driving the
+  // Case 2 (direction-change block split) path of the simulation.
+  machine::TuringMachine tm = Make(machine::zoo::Palindrome());
+  for (const std::string& v :
+       {std::string("0110"), std::string("0111"), std::string("010"),
+        std::string("10101"), std::string("110011"),
+        std::string("1100110")}) {
+    machine::RunResult tm_run = tm.RunWithChoices(
+        v + "#", std::vector<std::uint64_t>(100000, 0), 100000);
+    ASSERT_TRUE(tm_run.halted);
+    Result<SimulationResult> sim = SimulateTmAsNlm(tm, {v}, {}, 100000);
+    ASSERT_TRUE(sim.ok()) << sim.status();
+    EXPECT_EQ(sim.value().run.accepted, tm_run.accepted) << v;
+    // Reversal transfer on both lists.
+    ASSERT_EQ(sim.value().run.reversals.size(), 2u);
+    EXPECT_EQ(sim.value().run.reversals[0],
+              tm_run.costs.external_reversals[0]);
+    EXPECT_EQ(sim.value().run.reversals[1],
+              tm_run.costs.external_reversals[1]);
+  }
+}
+
+
+TEST(SimulationTest, InternalMemoryMachineTransfers) {
+  // BalancedZerosOnes is the only zoo machine with s > 0: its binary
+  // counters live in the abstract NLM state, exercising the
+  // 2^{d t^2 r s} component of the Lemma 16 state bound.
+  machine::TuringMachine tm = Make(machine::zoo::BalancedZerosOnes());
+  for (const std::string& v :
+       {std::string("0011"), std::string("0001"), std::string("010101"),
+        std::string("1110")}) {
+    machine::RunResult tm_run = tm.RunWithChoices(
+        v + "#", std::vector<std::uint64_t>(1000000, 0), 1000000);
+    ASSERT_TRUE(tm_run.halted);
+    Result<SimulationResult> sim =
+        SimulateTmAsNlm(tm, {v}, {}, 1000000);
+    ASSERT_TRUE(sim.ok()) << sim.status();
+    EXPECT_EQ(sim.value().run.accepted, tm_run.accepted) << v;
+    // One external scan: the induced NLM performs no reversals either.
+    EXPECT_EQ(sim.value().run.ScanBound(), 1u);
+    // The state census now reflects internal memory contents: distinct
+    // counter configurations produce distinct abstract states.
+    EXPECT_GE(sim.value().distinct_states, v.size());
+  }
+}
+
+
+TEST(SimulationTest, SimulatedCellsAreWellFormedTraces) {
+  // The simulation writes the same trace strings the generic executor
+  // would: every non-initial cell parses into t + 1 bracketed
+  // components (the code analogue of the paper's "cell contents allow
+  // reconstruction" property).
+  machine::TuringMachine tm = Make(machine::zoo::Palindrome());
+  Result<SimulationResult> sim =
+      SimulateTmAsNlm(tm, {"011010110"}, {}, 100000);
+  ASSERT_TRUE(sim.ok());
+  const std::size_t t = 2;
+  std::size_t traces = 0;
+  for (const auto& list : sim.value().run.final_config.lists) {
+    for (const CellContent& cell : list) {
+      if (cell.empty() || cell.front().kind != Symbol::Kind::kState) {
+        continue;
+      }
+      ++traces;
+      for (std::size_t comp = 0; comp <= t; ++comp) {
+        EXPECT_TRUE(TraceComponent(cell, comp).has_value());
+      }
+      EXPECT_FALSE(TraceComponent(cell, t + 1).has_value());
+    }
+  }
+  EXPECT_GT(traces, 0u);
+}
+
+}  // namespace
+}  // namespace rstlab::listmachine

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "stmodel/internal_arena.h"
+#include "stmodel/st_context.h"
+#include "stmodel/tape_io.h"
+
+namespace rstlab::stmodel {
+namespace {
+
+// ---------------------------------------------------------------------
+// InternalArena
+// ---------------------------------------------------------------------
+
+TEST(InternalArenaTest, TracksHighWater) {
+  InternalArena arena;
+  {
+    auto a = arena.Allocate(10);
+    EXPECT_EQ(arena.current_bits(), 10u);
+    {
+      auto b = arena.Allocate(20);
+      EXPECT_EQ(arena.current_bits(), 30u);
+      EXPECT_EQ(arena.high_water_bits(), 30u);
+    }
+    EXPECT_EQ(arena.current_bits(), 10u);
+  }
+  EXPECT_EQ(arena.current_bits(), 0u);
+  EXPECT_EQ(arena.high_water_bits(), 30u);
+}
+
+TEST(InternalArenaTest, ResizeAdjustsBoth) {
+  InternalArena arena;
+  auto a = arena.Allocate(8);
+  a.Resize(40);
+  EXPECT_EQ(arena.current_bits(), 40u);
+  a.Resize(4);
+  EXPECT_EQ(arena.current_bits(), 4u);
+  EXPECT_EQ(arena.high_water_bits(), 40u);
+}
+
+TEST(InternalArenaTest, MoveTransfersOwnership) {
+  InternalArena arena;
+  auto a = arena.Allocate(16);
+  InternalArena::Allocation b = std::move(a);
+  EXPECT_EQ(b.bits(), 16u);
+  EXPECT_EQ(arena.current_bits(), 16u);
+  b.Release();
+  EXPECT_EQ(arena.current_bits(), 0u);
+}
+
+TEST(InternalArenaTest, ResetClears) {
+  InternalArena arena;
+  auto a = arena.Allocate(5);
+  a.Release();
+  arena.Reset();
+  EXPECT_EQ(arena.high_water_bits(), 0u);
+}
+
+TEST(BitsForTest, Values) {
+  EXPECT_EQ(BitsFor(0), 1u);
+  EXPECT_EQ(BitsFor(1), 1u);
+  EXPECT_EQ(BitsFor(2), 2u);
+  EXPECT_EQ(BitsFor(3), 2u);
+  EXPECT_EQ(BitsFor(255), 8u);
+  EXPECT_EQ(BitsFor(256), 9u);
+}
+
+TEST(MeteredUint64Test, LeasesDeclaredWidth) {
+  InternalArena arena;
+  {
+    MeteredUint64 reg(arena, 12, 100);
+    EXPECT_EQ(arena.current_bits(), 12u);
+    EXPECT_EQ(reg.get(), 100u);
+    reg = 4095;
+    EXPECT_EQ(static_cast<std::uint64_t>(reg), 4095u);
+  }
+  EXPECT_EQ(arena.current_bits(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// StContext
+// ---------------------------------------------------------------------
+
+TEST(StContextTest, LoadInputResetsEverything) {
+  StContext ctx(3);
+  ctx.LoadInput("0101#");
+  EXPECT_EQ(ctx.input_size(), 5u);
+  EXPECT_EQ(ctx.tape(0).Read(), '0');
+  ctx.tape(1).Write('z');
+  auto alloc = ctx.arena().Allocate(9);
+  alloc.Release();
+  ctx.LoadInput("11#");
+  EXPECT_EQ(ctx.input_size(), 3u);
+  EXPECT_EQ(ctx.arena().high_water_bits(), 0u);
+  EXPECT_EQ(ctx.tape(1).Read(), tape::kBlank);
+}
+
+TEST(StContextTest, ReportAggregates) {
+  StContext ctx(2);
+  ctx.LoadInput("abc");
+  ctx.tape(0).MoveRight();
+  ctx.tape(0).MoveLeft();
+  auto alloc = ctx.arena().Allocate(33);
+  tape::ResourceReport report = ctx.Report();
+  EXPECT_EQ(report.scan_bound, 2u);
+  EXPECT_EQ(report.internal_space, 33u);
+  EXPECT_EQ(report.num_external_tapes, 2u);
+}
+
+// ---------------------------------------------------------------------
+// tape_io
+// ---------------------------------------------------------------------
+
+TEST(TapeIoTest, WriteAndRewind) {
+  tape::Tape t;
+  WriteString(t, "0101#");
+  Rewind(t);
+  EXPECT_EQ(t.Read(), '0');
+  EXPECT_EQ(t.reversals(), 1u);
+}
+
+TEST(TapeIoTest, SkipFieldReturnsLength) {
+  tape::Tape t("0101#11#");
+  EXPECT_EQ(SkipField(t), 4u);
+  EXPECT_EQ(t.Read(), '1');
+  EXPECT_EQ(SkipField(t), 2u);
+  EXPECT_TRUE(AtEnd(t));
+}
+
+TEST(TapeIoTest, ReadFieldConsumesSeparator) {
+  tape::Tape t("0101#11#");
+  EXPECT_EQ(ReadField(t), "0101");
+  EXPECT_EQ(ReadField(t), "11");
+  EXPECT_TRUE(AtEnd(t));
+}
+
+TEST(TapeIoTest, CopyFieldCopiesWithSeparator) {
+  tape::Tape src("0101#11#");
+  tape::Tape dst;
+  CopyField(src, dst);
+  Rewind(dst);
+  EXPECT_EQ(ReadField(dst), "0101");
+}
+
+TEST(TapeIoTest, CountFields) {
+  tape::Tape t("0#1#00#11#");
+  EXPECT_EQ(CountFields(t), 4u);
+  tape::Tape empty;
+  EXPECT_EQ(CountFields(empty), 0u);
+}
+
+struct CompareCase {
+  const char* a;
+  const char* b;
+  int expected;
+};
+
+class CompareFieldsTest : public ::testing::TestWithParam<CompareCase> {};
+
+TEST_P(CompareFieldsTest, ComparesLexicographically) {
+  tape::Tape a(std::string(GetParam().a) + "#rest#");
+  tape::Tape b(std::string(GetParam().b) + "#rest#");
+  EXPECT_EQ(CompareFields(a, b), GetParam().expected);
+  // Both heads must have consumed exactly their first field.
+  EXPECT_EQ(ReadField(a), "rest");
+  EXPECT_EQ(ReadField(b), "rest");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CompareFieldsTest,
+    ::testing::Values(CompareCase{"0101", "0101", 0},
+                      CompareCase{"0101", "0110", -1},
+                      CompareCase{"0110", "0101", 1},
+                      CompareCase{"01", "0101", -1},   // proper prefix
+                      CompareCase{"0101", "01", 1},
+                      CompareCase{"", "0", -1},
+                      CompareCase{"", "", 0},
+                      CompareCase{"1", "0", 1}));
+
+TEST(TapeIoTest, CompareFieldsCostsNoReversals) {
+  tape::Tape a("000111#");
+  tape::Tape b("000110#");
+  CompareFields(a, b);
+  EXPECT_EQ(a.reversals(), 0u);
+  EXPECT_EQ(b.reversals(), 0u);
+}
+
+
+TEST(SortedFieldCursorTest, WalksAndCollapsesDuplicates) {
+  tape::Tape t("0#0#1#1#1#10#");
+  InternalArena arena;
+  SortedFieldCursor cursor(t, 6, arena);
+  ASSERT_FALSE(cursor.exhausted());
+  EXPECT_EQ(*cursor.value(), "0");
+  cursor.AdvanceDistinct();
+  EXPECT_EQ(*cursor.value(), "1");
+  cursor.AdvanceDistinct();
+  EXPECT_EQ(*cursor.value(), "10");
+  cursor.AdvanceDistinct();
+  EXPECT_TRUE(cursor.exhausted());
+  // Arena metered the longest field.
+  EXPECT_GE(arena.high_water_bits(), 16u);
+}
+
+TEST(SortedFieldCursorTest, AdvanceStepsEveryField) {
+  tape::Tape t("0#0#1#");
+  InternalArena arena;
+  SortedFieldCursor cursor(t, 3, arena);
+  std::size_t seen = 0;
+  while (!cursor.exhausted()) {
+    ++seen;
+    cursor.Advance();
+  }
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(SortedFieldCursorTest, ZeroCountIsImmediatelyExhausted) {
+  tape::Tape t("0#");
+  InternalArena arena;
+  SortedFieldCursor cursor(t, 0, arena);
+  EXPECT_TRUE(cursor.exhausted());
+  cursor.AdvanceDistinct();  // no-op, no crash
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+TEST(SortedFieldCursorTest, RespectsCountOverTapeContent) {
+  tape::Tape t("0#1#garbage#");
+  InternalArena arena;
+  SortedFieldCursor cursor(t, 2, arena);
+  EXPECT_EQ(*cursor.value(), "0");
+  cursor.Advance();
+  EXPECT_EQ(*cursor.value(), "1");
+  cursor.Advance();
+  EXPECT_TRUE(cursor.exhausted());  // never reads the garbage field
+}
+
+}  // namespace
+}  // namespace rstlab::stmodel

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "tape/resource_meter.h"
+#include "tape/tape.h"
+
+namespace rstlab::tape {
+namespace {
+
+TEST(TapeTest, FreshTapeIsBlank) {
+  Tape t;
+  EXPECT_EQ(t.Read(), kBlank);
+  EXPECT_EQ(t.head(), 0u);
+  EXPECT_EQ(t.reversals(), 0u);
+  EXPECT_EQ(t.direction(), Direction::kRight);
+}
+
+TEST(TapeTest, ReadsInitialContent) {
+  Tape t("abc");
+  EXPECT_EQ(t.Read(), 'a');
+  t.MoveRight();
+  EXPECT_EQ(t.Read(), 'b');
+  t.MoveRight();
+  EXPECT_EQ(t.Read(), 'c');
+  t.MoveRight();
+  EXPECT_EQ(t.Read(), kBlank);
+}
+
+TEST(TapeTest, WriteDoesNotMoveHead) {
+  Tape t;
+  t.Write('x');
+  EXPECT_EQ(t.Read(), 'x');
+  EXPECT_EQ(t.head(), 0u);
+  EXPECT_EQ(t.reversals(), 0u);
+}
+
+TEST(TapeTest, ForwardScanCostsNoReversal) {
+  Tape t("hello");
+  for (int i = 0; i < 10; ++i) t.MoveRight();
+  EXPECT_EQ(t.reversals(), 0u);
+}
+
+TEST(TapeTest, DirectionChangeCountsOnce) {
+  Tape t("hello");
+  t.MoveRight();
+  t.MoveRight();
+  t.MoveLeft();  // reversal 1
+  t.MoveLeft();
+  EXPECT_EQ(t.reversals(), 1u);
+  t.MoveRight();  // reversal 2
+  EXPECT_EQ(t.reversals(), 2u);
+}
+
+TEST(TapeTest, InitialLeftMoveIsAReversal) {
+  // The head starts in right direction; moving left first thing is a
+  // direction change.
+  Tape t("ab");
+  t.MoveLeft();
+  EXPECT_EQ(t.reversals(), 1u);
+  EXPECT_EQ(t.head(), 0u);  // clamped at the left end
+}
+
+TEST(TapeTest, SeekCostsAtMostTwoReversals) {
+  Tape t("0123456789");
+  t.Seek(7);
+  EXPECT_EQ(t.head(), 7u);
+  EXPECT_EQ(t.reversals(), 0u);  // forward only
+  t.Seek(2);
+  EXPECT_EQ(t.head(), 2u);
+  EXPECT_EQ(t.reversals(), 1u);
+  t.Seek(5);
+  EXPECT_EQ(t.reversals(), 2u);
+}
+
+TEST(TapeTest, ResetClearsAccounting) {
+  Tape t("abc");
+  t.MoveRight();
+  t.MoveLeft();
+  t.Reset("xyz");
+  EXPECT_EQ(t.reversals(), 0u);
+  EXPECT_EQ(t.head(), 0u);
+  EXPECT_EQ(t.Read(), 'x');
+}
+
+TEST(TapeTest, CellsUsedGrowsWithVisits) {
+  Tape t;
+  for (int i = 0; i < 5; ++i) t.MoveRight();
+  EXPECT_GE(t.cells_used(), 5u);
+}
+
+TEST(ResourceMeterTest, AggregatesScanBound) {
+  Tape a("xx");
+  Tape b("yy");
+  a.MoveRight();
+  a.MoveLeft();   // 1 reversal
+  b.MoveRight();
+  b.MoveLeft();
+  b.MoveRight();  // 2 reversals
+  ResourceReport report = MeasureTapes({&a, &b}, 17);
+  EXPECT_EQ(report.scan_bound, 1u + 1u + 2u);
+  EXPECT_EQ(report.internal_space, 17u);
+  EXPECT_EQ(report.num_external_tapes, 2u);
+  ASSERT_EQ(report.reversals_per_tape.size(), 2u);
+  EXPECT_EQ(report.reversals_per_tape[0], 1u);
+  EXPECT_EQ(report.reversals_per_tape[1], 2u);
+}
+
+TEST(ResourceMeterTest, ComplianceChecks) {
+  ResourceReport report;
+  report.scan_bound = 4;
+  report.internal_space = 100;
+  report.num_external_tapes = 2;
+  StBounds bounds{4, 100, 2};
+  EXPECT_TRUE(Complies(report, bounds));
+  bounds.max_scans = 3;
+  EXPECT_FALSE(Complies(report, bounds));
+  bounds.max_scans = 4;
+  bounds.max_internal_space = 99;
+  EXPECT_FALSE(Complies(report, bounds));
+  bounds.max_internal_space = 100;
+  bounds.max_external_tapes = 1;
+  EXPECT_FALSE(Complies(report, bounds));
+}
+
+TEST(ResourceMeterTest, ReportToStringMentionsEverything) {
+  ResourceReport report;
+  report.scan_bound = 3;
+  report.internal_space = 12;
+  report.num_external_tapes = 2;
+  report.external_space = 99;
+  const std::string s = report.ToString();
+  EXPECT_NE(s.find("r=3"), std::string::npos);
+  EXPECT_NE(s.find("s=12"), std::string::npos);
+  EXPECT_NE(s.find("t=2"), std::string::npos);
+  EXPECT_NE(s.find("ext=99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rstlab::tape

@@ -1,0 +1,203 @@
+// rstlab command-line tool: generate instances, run every decider, sort
+// tapes and evaluate XPath queries from the shell.
+//
+//   rstlab generate <equal|perturbed|sorted|misordered|disjoint|
+//                    checkphi-yes|checkphi-no> <m> <n> [seed]
+//   rstlab decide <set-equality|multiset-equality|check-sort|disjoint>
+//                 [file|-]
+//   rstlab fingerprint [file|-] [seed]
+//   rstlab sort [file|-]
+//   rstlab xpath "<query>" [xml-file|-]
+//
+// Instances use the paper's v1#...#vm#v'1#...#v'm# encoding; '-' (the
+// default) reads from stdin. Every decision prints the verdict plus the
+// run's resource bill in the paper's (r, s, t) cost units.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rstlab.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  rstlab generate <kind> <m> <n> [seed]   kinds: equal,"
+         " perturbed, sorted,\n"
+      << "                                          misordered, disjoint,"
+         " checkphi-yes, checkphi-no\n"
+      << "  rstlab decide <problem> [file|-]        problems:"
+         " set-equality, multiset-equality,\n"
+      << "                                          check-sort, disjoint\n"
+      << "  rstlab fingerprint [file|-] [seed]\n"
+      << "  rstlab sort [file|-]\n"
+      << "  rstlab xpath \"<query>\" [xml-file|-]\n";
+  return 2;
+}
+
+std::string ReadInput(const std::string& source) {
+  if (source == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    std::string text = buffer.str();
+    // Strip a trailing newline from interactive input.
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.pop_back();
+    }
+    return text;
+  }
+  std::ifstream file(source);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+int Generate(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  const std::string& kind = args[0];
+  const std::size_t m = std::strtoull(args[1].c_str(), nullptr, 10);
+  const std::size_t n = std::strtoull(args[2].c_str(), nullptr, 10);
+  const std::uint64_t seed =
+      args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 1;
+  rstlab::Rng rng(seed);
+  rstlab::problems::Instance instance;
+  if (kind == "equal") {
+    instance = rstlab::problems::EqualMultisets(m, n, rng);
+  } else if (kind == "perturbed") {
+    instance = rstlab::problems::PerturbedMultisets(m, n, 1, rng);
+  } else if (kind == "sorted") {
+    instance = rstlab::problems::SortedPair(m, n, rng);
+  } else if (kind == "misordered") {
+    instance = rstlab::problems::MisorderedPair(m, n, rng);
+  } else if (kind == "disjoint") {
+    instance = rstlab::problems::DisjointSets(m, n, rng);
+  } else if (kind == "checkphi-yes" || kind == "checkphi-no") {
+    rstlab::problems::CheckPhi problem(
+        m, n, rstlab::permutation::BitReversalPermutation(m));
+    instance = kind == "checkphi-yes" ? problem.RandomYesInstance(rng)
+                                      : problem.RandomNoInstance(rng);
+  } else {
+    return Usage();
+  }
+  std::cout << instance.Encode() << "\n";
+  return 0;
+}
+
+int Decide(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const std::string& problem_name = args[0];
+  const std::string source = args.size() > 1 ? args[1] : "-";
+  const std::string encoded = ReadInput(source);
+
+  rstlab::stmodel::StContext ctx(rstlab::sorting::kDeciderTapes);
+  ctx.LoadInput(encoded);
+  rstlab::Result<bool> verdict = false;
+  if (problem_name == "set-equality") {
+    verdict = rstlab::sorting::DecideOnTapes(
+        rstlab::problems::Problem::kSetEquality, ctx);
+  } else if (problem_name == "multiset-equality") {
+    verdict = rstlab::sorting::DecideOnTapes(
+        rstlab::problems::Problem::kMultisetEquality, ctx);
+  } else if (problem_name == "check-sort") {
+    verdict = rstlab::sorting::DecideOnTapes(
+        rstlab::problems::Problem::kCheckSort, ctx);
+  } else if (problem_name == "disjoint") {
+    verdict = rstlab::sorting::DecideDisjointOnTapes(ctx);
+  } else {
+    return Usage();
+  }
+  if (!verdict.ok()) {
+    std::cerr << "error: " << verdict.status() << "\n";
+    return 1;
+  }
+  std::cout << (verdict.value() ? "yes" : "no") << "  ["
+            << ctx.Report().ToString() << "]\n";
+  return 0;
+}
+
+int Fingerprint(const std::vector<std::string>& args) {
+  const std::string source = args.empty() ? "-" : args[0];
+  const std::uint64_t seed =
+      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 1;
+  rstlab::Rng rng(seed);
+  rstlab::stmodel::StContext ctx(1);
+  ctx.LoadInput(ReadInput(source));
+  auto outcome = rstlab::fingerprint::TestMultisetEqualityOnTapes(ctx, rng);
+  if (!outcome.ok()) {
+    std::cerr << "error: " << outcome.status() << "\n";
+    return 1;
+  }
+  std::cout << (outcome.value().accepted ? "accept" : "reject")
+            << "  [" << ctx.Report().ToString()
+            << "]  (p1=" << outcome.value().params.p1
+            << ", p2=" << outcome.value().params.p2
+            << ", x=" << outcome.value().params.x << ")\n";
+  return 0;
+}
+
+int Sort(const std::vector<std::string>& args) {
+  const std::string source = args.empty() ? "-" : args[0];
+  rstlab::stmodel::StContext ctx(3);
+  ctx.LoadInput(ReadInput(source));
+  rstlab::sorting::SortStats stats;
+  rstlab::Status status =
+      rstlab::sorting::SortFieldsOnTapes(ctx, 0, 1, 2, &stats);
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    return 1;
+  }
+  rstlab::tape::Tape& t = ctx.tape(0);
+  t.Seek(0);
+  for (std::size_t i = 0; i < stats.num_fields; ++i) {
+    std::cout << rstlab::stmodel::ReadField(t) << "#";
+  }
+  std::cout << "\n" << stats.passes << " passes  ["
+            << ctx.Report().ToString() << "]\n";
+  return 0;
+}
+
+int XPath(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto query = rstlab::query::ParseXPath(args[0]);
+  if (!query.ok()) {
+    std::cerr << "query error: " << query.status() << "\n";
+    return 1;
+  }
+  const std::string source = args.size() > 1 ? args[1] : "-";
+  auto doc = rstlab::query::ParseXml(ReadInput(source));
+  if (!doc.ok()) {
+    std::cerr << "document error: " << doc.status() << "\n";
+    return 1;
+  }
+  const auto selected =
+      rstlab::query::EvalPath(*doc.value(), query.value());
+  std::cout << selected.size() << " node(s) selected\n";
+  for (const auto* node : selected) {
+    std::cout << "<" << node->name << ">: " << node->StringValue()
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string command = args[0];
+  args.erase(args.begin());
+  if (command == "generate") return Generate(args);
+  if (command == "decide") return Decide(args);
+  if (command == "fingerprint") return Fingerprint(args);
+  if (command == "sort") return Sort(args);
+  if (command == "xpath") return XPath(args);
+  return Usage();
+}
