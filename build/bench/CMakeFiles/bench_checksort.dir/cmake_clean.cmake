@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checksort.dir/bench_checksort.cc.o"
+  "CMakeFiles/bench_checksort.dir/bench_checksort.cc.o.d"
+  "bench_checksort"
+  "bench_checksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

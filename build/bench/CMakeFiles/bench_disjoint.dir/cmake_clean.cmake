@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disjoint.dir/bench_disjoint.cc.o"
+  "CMakeFiles/bench_disjoint.dir/bench_disjoint.cc.o.d"
+  "bench_disjoint"
+  "bench_disjoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disjoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listmachine.dir/bench_listmachine.cc.o"
+  "CMakeFiles/bench_listmachine.dir/bench_listmachine.cc.o.d"
+  "bench_listmachine"
+  "bench_listmachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listmachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merge_lemma.dir/bench_merge_lemma.cc.o"
+  "CMakeFiles/bench_merge_lemma.dir/bench_merge_lemma.cc.o.d"
+  "bench_merge_lemma"
+  "bench_merge_lemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merge_lemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

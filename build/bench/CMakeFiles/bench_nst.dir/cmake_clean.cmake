@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nst.dir/bench_nst.cc.o"
+  "CMakeFiles/bench_nst.dir/bench_nst.cc.o.d"
+  "bench_nst"
+  "bench_nst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

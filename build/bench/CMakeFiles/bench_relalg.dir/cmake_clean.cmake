@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relalg.dir/bench_relalg.cc.o"
+  "CMakeFiles/bench_relalg.dir/bench_relalg.cc.o.d"
+  "bench_relalg"
+  "bench_relalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_short_reduction.dir/bench_short_reduction.cc.o"
+  "CMakeFiles/bench_short_reduction.dir/bench_short_reduction.cc.o.d"
+  "bench_short_reduction"
+  "bench_short_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_short_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

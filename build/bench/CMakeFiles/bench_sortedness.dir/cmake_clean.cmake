@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sortedness.dir/bench_sortedness.cc.o"
+  "CMakeFiles/bench_sortedness.dir/bench_sortedness.cc.o.d"
+  "bench_sortedness"
+  "bench_sortedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sortedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

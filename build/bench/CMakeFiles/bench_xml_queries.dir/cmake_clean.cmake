@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xml_queries.dir/bench_xml_queries.cc.o"
+  "CMakeFiles/bench_xml_queries.dir/bench_xml_queries.cc.o.d"
+  "bench_xml_queries"
+  "bench_xml_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xml_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

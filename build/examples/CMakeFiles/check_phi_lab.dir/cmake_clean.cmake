@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_phi_lab.dir/check_phi_lab.cpp.o"
+  "CMakeFiles/check_phi_lab.dir/check_phi_lab.cpp.o.d"
+  "check_phi_lab"
+  "check_phi_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_phi_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

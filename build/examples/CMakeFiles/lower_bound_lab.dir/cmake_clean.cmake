@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_lab.dir/lower_bound_lab.cpp.o"
+  "CMakeFiles/lower_bound_lab.dir/lower_bound_lab.cpp.o.d"
+  "lower_bound_lab"
+  "lower_bound_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_relalg.dir/streaming_relalg.cpp.o"
+  "CMakeFiles/streaming_relalg.dir/streaming_relalg.cpp.o.d"
+  "streaming_relalg"
+  "streaming_relalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_relalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_stream_filter.dir/xml_stream_filter.cpp.o"
+  "CMakeFiles/xml_stream_filter.dir/xml_stream_filter.cpp.o.d"
+  "xml_stream_filter"
+  "xml_stream_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_stream_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tape")
+subdirs("stmodel")
+subdirs("machine")
+subdirs("permutation")
+subdirs("problems")
+subdirs("fingerprint")
+subdirs("sorting")
+subdirs("nst")
+subdirs("listmachine")
+subdirs("query")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_core.dir/complexity.cc.o"
+  "CMakeFiles/rstlab_core.dir/complexity.cc.o.d"
+  "CMakeFiles/rstlab_core.dir/experiment.cc.o"
+  "CMakeFiles/rstlab_core.dir/experiment.cc.o.d"
+  "librstlab_core.a"
+  "librstlab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/fingerprint.cc" "src/fingerprint/CMakeFiles/rstlab_fingerprint.dir/fingerprint.cc.o" "gcc" "src/fingerprint/CMakeFiles/rstlab_fingerprint.dir/fingerprint.cc.o.d"
+  "/root/repo/src/fingerprint/prime.cc" "src/fingerprint/CMakeFiles/rstlab_fingerprint.dir/prime.cc.o" "gcc" "src/fingerprint/CMakeFiles/rstlab_fingerprint.dir/prime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rstlab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stmodel/CMakeFiles/rstlab_stmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/rstlab_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/rstlab_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/permutation/CMakeFiles/rstlab_permutation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

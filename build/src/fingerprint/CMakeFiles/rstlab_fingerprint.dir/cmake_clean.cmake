@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_fingerprint.dir/fingerprint.cc.o"
+  "CMakeFiles/rstlab_fingerprint.dir/fingerprint.cc.o.d"
+  "CMakeFiles/rstlab_fingerprint.dir/prime.cc.o"
+  "CMakeFiles/rstlab_fingerprint.dir/prime.cc.o.d"
+  "librstlab_fingerprint.a"
+  "librstlab_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

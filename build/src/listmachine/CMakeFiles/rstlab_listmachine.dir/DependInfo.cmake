@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/listmachine/analysis.cc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/analysis.cc.o" "gcc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/analysis.cc.o.d"
+  "/root/repo/src/listmachine/list_machine.cc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/list_machine.cc.o" "gcc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/list_machine.cc.o.d"
+  "/root/repo/src/listmachine/machines.cc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/machines.cc.o" "gcc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/machines.cc.o.d"
+  "/root/repo/src/listmachine/simulation.cc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/simulation.cc.o" "gcc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/simulation.cc.o.d"
+  "/root/repo/src/listmachine/skeleton.cc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/skeleton.cc.o" "gcc" "src/listmachine/CMakeFiles/rstlab_listmachine.dir/skeleton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rstlab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rstlab_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/permutation/CMakeFiles/rstlab_permutation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

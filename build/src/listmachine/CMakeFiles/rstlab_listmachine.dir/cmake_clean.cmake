@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_listmachine.dir/analysis.cc.o"
+  "CMakeFiles/rstlab_listmachine.dir/analysis.cc.o.d"
+  "CMakeFiles/rstlab_listmachine.dir/list_machine.cc.o"
+  "CMakeFiles/rstlab_listmachine.dir/list_machine.cc.o.d"
+  "CMakeFiles/rstlab_listmachine.dir/machines.cc.o"
+  "CMakeFiles/rstlab_listmachine.dir/machines.cc.o.d"
+  "CMakeFiles/rstlab_listmachine.dir/simulation.cc.o"
+  "CMakeFiles/rstlab_listmachine.dir/simulation.cc.o.d"
+  "CMakeFiles/rstlab_listmachine.dir/skeleton.cc.o"
+  "CMakeFiles/rstlab_listmachine.dir/skeleton.cc.o.d"
+  "librstlab_listmachine.a"
+  "librstlab_listmachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_listmachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rstlab_listmachine.
+# This may be replaced when dependencies are built.

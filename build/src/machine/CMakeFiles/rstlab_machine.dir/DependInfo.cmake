@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/machine_builder.cc" "src/machine/CMakeFiles/rstlab_machine.dir/machine_builder.cc.o" "gcc" "src/machine/CMakeFiles/rstlab_machine.dir/machine_builder.cc.o.d"
+  "/root/repo/src/machine/turing_machine.cc" "src/machine/CMakeFiles/rstlab_machine.dir/turing_machine.cc.o" "gcc" "src/machine/CMakeFiles/rstlab_machine.dir/turing_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rstlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

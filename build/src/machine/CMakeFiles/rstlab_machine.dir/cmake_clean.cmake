@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_machine.dir/machine_builder.cc.o"
+  "CMakeFiles/rstlab_machine.dir/machine_builder.cc.o.d"
+  "CMakeFiles/rstlab_machine.dir/turing_machine.cc.o"
+  "CMakeFiles/rstlab_machine.dir/turing_machine.cc.o.d"
+  "librstlab_machine.a"
+  "librstlab_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

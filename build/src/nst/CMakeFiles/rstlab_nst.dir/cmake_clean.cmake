@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_nst.dir/certificate.cc.o"
+  "CMakeFiles/rstlab_nst.dir/certificate.cc.o.d"
+  "CMakeFiles/rstlab_nst.dir/paper_verifier.cc.o"
+  "CMakeFiles/rstlab_nst.dir/paper_verifier.cc.o.d"
+  "librstlab_nst.a"
+  "librstlab_nst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_nst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_permutation.dir/phi.cc.o"
+  "CMakeFiles/rstlab_permutation.dir/phi.cc.o.d"
+  "CMakeFiles/rstlab_permutation.dir/sortedness.cc.o"
+  "CMakeFiles/rstlab_permutation.dir/sortedness.cc.o.d"
+  "librstlab_permutation.a"
+  "librstlab_permutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_permutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/problems/check_phi.cc" "src/problems/CMakeFiles/rstlab_problems.dir/check_phi.cc.o" "gcc" "src/problems/CMakeFiles/rstlab_problems.dir/check_phi.cc.o.d"
+  "/root/repo/src/problems/disjoint_sets.cc" "src/problems/CMakeFiles/rstlab_problems.dir/disjoint_sets.cc.o" "gcc" "src/problems/CMakeFiles/rstlab_problems.dir/disjoint_sets.cc.o.d"
+  "/root/repo/src/problems/generators.cc" "src/problems/CMakeFiles/rstlab_problems.dir/generators.cc.o" "gcc" "src/problems/CMakeFiles/rstlab_problems.dir/generators.cc.o.d"
+  "/root/repo/src/problems/instance.cc" "src/problems/CMakeFiles/rstlab_problems.dir/instance.cc.o" "gcc" "src/problems/CMakeFiles/rstlab_problems.dir/instance.cc.o.d"
+  "/root/repo/src/problems/reference.cc" "src/problems/CMakeFiles/rstlab_problems.dir/reference.cc.o" "gcc" "src/problems/CMakeFiles/rstlab_problems.dir/reference.cc.o.d"
+  "/root/repo/src/problems/short_reduction.cc" "src/problems/CMakeFiles/rstlab_problems.dir/short_reduction.cc.o" "gcc" "src/problems/CMakeFiles/rstlab_problems.dir/short_reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rstlab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/permutation/CMakeFiles/rstlab_permutation.dir/DependInfo.cmake"
+  "/root/repo/build/src/stmodel/CMakeFiles/rstlab_stmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/rstlab_tape.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

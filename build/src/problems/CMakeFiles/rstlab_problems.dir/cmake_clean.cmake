@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_problems.dir/check_phi.cc.o"
+  "CMakeFiles/rstlab_problems.dir/check_phi.cc.o.d"
+  "CMakeFiles/rstlab_problems.dir/disjoint_sets.cc.o"
+  "CMakeFiles/rstlab_problems.dir/disjoint_sets.cc.o.d"
+  "CMakeFiles/rstlab_problems.dir/generators.cc.o"
+  "CMakeFiles/rstlab_problems.dir/generators.cc.o.d"
+  "CMakeFiles/rstlab_problems.dir/instance.cc.o"
+  "CMakeFiles/rstlab_problems.dir/instance.cc.o.d"
+  "CMakeFiles/rstlab_problems.dir/reference.cc.o"
+  "CMakeFiles/rstlab_problems.dir/reference.cc.o.d"
+  "CMakeFiles/rstlab_problems.dir/short_reduction.cc.o"
+  "CMakeFiles/rstlab_problems.dir/short_reduction.cc.o.d"
+  "librstlab_problems.a"
+  "librstlab_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

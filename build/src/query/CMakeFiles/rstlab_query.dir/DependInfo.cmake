@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/relalg.cc" "src/query/CMakeFiles/rstlab_query.dir/relalg.cc.o" "gcc" "src/query/CMakeFiles/rstlab_query.dir/relalg.cc.o.d"
+  "/root/repo/src/query/relation.cc" "src/query/CMakeFiles/rstlab_query.dir/relation.cc.o" "gcc" "src/query/CMakeFiles/rstlab_query.dir/relation.cc.o.d"
+  "/root/repo/src/query/streaming_xml.cc" "src/query/CMakeFiles/rstlab_query.dir/streaming_xml.cc.o" "gcc" "src/query/CMakeFiles/rstlab_query.dir/streaming_xml.cc.o.d"
+  "/root/repo/src/query/xml.cc" "src/query/CMakeFiles/rstlab_query.dir/xml.cc.o" "gcc" "src/query/CMakeFiles/rstlab_query.dir/xml.cc.o.d"
+  "/root/repo/src/query/xml_reduction.cc" "src/query/CMakeFiles/rstlab_query.dir/xml_reduction.cc.o" "gcc" "src/query/CMakeFiles/rstlab_query.dir/xml_reduction.cc.o.d"
+  "/root/repo/src/query/xpath.cc" "src/query/CMakeFiles/rstlab_query.dir/xpath.cc.o" "gcc" "src/query/CMakeFiles/rstlab_query.dir/xpath.cc.o.d"
+  "/root/repo/src/query/xquery.cc" "src/query/CMakeFiles/rstlab_query.dir/xquery.cc.o" "gcc" "src/query/CMakeFiles/rstlab_query.dir/xquery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rstlab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stmodel/CMakeFiles/rstlab_stmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sorting/CMakeFiles/rstlab_sorting.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/rstlab_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/rstlab_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/rstlab_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/permutation/CMakeFiles/rstlab_permutation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

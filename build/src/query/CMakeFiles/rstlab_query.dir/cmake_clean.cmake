@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_query.dir/relalg.cc.o"
+  "CMakeFiles/rstlab_query.dir/relalg.cc.o.d"
+  "CMakeFiles/rstlab_query.dir/relation.cc.o"
+  "CMakeFiles/rstlab_query.dir/relation.cc.o.d"
+  "CMakeFiles/rstlab_query.dir/streaming_xml.cc.o"
+  "CMakeFiles/rstlab_query.dir/streaming_xml.cc.o.d"
+  "CMakeFiles/rstlab_query.dir/xml.cc.o"
+  "CMakeFiles/rstlab_query.dir/xml.cc.o.d"
+  "CMakeFiles/rstlab_query.dir/xml_reduction.cc.o"
+  "CMakeFiles/rstlab_query.dir/xml_reduction.cc.o.d"
+  "CMakeFiles/rstlab_query.dir/xpath.cc.o"
+  "CMakeFiles/rstlab_query.dir/xpath.cc.o.d"
+  "CMakeFiles/rstlab_query.dir/xquery.cc.o"
+  "CMakeFiles/rstlab_query.dir/xquery.cc.o.d"
+  "librstlab_query.a"
+  "librstlab_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sorting/deciders.cc" "src/sorting/CMakeFiles/rstlab_sorting.dir/deciders.cc.o" "gcc" "src/sorting/CMakeFiles/rstlab_sorting.dir/deciders.cc.o.d"
+  "/root/repo/src/sorting/las_vegas.cc" "src/sorting/CMakeFiles/rstlab_sorting.dir/las_vegas.cc.o" "gcc" "src/sorting/CMakeFiles/rstlab_sorting.dir/las_vegas.cc.o.d"
+  "/root/repo/src/sorting/merge_sort.cc" "src/sorting/CMakeFiles/rstlab_sorting.dir/merge_sort.cc.o" "gcc" "src/sorting/CMakeFiles/rstlab_sorting.dir/merge_sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rstlab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stmodel/CMakeFiles/rstlab_stmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/rstlab_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/rstlab_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/rstlab_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/permutation/CMakeFiles/rstlab_permutation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_sorting.dir/deciders.cc.o"
+  "CMakeFiles/rstlab_sorting.dir/deciders.cc.o.d"
+  "CMakeFiles/rstlab_sorting.dir/las_vegas.cc.o"
+  "CMakeFiles/rstlab_sorting.dir/las_vegas.cc.o.d"
+  "CMakeFiles/rstlab_sorting.dir/merge_sort.cc.o"
+  "CMakeFiles/rstlab_sorting.dir/merge_sort.cc.o.d"
+  "librstlab_sorting.a"
+  "librstlab_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stmodel/internal_arena.cc" "src/stmodel/CMakeFiles/rstlab_stmodel.dir/internal_arena.cc.o" "gcc" "src/stmodel/CMakeFiles/rstlab_stmodel.dir/internal_arena.cc.o.d"
+  "/root/repo/src/stmodel/st_context.cc" "src/stmodel/CMakeFiles/rstlab_stmodel.dir/st_context.cc.o" "gcc" "src/stmodel/CMakeFiles/rstlab_stmodel.dir/st_context.cc.o.d"
+  "/root/repo/src/stmodel/tape_io.cc" "src/stmodel/CMakeFiles/rstlab_stmodel.dir/tape_io.cc.o" "gcc" "src/stmodel/CMakeFiles/rstlab_stmodel.dir/tape_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tape/CMakeFiles/rstlab_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rstlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_stmodel.dir/internal_arena.cc.o"
+  "CMakeFiles/rstlab_stmodel.dir/internal_arena.cc.o.d"
+  "CMakeFiles/rstlab_stmodel.dir/st_context.cc.o"
+  "CMakeFiles/rstlab_stmodel.dir/st_context.cc.o.d"
+  "CMakeFiles/rstlab_stmodel.dir/tape_io.cc.o"
+  "CMakeFiles/rstlab_stmodel.dir/tape_io.cc.o.d"
+  "librstlab_stmodel.a"
+  "librstlab_stmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_stmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

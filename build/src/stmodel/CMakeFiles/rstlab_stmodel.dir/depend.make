@@ -1,0 +1,2 @@
+# Empty dependencies file for rstlab_stmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_tape.dir/resource_meter.cc.o"
+  "CMakeFiles/rstlab_tape.dir/resource_meter.cc.o.d"
+  "CMakeFiles/rstlab_tape.dir/tape.cc.o"
+  "CMakeFiles/rstlab_tape.dir/tape.cc.o.d"
+  "librstlab_tape.a"
+  "librstlab_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

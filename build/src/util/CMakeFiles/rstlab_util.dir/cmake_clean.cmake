@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab_util.dir/bitstring.cc.o"
+  "CMakeFiles/rstlab_util.dir/bitstring.cc.o.d"
+  "CMakeFiles/rstlab_util.dir/random.cc.o"
+  "CMakeFiles/rstlab_util.dir/random.cc.o.d"
+  "CMakeFiles/rstlab_util.dir/status.cc.o"
+  "CMakeFiles/rstlab_util.dir/status.cc.o.d"
+  "librstlab_util.a"
+  "librstlab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

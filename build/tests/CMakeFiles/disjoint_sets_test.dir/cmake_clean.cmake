@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjoint_sets_test.dir/disjoint_sets_test.cc.o"
+  "CMakeFiles/disjoint_sets_test.dir/disjoint_sets_test.cc.o.d"
+  "disjoint_sets_test"
+  "disjoint_sets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjoint_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/las_vegas_test.cc" "tests/CMakeFiles/las_vegas_test.dir/las_vegas_test.cc.o" "gcc" "tests/CMakeFiles/las_vegas_test.dir/las_vegas_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rstlab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rstlab_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/listmachine/CMakeFiles/rstlab_listmachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/nst/CMakeFiles/rstlab_nst.dir/DependInfo.cmake"
+  "/root/repo/build/src/sorting/CMakeFiles/rstlab_sorting.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/rstlab_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/rstlab_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/permutation/CMakeFiles/rstlab_permutation.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/rstlab_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stmodel/CMakeFiles/rstlab_stmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/rstlab_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rstlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

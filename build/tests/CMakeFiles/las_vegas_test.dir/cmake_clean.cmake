@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/las_vegas_test.dir/las_vegas_test.cc.o"
+  "CMakeFiles/las_vegas_test.dir/las_vegas_test.cc.o.d"
+  "las_vegas_test"
+  "las_vegas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/las_vegas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

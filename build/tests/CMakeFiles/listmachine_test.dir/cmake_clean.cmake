@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listmachine_test.dir/listmachine_test.cc.o"
+  "CMakeFiles/listmachine_test.dir/listmachine_test.cc.o.d"
+  "listmachine_test"
+  "listmachine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listmachine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nst_test.dir/nst_test.cc.o"
+  "CMakeFiles/nst_test.dir/nst_test.cc.o.d"
+  "nst_test"
+  "nst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problems_test.dir/problems_test.cc.o"
+  "CMakeFiles/problems_test.dir/problems_test.cc.o.d"
+  "problems_test"
+  "problems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

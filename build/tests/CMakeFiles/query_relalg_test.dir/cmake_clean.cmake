@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_relalg_test.dir/query_relalg_test.cc.o"
+  "CMakeFiles/query_relalg_test.dir/query_relalg_test.cc.o.d"
+  "query_relalg_test"
+  "query_relalg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_relalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

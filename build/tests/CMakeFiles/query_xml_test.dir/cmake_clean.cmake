@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_xml_test.dir/query_xml_test.cc.o"
+  "CMakeFiles/query_xml_test.dir/query_xml_test.cc.o.d"
+  "query_xml_test"
+  "query_xml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stmodel_test.dir/stmodel_test.cc.o"
+  "CMakeFiles/stmodel_test.dir/stmodel_test.cc.o.d"
+  "stmodel_test"
+  "stmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

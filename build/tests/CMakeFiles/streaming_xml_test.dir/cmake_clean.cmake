@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_xml_test.dir/streaming_xml_test.cc.o"
+  "CMakeFiles/streaming_xml_test.dir/streaming_xml_test.cc.o.d"
+  "streaming_xml_test"
+  "streaming_xml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstlab.dir/rstlab_cli.cc.o"
+  "CMakeFiles/rstlab.dir/rstlab_cli.cc.o.d"
+  "rstlab"
+  "rstlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

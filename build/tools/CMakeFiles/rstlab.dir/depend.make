@@ -1,0 +1,2 @@
+# Empty dependencies file for rstlab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_decide_yes "bash" "-c" "/root/repo/build/tools/rstlab generate equal 8 12 7 | /root/repo/build/tools/rstlab decide multiset-equality | grep -q '^yes'")
+set_tests_properties(cli_decide_yes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_decide_no "bash" "-c" "/root/repo/build/tools/rstlab generate perturbed 8 12 7 | /root/repo/build/tools/rstlab decide multiset-equality | grep -q '^no'")
+set_tests_properties(cli_decide_no PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_checksort "bash" "-c" "/root/repo/build/tools/rstlab generate sorted 8 12 7 | /root/repo/build/tools/rstlab decide check-sort | grep -q '^yes'")
+set_tests_properties(cli_checksort PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_disjoint "bash" "-c" "/root/repo/build/tools/rstlab generate disjoint 8 12 7 | /root/repo/build/tools/rstlab decide disjoint | grep -q '^yes'")
+set_tests_properties(cli_disjoint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fingerprint_two_scans "bash" "-c" "/root/repo/build/tools/rstlab generate equal 8 12 7 | /root/repo/build/tools/rstlab fingerprint | grep -q 'accept.*r=2 '")
+set_tests_properties(cli_fingerprint_two_scans PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sort "bash" "-c" "echo '10#01#11#00#' | /root/repo/build/tools/rstlab sort | head -1 | grep -qx '00#01#10#11#'")
+set_tests_properties(cli_sort PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "bash" "-c" "! /root/repo/build/tools/rstlab bogus")
+set_tests_properties(cli_usage_error PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
