@@ -14,6 +14,7 @@
 //      multisets are accepted. Randomizing x over {1..p2-1} is what
 //      turns residue multisets into a polynomial identity test.
 
+#include <chrono>
 #include <iostream>
 
 #include <benchmark/benchmark.h>
@@ -21,6 +22,9 @@
 #include "core/experiment.h"
 #include "fingerprint/fingerprint.h"
 #include "fingerprint/prime.h"
+#include "parallel/bench_recorder.h"
+#include "parallel/seed_sequence.h"
+#include "parallel/trial_runner.h"
 #include "problems/generators.h"
 #include "problems/reference.h"
 #include "sorting/merge_sort.h"
@@ -35,6 +39,32 @@ using rstlab::Rng;
 using rstlab::core::FormatDouble;
 using rstlab::core::Table;
 using rstlab::fingerprint::FingerprintParams;
+using rstlab::parallel::BenchRecorder;
+using rstlab::parallel::Checksum64;
+using rstlab::parallel::SeedSequence;
+using rstlab::parallel::TrialRunner;
+
+/// Integer tally of trials attempted / trials fooled, merged by sum.
+struct FoolTally {
+  std::uint64_t attempted = 0;
+  std::uint64_t fooled = 0;
+  void Merge(const FoolTally& o) {
+    attempted += o.attempted;
+    fooled += o.fooled;
+  }
+  double rate() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(fooled) /
+                                static_cast<double>(attempted);
+  }
+};
+
+double SecondsSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 /// Builds params with an explicitly chosen k (instead of the paper's).
 rstlab::Result<FingerprintParams> ParamsWithK(std::uint64_t k, Rng& rng) {
@@ -50,10 +80,9 @@ rstlab::Result<FingerprintParams> ParamsWithK(std::uint64_t k, Rng& rng) {
   return params;
 }
 
-void RunModulusAblation() {
+void RunModulusAblation(TrialRunner& runner, BenchRecorder& recorder) {
   Table table("A1: fingerprint false-positive rate vs prime bound k",
               {"m", "n", "k choice", "k", "false_pos_rate", "paper bound"});
-  Rng rng(0xAB1);
   const std::size_t m = 32;
   const std::size_t n = 24;
   struct Choice {
@@ -63,35 +92,41 @@ void RunModulusAblation() {
   const std::uint64_t mn = static_cast<std::uint64_t>(m) * n;
   const std::uint64_t paper_k =
       static_cast<std::uint64_t>(m) * m * m * n * 25;  // ~ m^3 n log
+  std::size_t choice_index = 0;
   for (const Choice& choice :
        {Choice{"m*n (tiny)", mn}, Choice{"m^2*n", mn * m},
         Choice{"m^3*n*log (paper)", paper_k}}) {
-    int false_pos = 0;
-    const int trials = 400;
-    for (int t = 0; t < trials; ++t) {
-      rstlab::problems::Instance inst =
-          rstlab::problems::PerturbedMultisets(m, n, 1, rng);
-      auto params = ParamsWithK(choice.k, rng);
-      if (!params.ok()) continue;
-      false_pos +=
-          rstlab::fingerprint::AcceptsWithParams(inst, params.value());
-    }
+    const std::uint64_t trials = 400;
+    const SeedSequence seeds(0xAB1000 + choice_index++);
+    const auto start = std::chrono::steady_clock::now();
+    const FoolTally tally = runner.RunSeeded<FoolTally>(
+        trials, seeds, [&](std::uint64_t, Rng& rng, FoolTally& local) {
+          rstlab::problems::Instance inst =
+              rstlab::problems::PerturbedMultisets(m, n, 1, rng);
+          auto params = ParamsWithK(choice.k, rng);
+          if (!params.ok()) return;
+          ++local.attempted;
+          local.fooled += rstlab::fingerprint::AcceptsWithParams(
+              inst, params.value());
+        });
+    recorder.Record("A1.k=" + std::to_string(choice.k), trials,
+                    SecondsSince(start),
+                    Checksum64({tally.attempted, tally.fooled}));
     table.AddRow({std::to_string(m), std::to_string(n), choice.label,
-                  std::to_string(choice.k),
-                  FormatDouble(false_pos / static_cast<double>(trials)),
+                  std::to_string(choice.k), FormatDouble(tally.rate()),
                   "<= 0.5 at the paper's k"});
   }
   table.Print(std::cout);
   std::cout << "\n";
 }
 
-void RunFixedPrimeAdversary() {
+void RunFixedPrimeAdversary(TrialRunner& runner,
+                            BenchRecorder& recorder) {
   Table table("A2: adversarial instance against a FIXED prime p1",
               {"p1 policy", "trials", "false_pos_rate", "note"});
-  Rng rng(0xAB2);
   const std::size_t n = 40;
   const std::uint64_t fixed_p1 = 1009;  // any fixed prime
-  const int trials = 300;
+  const std::uint64_t trials = 300;
 
   // Adversarial construction: second list shifts one value up by p1 and
   // another down by p1 — all residues mod p1 unchanged, so the
@@ -110,64 +145,92 @@ void RunFixedPrimeAdversary() {
     return inst;
   };
 
-  int fooled_fixed = 0;
-  int fooled_random = 0;
-  for (int t = 0; t < trials; ++t) {
-    rstlab::problems::Instance inst = adversarial(rng);
-    // Fixed p1, random p2 and x.
-    FingerprintParams fixed;
-    fixed.k = fixed_p1;
-    fixed.p1 = fixed_p1;
-    fixed.p2 =
-        rstlab::fingerprint::PrimeInBertrandInterval(fixed_p1).value();
-    fixed.x = rng.UniformInRange(1, fixed.p2 - 1);
-    fooled_fixed +=
-        rstlab::fingerprint::AcceptsWithParams(inst, fixed);
-    // The paper's random p1.
-    fooled_random +=
-        rstlab::fingerprint::TestMultisetEquality(inst, rng).accepted;
-  }
-  table.AddRow({"fixed p1 = 1009", std::to_string(trials),
-                FormatDouble(fooled_fixed / static_cast<double>(trials)),
-                "adversary wins every time"});
-  table.AddRow({"random p1 <= k (paper)", std::to_string(trials),
-                FormatDouble(fooled_random / static_cast<double>(trials)),
-                "adversary defeated"});
+  // The Bertrand prime for the fixed policy is a constant of the
+  // experiment; compute it once outside the trial loop.
+  const std::uint64_t fixed_p2 =
+      rstlab::fingerprint::PrimeInBertrandInterval(fixed_p1).value();
+  struct A2Tally {
+    std::uint64_t fooled_fixed = 0;
+    std::uint64_t fooled_random = 0;
+    void Merge(const A2Tally& o) {
+      fooled_fixed += o.fooled_fixed;
+      fooled_random += o.fooled_random;
+    }
+  };
+  const SeedSequence seeds(0xAB2);
+  const auto start = std::chrono::steady_clock::now();
+  const A2Tally tally = runner.RunSeeded<A2Tally>(
+      trials, seeds, [&](std::uint64_t, Rng& rng, A2Tally& local) {
+        rstlab::problems::Instance inst = adversarial(rng);
+        // Fixed p1, random p2 and x.
+        FingerprintParams fixed;
+        fixed.k = fixed_p1;
+        fixed.p1 = fixed_p1;
+        fixed.p2 = fixed_p2;
+        fixed.x = rng.UniformInRange(1, fixed.p2 - 1);
+        local.fooled_fixed +=
+            rstlab::fingerprint::AcceptsWithParams(inst, fixed);
+        // The paper's random p1.
+        local.fooled_random +=
+            rstlab::fingerprint::TestMultisetEquality(inst, rng).accepted;
+      });
+  recorder.Record("A2", trials, SecondsSince(start),
+                  Checksum64({tally.fooled_fixed, tally.fooled_random}));
+  table.AddRow(
+      {"fixed p1 = 1009", std::to_string(trials),
+       FormatDouble(tally.fooled_fixed / static_cast<double>(trials)),
+       "adversary wins every time"});
+  table.AddRow(
+      {"random p1 <= k (paper)", std::to_string(trials),
+       FormatDouble(tally.fooled_random / static_cast<double>(trials)),
+       "adversary defeated"});
   table.Print(std::cout);
   std::cout << "  randomizing the prime is what defeats residue-aligned"
                " adversaries (step 2 of Theorem 8(a))\n\n";
 }
 
-void RunFixedXAblation() {
+void RunFixedXAblation(TrialRunner& runner, BenchRecorder& recorder) {
   Table table("A3: x randomization ablation",
               {"x policy", "false_pos_rate", "note"});
-  Rng rng(0xAB3);
   const std::size_t m = 16;
   const std::size_t n = 24;
-  const int trials = 300;
-  int fooled_fixed_x = 0;
-  int fooled_random_x = 0;
-  for (int t = 0; t < trials; ++t) {
-    // Unequal multisets of the same size.
-    rstlab::problems::Instance inst =
-        rstlab::problems::PerturbedMultisets(m, n, 1, rng);
-    auto params =
-        rstlab::fingerprint::SampleFingerprintParams(m, n, rng);
-    if (!params.ok()) continue;
-    FingerprintParams with_fixed_x = params.value();
-    with_fixed_x.x = 1;  // degenerate: counts elements only
-    fooled_fixed_x +=
-        rstlab::fingerprint::AcceptsWithParams(inst, with_fixed_x);
-    fooled_random_x +=
-        rstlab::fingerprint::AcceptsWithParams(inst, params.value());
-  }
-  table.AddRow({"x = 1 (fixed)",
-                FormatDouble(fooled_fixed_x / static_cast<double>(trials)),
-                "sum x^e == m always: accepts every same-size instance"});
-  table.AddRow({"x uniform in {1..p2-1} (paper)",
-                FormatDouble(fooled_random_x /
-                             static_cast<double>(trials)),
-                "polynomial identity test"});
+  const std::uint64_t trials = 300;
+  struct A3Tally {
+    std::uint64_t fooled_fixed_x = 0;
+    std::uint64_t fooled_random_x = 0;
+    void Merge(const A3Tally& o) {
+      fooled_fixed_x += o.fooled_fixed_x;
+      fooled_random_x += o.fooled_random_x;
+    }
+  };
+  const SeedSequence seeds(0xAB3);
+  const auto start = std::chrono::steady_clock::now();
+  const A3Tally tally = runner.RunSeeded<A3Tally>(
+      trials, seeds, [&](std::uint64_t, Rng& rng, A3Tally& local) {
+        // Unequal multisets of the same size.
+        rstlab::problems::Instance inst =
+            rstlab::problems::PerturbedMultisets(m, n, 1, rng);
+        auto params =
+            rstlab::fingerprint::SampleFingerprintParams(m, n, rng);
+        if (!params.ok()) return;
+        FingerprintParams with_fixed_x = params.value();
+        with_fixed_x.x = 1;  // degenerate: counts elements only
+        local.fooled_fixed_x +=
+            rstlab::fingerprint::AcceptsWithParams(inst, with_fixed_x);
+        local.fooled_random_x +=
+            rstlab::fingerprint::AcceptsWithParams(inst, params.value());
+      });
+  recorder.Record(
+      "A3", trials, SecondsSince(start),
+      Checksum64({tally.fooled_fixed_x, tally.fooled_random_x}));
+  table.AddRow(
+      {"x = 1 (fixed)",
+       FormatDouble(tally.fooled_fixed_x / static_cast<double>(trials)),
+       "sum x^e == m always: accepts every same-size instance"});
+  table.AddRow(
+      {"x uniform in {1..p2-1} (paper)",
+       FormatDouble(tally.fooled_random_x / static_cast<double>(trials)),
+       "polynomial identity test"});
   table.Print(std::cout);
   std::cout << "\n";
 }
@@ -219,10 +282,20 @@ BENCHMARK(BM_ParamsSampling)->Arg(64)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
-  RunModulusAblation();
-  RunFixedPrimeAdversary();
-  RunFixedXAblation();
+  const std::size_t threads =
+      rstlab::parallel::ParseThreadsFlag(&argc, argv);
+  TrialRunner runner(threads);
+  BenchRecorder recorder("bench_ablation", threads);
+  std::cout << "trial engine: threads=" << threads << "\n\n";
+  RunModulusAblation(runner, recorder);
+  RunFixedPrimeAdversary(runner, recorder);
+  RunFixedXAblation(runner, recorder);
   RunKWayAblation();
+  if (auto written = recorder.Write(); written.ok()) {
+    std::cout << "trial timings -> " << written.value() << "\n\n";
+  } else {
+    std::cerr << "warning: " << written.status() << "\n";
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,13 +8,22 @@
 //    (measured rates are far smaller).
 //  * Claim 1: the probability that some pair v_i != v'_j collides mod a
 //    random prime <= k is O(1/m).
+//
+// All Monte-Carlo loops run on the parallel trial engine: trial t's
+// randomness is derived from (experiment seed, t) alone, so every tally
+// below is bit-identical for any --threads value; per-loop wall clock
+// and throughput land in BENCH_trials.json.
 
+#include <chrono>
 #include <iostream>
 
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
 #include "fingerprint/fingerprint.h"
+#include "parallel/bench_recorder.h"
+#include "parallel/seed_sequence.h"
+#include "parallel/trial_runner.h"
 #include "problems/generators.h"
 #include "problems/reference.h"
 #include "util/bitstring.h"
@@ -26,74 +35,134 @@ namespace {
 using rstlab::Rng;
 using rstlab::core::FormatDouble;
 using rstlab::core::Table;
+using rstlab::parallel::BenchRecorder;
+using rstlab::parallel::Checksum64;
+using rstlab::parallel::SeedSequence;
+using rstlab::parallel::TrialRunner;
 
-void RunErrorTable() {
+double SecondsSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void RunErrorTable(TrialRunner& runner, BenchRecorder& recorder) {
   Table table("E1: Theorem 8(a) fingerprint tester, one-sided error",
               {"m", "n", "N", "scans", "int.bits", "falseneg",
                "falsepos", "paper"});
-  Rng rng(20260705);
+  struct E1Tally {
+    std::uint64_t equal_trials = 0;
+    std::uint64_t unequal_trials = 0;
+    std::uint64_t false_neg = 0;
+    std::uint64_t false_pos = 0;
+    std::uint64_t scans = 0;          // max over trials
+    std::uint64_t internal_bits = 0;  // max over trials
+    std::uint64_t input_size = 0;     // max over trials
+    void Merge(const E1Tally& o) {
+      equal_trials += o.equal_trials;
+      unequal_trials += o.unequal_trials;
+      false_neg += o.false_neg;
+      false_pos += o.false_pos;
+      scans = std::max(scans, o.scans);
+      internal_bits = std::max(internal_bits, o.internal_bits);
+      input_size = std::max(input_size, o.input_size);
+    }
+  };
   for (std::size_t m : {16u, 64u, 256u, 1024u}) {
     const std::size_t n = 32;
-    std::size_t false_neg = 0;
-    std::size_t false_pos = 0;
-    std::uint64_t scans = 0;
-    std::size_t internal_bits = 0;
-    std::size_t input_size = 0;
-    const int trials = 200;
-    for (int t = 0; t < trials; ++t) {
-      const bool equal = t % 2 == 0;
-      rstlab::problems::Instance inst =
-          equal ? rstlab::problems::EqualMultisets(m, n, rng)
-                : rstlab::problems::PerturbedMultisets(m, n, 1, rng);
-      rstlab::stmodel::StContext ctx(1);
-      ctx.LoadInput(inst.Encode());
-      auto outcome =
-          rstlab::fingerprint::TestMultisetEqualityOnTapes(ctx, rng);
-      if (!outcome.ok()) continue;
-      if (equal && !outcome.value().accepted) ++false_neg;
-      if (!equal && outcome.value().accepted) ++false_pos;
-      scans = ctx.Report().scan_bound;
-      internal_bits = ctx.Report().internal_space;
-      input_size = ctx.input_size();
-    }
+    const std::uint64_t trials = 200;
+    const SeedSequence seeds(20260705 + m);
+    const auto start = std::chrono::steady_clock::now();
+    const E1Tally tally = runner.RunSeeded<E1Tally>(
+        trials, seeds, [&](std::uint64_t t, Rng& rng, E1Tally& local) {
+          const bool equal = t % 2 == 0;
+          rstlab::problems::Instance inst =
+              equal ? rstlab::problems::EqualMultisets(m, n, rng)
+                    : rstlab::problems::PerturbedMultisets(m, n, 1, rng);
+          rstlab::stmodel::StContext ctx(1);
+          ctx.LoadInput(inst.Encode());
+          auto outcome =
+              rstlab::fingerprint::TestMultisetEqualityOnTapes(ctx, rng);
+          if (!outcome.ok()) return;
+          if (equal) {
+            ++local.equal_trials;
+            if (!outcome.value().accepted) ++local.false_neg;
+          } else {
+            ++local.unequal_trials;
+            if (outcome.value().accepted) ++local.false_pos;
+          }
+          local.scans = std::max(local.scans, ctx.Report().scan_bound);
+          local.internal_bits = std::max<std::uint64_t>(
+              local.internal_bits, ctx.Report().internal_space);
+          local.input_size = std::max<std::uint64_t>(local.input_size,
+                                                     ctx.input_size());
+        });
+    const double wall = SecondsSince(start);
+    recorder.Record(
+        "E1.m=" + std::to_string(m), trials, wall,
+        Checksum64({tally.false_neg, tally.false_pos, tally.scans,
+                    tally.internal_bits, tally.equal_trials,
+                    tally.unequal_trials}));
+    // Rates over the trials that actually ran on each side, not a
+    // hard-coded constant.
+    const double fn_rate =
+        tally.equal_trials == 0
+            ? 0.0
+            : static_cast<double>(tally.false_neg) /
+                  static_cast<double>(tally.equal_trials);
+    const double fp_rate =
+        tally.unequal_trials == 0
+            ? 0.0
+            : static_cast<double>(tally.false_pos) /
+                  static_cast<double>(tally.unequal_trials);
     table.AddRow({std::to_string(m), std::to_string(n),
-                  std::to_string(input_size), std::to_string(scans),
-                  std::to_string(internal_bits),
-                  FormatDouble(false_neg / 100.0),
-                  FormatDouble(false_pos / 100.0),
+                  std::to_string(tally.input_size),
+                  std::to_string(tally.scans),
+                  std::to_string(tally.internal_bits),
+                  FormatDouble(fn_rate), FormatDouble(fp_rate),
                   "fn=0, fp<=0.5, r=2, s=O(logN)"});
   }
   table.Print(std::cout);
 }
 
-void RunClaim1Table() {
+void RunClaim1Table(TrialRunner& runner, BenchRecorder& recorder) {
   Table table("E2: Claim 1 collision probability of the prime residue map",
               {"m", "n", "collision_rate", "bound O(1/m)"});
   Rng rng(77);
   for (std::size_t m : {4u, 8u, 16u, 32u}) {
     const std::size_t n = 24;
+    const std::uint64_t trials = 200;
     rstlab::problems::Instance inst =
         rstlab::problems::PerturbedMultisets(m, n, m / 2, rng);
-    const double rate =
-        rstlab::fingerprint::EstimateClaim1CollisionRate(inst, 200, rng);
+    const auto start = std::chrono::steady_clock::now();
+    const rstlab::fingerprint::Claim1Estimate estimate =
+        rstlab::fingerprint::EstimateClaim1CollisionRate(
+            inst, trials, /*seed=*/77 * m, runner);
+    const double wall = SecondsSince(start);
+    recorder.Record("E2.m=" + std::to_string(m), trials, wall,
+                    Checksum64({estimate.trials, estimate.collisions}));
     table.AddRow({std::to_string(m), std::to_string(n),
-                  FormatDouble(rate),
+                  FormatDouble(estimate.rate()),
                   FormatDouble(1.0 / static_cast<double>(m))});
   }
   table.Print(std::cout);
 }
 
-void RunExactProbabilityTable() {
+void RunExactProbabilityTable(TrialRunner& runner,
+                              BenchRecorder& recorder) {
   Table table(
       "E1b: EXACT acceptance probabilities (full choice enumeration)",
       {"m", "n", "instances", "worst false-pos", "paper bound"});
   // Exhaust every unequal instance at tiny (m, n) and compute the true
-  // worst-case acceptance probability over all (p1, x) choices.
+  // worst-case acceptance probability over all (p1, x) choices. Each
+  // ExactAcceptProbability call fans its p1 prime axis over the runner.
   for (const auto& [m, n] :
        std::vector<std::pair<std::size_t, std::size_t>>{{2, 2}, {2, 3}}) {
     double worst = 0.0;
     std::size_t count = 0;
     const std::uint64_t values = std::uint64_t{1} << n;
+    const auto start = std::chrono::steady_clock::now();
     for (std::uint64_t a = 0; a < values; ++a) {
       for (std::uint64_t b = a; b < values; ++b) {
         for (std::uint64_t c = 0; c < values; ++c) {
@@ -104,7 +173,8 @@ void RunExactProbabilityTable() {
             inst.second = {rstlab::BitString::FromUint64(c, n),
                            rstlab::BitString::FromUint64(d, n)};
             if (rstlab::problems::RefMultisetEquality(inst)) continue;
-            auto p = rstlab::fingerprint::ExactAcceptProbability(inst);
+            auto p =
+                rstlab::fingerprint::ExactAcceptProbability(inst, runner);
             if (!p.ok()) continue;
             worst = std::max(worst, p.value());
             ++count;
@@ -112,6 +182,10 @@ void RunExactProbabilityTable() {
         }
       }
     }
+    const double wall = SecondsSince(start);
+    recorder.Record("E1b.n=" + std::to_string(n), count, wall,
+                    Checksum64({static_cast<std::uint64_t>(count),
+                                static_cast<std::uint64_t>(worst * 1e9)}));
     (void)m;
     table.AddRow({"2", std::to_string(n), std::to_string(count),
                   FormatDouble(worst, 4), "1/3 + O(1/m) <= 0.5"});
@@ -155,9 +229,19 @@ BENCHMARK(BM_FingerprintHost)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
-  RunErrorTable();
-  RunClaim1Table();
-  RunExactProbabilityTable();
+  const std::size_t threads =
+      rstlab::parallel::ParseThreadsFlag(&argc, argv);
+  TrialRunner runner(threads);
+  BenchRecorder recorder("bench_fingerprint", threads);
+  std::cout << "trial engine: threads=" << threads << "\n\n";
+  RunErrorTable(runner, recorder);
+  RunClaim1Table(runner, recorder);
+  RunExactProbabilityTable(runner, recorder);
+  if (auto written = recorder.Write(); written.ok()) {
+    std::cout << "trial timings -> " << written.value() << "\n\n";
+  } else {
+    std::cerr << "warning: " << written.status() << "\n";
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,7 @@
 //  * (r, t)-boundedness transfer: NLM reversals == TM reversals;
 //  * the state census stays small (bound (2) of Lemma 16).
 
+#include <chrono>
 #include <iostream>
 
 #include <benchmark/benchmark.h>
@@ -19,18 +20,23 @@
 #include "listmachine/simulation.h"
 #include "machine/machine_builder.h"
 #include "machine/turing_machine.h"
+#include "parallel/bench_recorder.h"
+#include "parallel/trial_runner.h"
 
 namespace {
 
 using rstlab::core::FormatDouble;
 using rstlab::core::Table;
+using rstlab::parallel::BenchRecorder;
+using rstlab::parallel::Checksum64;
+using rstlab::parallel::TrialRunner;
 
 rstlab::machine::TuringMachine Make(rstlab::machine::MachineSpec spec) {
   auto tm = rstlab::machine::TuringMachine::Create(std::move(spec));
   return std::move(tm).value();
 }
 
-void RunProbabilityTable() {
+void RunProbabilityTable(TrialRunner& runner, BenchRecorder& recorder) {
   Table table("E9a: acceptance probability preservation (Lemma 16)",
               {"machine", "input", "Pr[TM]", "Pr[NLM]", "equal"});
   struct Case {
@@ -59,20 +65,33 @@ void RunProbabilityTable() {
     const std::size_t len = 4;
     std::size_t total = 1;
     for (std::size_t i = 0; i < len; ++i) total *= bp;
-    std::size_t nlm_accepting = 0;
-    for (std::size_t code = 0; code < total; ++code) {
-      std::vector<std::uint64_t> choices(len);
-      std::size_t c2 = code;
-      for (std::size_t i = 0; i < len; ++i) {
-        choices[i] = c2 % bp;
-        c2 /= bp;
-      }
-      auto sim = rstlab::listmachine::SimulateTmAsNlm(tm, c.fields,
-                                                      choices, 100);
-      if (sim.ok() && sim.value().run.accepted) ++nlm_accepting;
-    }
-    const double nlm_prob =
-        static_cast<double>(nlm_accepting) / static_cast<double>(total);
+    // Every choice sequence is an independent deterministic simulation:
+    // the code axis maps straight onto the trial engine.
+    struct AcceptTally {
+      std::uint64_t accepting = 0;
+      void Merge(const AcceptTally& o) { accepting += o.accepting; }
+    };
+    const auto start = std::chrono::steady_clock::now();
+    const AcceptTally tally = runner.Run<AcceptTally>(
+        total, [&](std::uint64_t code, AcceptTally& local) {
+          std::vector<std::uint64_t> choices(len);
+          std::size_t c2 = static_cast<std::size_t>(code);
+          for (std::size_t i = 0; i < len; ++i) {
+            choices[i] = c2 % bp;
+            c2 /= bp;
+          }
+          auto sim = rstlab::listmachine::SimulateTmAsNlm(tm, c.fields,
+                                                          choices, 100);
+          if (sim.ok() && sim.value().run.accepted) ++local.accepting;
+        });
+    recorder.Record(std::string("E9a.") + c.name, total,
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count(),
+                    Checksum64({tally.accepting,
+                                static_cast<std::uint64_t>(total)}));
+    const double nlm_prob = static_cast<double>(tally.accepting) /
+                            static_cast<double>(total);
     table.AddRow({c.name, word, FormatDouble(tm_prob),
                   FormatDouble(nlm_prob),
                   std::abs(tm_prob - nlm_prob) < 1e-12 ? "yes" : "NO"});
@@ -125,8 +144,18 @@ BENCHMARK(BM_Simulation)->Arg(8)->Arg(32)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
-  RunProbabilityTable();
+  const std::size_t threads =
+      rstlab::parallel::ParseThreadsFlag(&argc, argv);
+  TrialRunner runner(threads);
+  BenchRecorder recorder("bench_simulation", threads);
+  std::cout << "trial engine: threads=" << threads << "\n\n";
+  RunProbabilityTable(runner, recorder);
   RunResourceTable();
+  if (auto written = recorder.Write(); written.ok()) {
+    std::cout << "trial timings -> " << written.value() << "\n\n";
+  } else {
+    std::cerr << "warning: " << written.status() << "\n";
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

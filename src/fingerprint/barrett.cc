@@ -1,0 +1,56 @@
+#include "fingerprint/barrett.h"
+
+#include <cassert>
+
+namespace rstlab::fingerprint {
+
+namespace {
+
+/// High 128 bits of the 256-bit product a * b, via four 64x64 -> 128
+/// partial products.
+unsigned __int128 MulHi128(unsigned __int128 a, unsigned __int128 b) {
+  const std::uint64_t a_lo = static_cast<std::uint64_t>(a);
+  const std::uint64_t a_hi = static_cast<std::uint64_t>(a >> 64);
+  const std::uint64_t b_lo = static_cast<std::uint64_t>(b);
+  const std::uint64_t b_hi = static_cast<std::uint64_t>(b >> 64);
+  const unsigned __int128 lo_lo =
+      static_cast<unsigned __int128>(a_lo) * b_lo;
+  const unsigned __int128 hi_lo =
+      static_cast<unsigned __int128>(a_hi) * b_lo;
+  const unsigned __int128 lo_hi =
+      static_cast<unsigned __int128>(a_lo) * b_hi;
+  const unsigned __int128 hi_hi =
+      static_cast<unsigned __int128>(a_hi) * b_hi;
+  const unsigned __int128 mask = ~std::uint64_t{0};
+  const unsigned __int128 carry =
+      ((lo_lo >> 64) + (hi_lo & mask) + (lo_hi & mask)) >> 64;
+  return hi_hi + (hi_lo >> 64) + (lo_hi >> 64) + carry;
+}
+
+}  // namespace
+
+Barrett::Barrett(std::uint64_t modulus) : modulus_(modulus) {
+  assert(modulus >= 2 && modulus < (std::uint64_t{1} << 63));
+  reciprocal_ = ~static_cast<unsigned __int128>(0) / modulus;
+}
+
+std::uint64_t Barrett::Reduce(unsigned __int128 x) const {
+  const unsigned __int128 q = MulHi128(x, reciprocal_);
+  unsigned __int128 t = x - q * modulus_;
+  while (t >= modulus_) t -= modulus_;
+  return static_cast<std::uint64_t>(t);
+}
+
+std::uint64_t Barrett::PowMod(std::uint64_t base,
+                              std::uint64_t exponent) const {
+  std::uint64_t result = 1 % modulus_;
+  base = base >= modulus_ ? base % modulus_ : base;
+  while (exponent > 0) {
+    if (exponent & 1) result = MulMod(result, base);
+    base = MulMod(base, base);
+    exponent >>= 1;
+  }
+  return result;
+}
+
+}  // namespace rstlab::fingerprint

@@ -1,0 +1,47 @@
+#ifndef RSTLAB_FINGERPRINT_BARRETT_H_
+#define RSTLAB_FINGERPRINT_BARRETT_H_
+
+#include <cstdint>
+
+namespace rstlab::fingerprint {
+
+/// Barrett reduction for a fixed modulus m with 2 <= m < 2^63.
+///
+/// The generic MulMod compiles to a 128-bit hardware division
+/// (__umodti3) on every call; in the fingerprint hot loops the modulus
+/// (p1 or p2) is fixed for a whole trial, so the division can be paid
+/// once here — the per-step reduction is then four 64x64 multiplies and
+/// at most two subtractions.
+///
+/// Precomputation: r = floor((2^128 - 1) / m), which equals
+/// floor(2^128 / m) for every m that does not divide 2^128 (all odd m,
+/// and every prime > 2 — the only moduli the fingerprint code uses).
+/// For x < 2^128, q = floor(x * r / 2^128) then satisfies
+/// floor(x / m) - 2 <= q <= floor(x / m), so x - q*m < 3m and two
+/// conditional subtractions finish the reduction. The paper's moduli
+/// satisfy 6k <= 2^62 (ComputeK enforces it), comfortably within range.
+struct Barrett {
+  /// Precomputes the reciprocal of `modulus` (one 128-bit division).
+  explicit Barrett(std::uint64_t modulus);
+
+  std::uint64_t modulus() const { return modulus_; }
+
+  /// x mod modulus for any 128-bit x.
+  std::uint64_t Reduce(unsigned __int128 x) const;
+
+  /// (a * b) mod modulus; a, b arbitrary 64-bit.
+  std::uint64_t MulMod(std::uint64_t a, std::uint64_t b) const {
+    return Reduce(static_cast<unsigned __int128>(a) * b);
+  }
+
+  /// (base ^ exponent) mod modulus by square-and-multiply.
+  std::uint64_t PowMod(std::uint64_t base, std::uint64_t exponent) const;
+
+ private:
+  std::uint64_t modulus_;
+  unsigned __int128 reciprocal_;  // floor((2^128 - 1) / modulus)
+};
+
+}  // namespace rstlab::fingerprint
+
+#endif  // RSTLAB_FINGERPRINT_BARRETT_H_

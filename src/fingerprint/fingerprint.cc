@@ -6,7 +6,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fingerprint/barrett.h"
 #include "fingerprint/prime.h"
+#include "fingerprint/prime_pool.h"
 #include "stmodel/internal_arena.h"
 #include "stmodel/tape_io.h"
 
@@ -37,6 +39,96 @@ Result<std::uint64_t> ComputeK(std::size_t m, std::size_t n) {
   return std::max<std::uint64_t>(2, static_cast<std::uint64_t>(k));
 }
 
+/// The longest value length in the instance (the paper's n).
+std::size_t MaxValueBits(const problems::Instance& instance) {
+  std::size_t n = 0;
+  for (const BitString& v : instance.first) n = std::max(n, v.size());
+  for (const BitString& v : instance.second) n = std::max(n, v.size());
+  return n;
+}
+
+/// Number of x in {1..p2-1} for which the fingerprint accepts under
+/// prime p1 — the inner loop of the exact enumeration, with the fixed
+/// modulus p2 reduced via Barrett instead of 128-bit division.
+std::uint64_t CountAcceptingX(const problems::Instance& instance,
+                              std::uint64_t p1, const Barrett& bp2) {
+  // Residues are independent of x; hoist them out of the x loop.
+  std::vector<std::uint64_t> e_first;
+  std::vector<std::uint64_t> e_second;
+  e_first.reserve(instance.first.size());
+  e_second.reserve(instance.second.size());
+  for (const BitString& v : instance.first) {
+    e_first.push_back(v.ModUint64(p1));
+  }
+  for (const BitString& v : instance.second) {
+    e_second.push_back(v.ModUint64(p1));
+  }
+  const std::uint64_t p2 = bp2.modulus();
+  std::uint64_t accepting = 0;
+  for (std::uint64_t x = 1; x < p2; ++x) {
+    std::uint64_t sum_first = 0;
+    std::uint64_t sum_second = 0;
+    for (std::uint64_t e : e_first) {
+      sum_first += bp2.PowMod(x, e);
+      if (sum_first >= p2) sum_first -= p2;
+    }
+    for (std::uint64_t e : e_second) {
+      sum_second += bp2.PowMod(x, e);
+      if (sum_second >= p2) sum_second -= p2;
+    }
+    accepting += sum_first == sum_second;
+  }
+  return accepting;
+}
+
+/// The Claim 1 event for one concrete prime: does some pair
+/// v_i != v'_j collide mod p?
+bool HasResidueCollision(const problems::Instance& instance,
+                         std::uint64_t p) {
+  // residue -> distinct second-list values with that residue
+  std::unordered_map<std::uint64_t,
+                     std::unordered_set<BitString, BitStringHash>>
+      by_residue;
+  for (const BitString& v : instance.second) {
+    by_residue[v.ModUint64(p)].insert(v);
+  }
+  for (const BitString& v : instance.first) {
+    auto it = by_residue.find(v.ModUint64(p));
+    if (it == by_residue.end()) continue;
+    for (const BitString& w : it->second) {
+      if (w != v) return true;
+    }
+  }
+  return false;
+}
+
+/// Shared setup of the exact enumeration: k, the Bertrand prime p2 and
+/// the sieved pool of candidate p1 primes.
+struct ExactEnumeration {
+  std::uint64_t k = 0;
+  std::uint64_t p2 = 0;
+  std::vector<std::uint64_t> primes;
+};
+
+Result<ExactEnumeration> PrepareExactEnumeration(
+    const problems::Instance& instance, std::uint64_t max_k) {
+  Result<std::uint64_t> k_result =
+      ComputeK(instance.m(), MaxValueBits(instance));
+  if (!k_result.ok()) return k_result.status();
+  ExactEnumeration prep;
+  prep.k = k_result.value();
+  if (prep.k > max_k) {
+    return Status::OutOfRange("k = " + std::to_string(prep.k) +
+                              " too large for exact enumeration");
+  }
+  Result<std::uint64_t> p2_result = PrimeInBertrandInterval(prep.k);
+  if (!p2_result.ok()) return p2_result.status();
+  prep.p2 = p2_result.value();
+  prep.primes = PrimePool(prep.k).primes();
+  if (prep.primes.empty()) return Status::Internal("no primes <= k");
+  return prep;
+}
+
 }  // namespace
 
 Result<FingerprintParams> SampleFingerprintParams(std::size_t m,
@@ -58,15 +150,19 @@ Result<FingerprintParams> SampleFingerprintParams(std::size_t m,
 
 bool AcceptsWithParams(const problems::Instance& instance,
                        const FingerprintParams& params) {
+  // p2 is fixed for the whole accumulation; reduce it via Barrett.
+  const Barrett bp2(params.p2);
   std::uint64_t sum_first = 0;
   std::uint64_t sum_second = 0;
   for (const BitString& v : instance.first) {
     const std::uint64_t e = v.ModUint64(params.p1);
-    sum_first = (sum_first + PowMod(params.x, e, params.p2)) % params.p2;
+    sum_first += bp2.PowMod(params.x, e);
+    if (sum_first >= params.p2) sum_first -= params.p2;
   }
   for (const BitString& v : instance.second) {
     const std::uint64_t e = v.ModUint64(params.p1);
-    sum_second = (sum_second + PowMod(params.x, e, params.p2)) % params.p2;
+    sum_second += bp2.PowMod(params.x, e);
+    if (sum_second >= params.p2) sum_second -= params.p2;
   }
   return sum_first == sum_second;
 }
@@ -197,85 +293,89 @@ Result<FingerprintOutcome> TestMultisetEqualityOnTapes(
 
 Result<double> ExactAcceptProbability(const problems::Instance& instance,
                                       std::uint64_t max_k) {
-  std::size_t n = 0;
-  for (const BitString& v : instance.first) n = std::max(n, v.size());
-  for (const BitString& v : instance.second) n = std::max(n, v.size());
-  Result<std::uint64_t> k_result = ComputeK(instance.m(), n);
-  if (!k_result.ok()) return k_result.status();
-  const std::uint64_t k = k_result.value();
-  if (k > max_k) {
-    return Status::OutOfRange("k = " + std::to_string(k) +
-                              " too large for exact enumeration");
-  }
-  Result<std::uint64_t> p2_result = PrimeInBertrandInterval(k);
-  if (!p2_result.ok()) return p2_result.status();
-  const std::uint64_t p2 = p2_result.value();
-
+  Result<ExactEnumeration> prep = PrepareExactEnumeration(instance, max_k);
+  if (!prep.ok()) return prep.status();
+  const Barrett bp2(prep.value().p2);
   std::uint64_t accepting = 0;
-  std::uint64_t total = 0;
-  for (std::uint64_t p1 = 2; p1 <= k; ++p1) {
-    if (!IsPrime(p1)) continue;
-    // Residues are independent of x; hoist them out of the x loop.
-    std::vector<std::uint64_t> e_first;
-    std::vector<std::uint64_t> e_second;
-    for (const BitString& v : instance.first) {
-      e_first.push_back(v.ModUint64(p1));
-    }
-    for (const BitString& v : instance.second) {
-      e_second.push_back(v.ModUint64(p1));
-    }
-    for (std::uint64_t x = 1; x < p2; ++x) {
-      std::uint64_t sum_first = 0;
-      std::uint64_t sum_second = 0;
-      for (std::uint64_t e : e_first) {
-        sum_first = (sum_first + PowMod(x, e, p2)) % p2;
-      }
-      for (std::uint64_t e : e_second) {
-        sum_second = (sum_second + PowMod(x, e, p2)) % p2;
-      }
-      accepting += sum_first == sum_second;
-      ++total;
-    }
+  for (std::uint64_t p1 : prep.value().primes) {
+    accepting += CountAcceptingX(instance, p1, bp2);
   }
-  if (total == 0) return Status::Internal("no primes <= k");
+  const std::uint64_t total =
+      prep.value().primes.size() * (prep.value().p2 - 1);
   return static_cast<double>(accepting) / static_cast<double>(total);
+}
+
+Result<double> ExactAcceptProbability(const problems::Instance& instance,
+                                      parallel::TrialRunner& runner,
+                                      std::uint64_t max_k) {
+  Result<ExactEnumeration> prep = PrepareExactEnumeration(instance, max_k);
+  if (!prep.ok()) return prep.status();
+  const ExactEnumeration& enumeration = prep.value();
+  const Barrett bp2(enumeration.p2);
+  struct AcceptTally {
+    std::uint64_t accepting = 0;
+    void Merge(const AcceptTally& other) { accepting += other.accepting; }
+  };
+  const AcceptTally tally = runner.Run<AcceptTally>(
+      enumeration.primes.size(),
+      [&](std::uint64_t prime_index, AcceptTally& local) {
+        local.accepting += CountAcceptingX(
+            instance, enumeration.primes[prime_index], bp2);
+      });
+  const std::uint64_t total =
+      enumeration.primes.size() * (enumeration.p2 - 1);
+  return static_cast<double>(tally.accepting) /
+         static_cast<double>(total);
 }
 
 double EstimateClaim1CollisionRate(const problems::Instance& instance,
                                    std::size_t trials, Rng& rng) {
-  std::size_t n = 0;
-  for (const BitString& v : instance.first) n = std::max(n, v.size());
-  for (const BitString& v : instance.second) n = std::max(n, v.size());
-  Result<std::uint64_t> k_result = ComputeK(instance.m(), n);
+  Result<std::uint64_t> k_result =
+      ComputeK(instance.m(), MaxValueBits(instance));
   if (!k_result.ok() || trials == 0) return 0.0;
-  const std::uint64_t k = k_result.value();
+  const PrimePool pool(k_result.value());
 
   std::size_t collisions = 0;
   for (std::size_t t = 0; t < trials; ++t) {
-    Result<std::uint64_t> p = RandomPrimeAtMost(k, rng);
+    Result<std::uint64_t> p = pool.Sample(rng);
     if (!p.ok()) continue;
-    // residue -> distinct second-list values with that residue
-    std::unordered_map<std::uint64_t,
-                       std::unordered_set<BitString, BitStringHash>>
-        by_residue;
-    for (const BitString& v : instance.second) {
-      by_residue[v.ModUint64(p.value())].insert(v);
-    }
-    bool collided = false;
-    for (const BitString& v : instance.first) {
-      auto it = by_residue.find(v.ModUint64(p.value()));
-      if (it == by_residue.end()) continue;
-      for (const BitString& w : it->second) {
-        if (w != v) {
-          collided = true;
-          break;
-        }
-      }
-      if (collided) break;
-    }
-    if (collided) ++collisions;
+    if (HasResidueCollision(instance, p.value())) ++collisions;
   }
   return static_cast<double>(collisions) / static_cast<double>(trials);
+}
+
+Claim1Estimate EstimateClaim1CollisionRate(
+    const problems::Instance& instance, std::size_t trials,
+    std::uint64_t seed, parallel::TrialRunner& runner) {
+  Claim1Estimate estimate;
+  Result<std::uint64_t> k_result =
+      ComputeK(instance.m(), MaxValueBits(instance));
+  if (!k_result.ok() || trials == 0) return estimate;
+  // Sieve once on the calling thread; workers only read.
+  const PrimePool pool(k_result.value());
+  const parallel::SeedSequence seeds(seed);
+  struct CollisionTally {
+    std::uint64_t trials = 0;
+    std::uint64_t collisions = 0;
+    void Merge(const CollisionTally& other) {
+      trials += other.trials;
+      collisions += other.collisions;
+    }
+  };
+  const CollisionTally tally = runner.RunSeeded<CollisionTally>(
+      trials, seeds,
+      [&](std::uint64_t, Rng& rng, CollisionTally& local) {
+        Result<std::uint64_t> p = pool.Sample(rng);
+        if (!p.ok()) return;
+        ++local.trials;
+        if (HasResidueCollision(instance, p.value())) ++local.collisions;
+      });
+  // The rate denominator stays the requested trial count (failed prime
+  // draws are impossible in the sieved regime and merely skipped
+  // otherwise, matching the serial estimator).
+  estimate.trials = trials;
+  estimate.collisions = tally.collisions;
+  return estimate;
 }
 
 }  // namespace rstlab::fingerprint

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "parallel/trial_runner.h"
 #include "problems/instance.h"
 #include "stmodel/st_context.h"
 #include "util/random.h"
@@ -64,6 +65,27 @@ Result<FingerprintOutcome> TestMultisetEqualityOnTapes(
 double EstimateClaim1CollisionRate(const problems::Instance& instance,
                                    std::size_t trials, Rng& rng);
 
+/// Integer tally of the Claim 1 Monte-Carlo estimate, kept exact so
+/// runs at different thread counts can be compared bit for bit.
+struct Claim1Estimate {
+  std::uint64_t trials = 0;
+  std::uint64_t collisions = 0;
+  double rate() const {
+    return trials == 0
+               ? 0.0
+               : static_cast<double>(collisions) / static_cast<double>(trials);
+  }
+};
+
+/// Parallel Claim 1 estimator: trial t draws its prime from an Rng
+/// derived from (seed, t) via parallel::SeedSequence, so the tally is a
+/// pure function of (instance, trials, seed) — identical for any thread
+/// count. The primes <= k are sieved once into a PrimePool shared
+/// read-only across workers.
+Claim1Estimate EstimateClaim1CollisionRate(
+    const problems::Instance& instance, std::size_t trials,
+    std::uint64_t seed, parallel::TrialRunner& runner);
+
 /// The EXACT acceptance probability of the Theorem 8(a) algorithm on
 /// `instance`, computed by full enumeration of the random choices: all
 /// primes p1 <= k (uniform over primes) and all x in {1..p2-1}
@@ -76,6 +98,15 @@ double EstimateClaim1CollisionRate(const problems::Instance& instance,
 /// where the paper's constants are least comfortable and an exact
 /// number is most interesting. Fails if k exceeds `max_k`.
 Result<double> ExactAcceptProbability(const problems::Instance& instance,
+                                      std::uint64_t max_k = 5000);
+
+/// Parallel exact enumeration: the outer p1 prime axis (sieved once
+/// into a PrimePool) is mapped over `runner`; each prime's inner x loop
+/// runs with a Barrett-reduced fixed-p2 kernel. The result is exactly
+/// the serial ExactAcceptProbability (the accept counts are integers,
+/// so the deterministic chunk merge is trivially exact).
+Result<double> ExactAcceptProbability(const problems::Instance& instance,
+                                      parallel::TrialRunner& runner,
                                       std::uint64_t max_k = 5000);
 
 }  // namespace rstlab::fingerprint

@@ -1,0 +1,14 @@
+#include "parallel/seed_sequence.h"
+
+namespace rstlab::parallel {
+
+std::uint64_t SeedSequence::SeedForTrial(std::uint64_t trial) const {
+  // splitmix64 with the standard golden-ratio gamma, evaluated at
+  // stream position trial + 1 in closed form.
+  std::uint64_t z = experiment_seed_ + (trial + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rstlab::parallel

@@ -1,0 +1,46 @@
+#ifndef RSTLAB_PARALLEL_SEED_SEQUENCE_H_
+#define RSTLAB_PARALLEL_SEED_SEQUENCE_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace rstlab::parallel {
+
+/// Derives one independent, reproducible `Rng` per trial index from a
+/// single experiment seed.
+///
+/// The derivation is the splitmix64 output function applied at a fixed
+/// offset per trial: seed_t = mix(experiment_seed + (t + 1) * gamma),
+/// i.e. the (t+1)-th output of the splitmix64 stream started at the
+/// experiment seed — but computed in O(1) per trial, so any thread can
+/// seed any trial without walking the stream. Consequences:
+///
+///  * trial t's randomness depends only on (experiment_seed, t), never
+///    on which thread runs it or in what order — results are
+///    bit-identical regardless of thread count or schedule;
+///  * distinct trials get decorrelated full-period xoshiro256** streams
+///    (each Rng is seeded through its own splitmix64 expansion).
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t experiment_seed)
+      : experiment_seed_(experiment_seed) {}
+
+  std::uint64_t experiment_seed() const { return experiment_seed_; }
+
+  /// The 64-bit seed assigned to `trial`.
+  std::uint64_t SeedForTrial(std::uint64_t trial) const;
+
+  /// A fresh generator for `trial`, fully determined by
+  /// (experiment_seed, trial).
+  Rng RngForTrial(std::uint64_t trial) const {
+    return Rng(SeedForTrial(trial));
+  }
+
+ private:
+  std::uint64_t experiment_seed_;
+};
+
+}  // namespace rstlab::parallel
+
+#endif  // RSTLAB_PARALLEL_SEED_SEQUENCE_H_

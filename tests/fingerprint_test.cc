@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "fingerprint/barrett.h"
 #include "fingerprint/fingerprint.h"
 #include "fingerprint/prime.h"
+#include "fingerprint/prime_pool.h"
+#include "parallel/trial_runner.h"
 #include "problems/generators.h"
 #include "problems/reference.h"
 #include "stmodel/internal_arena.h"
@@ -95,6 +98,90 @@ TEST(PrimeTest, CountPrimesUpTo) {
   EXPECT_EQ(CountPrimesUpTo(10), 4u);
   EXPECT_EQ(CountPrimesUpTo(100), 25u);
   EXPECT_EQ(CountPrimesUpTo(1), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Barrett reduction
+// ---------------------------------------------------------------------
+
+TEST(BarrettTest, MatchesMulModOverRandom64BitInputs) {
+  Rng rng(0xBA77);
+  for (int i = 0; i < 5000; ++i) {
+    // Any modulus in [2, 2^63); operands arbitrary 64-bit.
+    const std::uint64_t m =
+        rng.UniformInRange(2, (std::uint64_t{1} << 63) - 1);
+    const Barrett barrett(m);
+    const std::uint64_t a = rng.Next64();
+    const std::uint64_t b = rng.Next64();
+    ASSERT_EQ(barrett.MulMod(a, b), MulMod(a, b, m))
+        << "a=" << a << " b=" << b << " m=" << m;
+  }
+}
+
+TEST(BarrettTest, MatchesPowMod) {
+  Rng rng(0xBA78);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t m =
+        rng.UniformInRange(2, (std::uint64_t{1} << 62));
+    const Barrett barrett(m);
+    const std::uint64_t base = rng.Next64();
+    const std::uint64_t exp = rng.UniformBelow(1 << 20);
+    ASSERT_EQ(barrett.PowMod(base, exp), PowMod(base % m, exp, m))
+        << "base=" << base << " exp=" << exp << " m=" << m;
+  }
+}
+
+TEST(BarrettTest, EdgeModuli) {
+  for (std::uint64_t m : {std::uint64_t{2}, std::uint64_t{3},
+                          (std::uint64_t{1} << 63) - 1,
+                          (std::uint64_t{1} << 62) + 1}) {
+    const Barrett barrett(m);
+    EXPECT_EQ(barrett.Reduce(0), 0u);
+    EXPECT_EQ(barrett.MulMod(m - 1, m - 1), MulMod(m - 1, m - 1, m));
+    // Largest possible 128-bit product of two 64-bit operands.
+    const std::uint64_t big = ~std::uint64_t{0};
+    EXPECT_EQ(barrett.MulMod(big, big), MulMod(big, big, m));
+  }
+}
+
+// ---------------------------------------------------------------------
+// PrimePool
+// ---------------------------------------------------------------------
+
+TEST(PrimePoolTest, SieveMatchesMillerRabin) {
+  const PrimePool pool(1000);
+  ASSERT_TRUE(pool.sieved());
+  EXPECT_EQ(pool.Count(), CountPrimesUpTo(1000));
+  std::size_t index = 0;
+  for (std::uint64_t p = 2; p <= 1000; ++p) {
+    if (!IsPrime(p)) continue;
+    ASSERT_LT(index, pool.primes().size());
+    EXPECT_EQ(pool.primes()[index], p);
+    ++index;
+  }
+}
+
+TEST(PrimePoolTest, SampleDrawsOnlyPrimesInRange) {
+  const PrimePool pool(500);
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    Result<std::uint64_t> p = pool.Sample(rng);
+    ASSERT_TRUE(p.ok());
+    EXPECT_LE(p.value(), 500u);
+    EXPECT_TRUE(IsPrime(p.value()));
+  }
+}
+
+TEST(PrimePoolTest, FallsBackAboveSieveLimit) {
+  // A pool whose k exceeds the sieve limit samples via Miller-Rabin.
+  const PrimePool pool(1 << 20, /*sieve_limit=*/1 << 10);
+  EXPECT_FALSE(pool.sieved());
+  EXPECT_TRUE(pool.primes().empty());
+  Rng rng(7);
+  Result<std::uint64_t> p = pool.Sample(rng);
+  ASSERT_TRUE(p.ok());
+  EXPECT_LE(p.value(), std::uint64_t{1} << 20);
+  EXPECT_TRUE(IsPrime(p.value()));
 }
 
 // ---------------------------------------------------------------------
@@ -294,6 +381,52 @@ TEST(Claim1Test, ZeroTrialsIsZero) {
   Rng rng(29);
   problems::Instance inst = problems::EqualMultisets(4, 8, rng);
   EXPECT_EQ(EstimateClaim1CollisionRate(inst, 0, rng), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Parallel trial-engine paths
+// ---------------------------------------------------------------------
+
+TEST(ParallelFingerprintTest, ExactProbabilityMatchesSerial) {
+  Rng rng(31);
+  for (int i = 0; i < 8; ++i) {
+    problems::Instance inst;
+    inst.first = {BitString::Random(3, rng), BitString::Random(3, rng)};
+    inst.second = {BitString::Random(3, rng), BitString::Random(3, rng)};
+    const Result<double> serial = ExactAcceptProbability(inst);
+    for (std::size_t threads : {1u, 4u}) {
+      parallel::TrialRunner runner(threads);
+      const Result<double> par = ExactAcceptProbability(inst, runner);
+      ASSERT_EQ(serial.ok(), par.ok());
+      if (serial.ok()) {
+        // Integer accept counts over an identical enumeration: the
+        // quotients must match exactly, not approximately.
+        EXPECT_EQ(serial.value(), par.value());
+      }
+    }
+  }
+}
+
+TEST(ParallelFingerprintTest, Claim1TalliesIdenticalAcrossThreadCounts) {
+  Rng rng(37);
+  problems::Instance inst = problems::PerturbedMultisets(8, 24, 4, rng);
+  parallel::TrialRunner one(1);
+  const Claim1Estimate reference =
+      EstimateClaim1CollisionRate(inst, 300, /*seed=*/123, one);
+  EXPECT_EQ(reference.trials, 300u);
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    parallel::TrialRunner runner(threads);
+    const Claim1Estimate estimate =
+        EstimateClaim1CollisionRate(inst, 300, /*seed=*/123, runner);
+    EXPECT_EQ(estimate.trials, reference.trials);
+    EXPECT_EQ(estimate.collisions, reference.collisions);
+  }
+  // A different seed draws different primes (sanity that the seed is
+  // actually load-bearing, over enough trials to see a difference in
+  // the sampled prime multiset — collision counts may still agree).
+  const Claim1Estimate other =
+      EstimateClaim1CollisionRate(inst, 300, /*seed=*/124, one);
+  EXPECT_EQ(other.trials, 300u);
 }
 
 }  // namespace

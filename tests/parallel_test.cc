@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/bench_recorder.h"
+#include "parallel/seed_sequence.h"
+#include "parallel/thread_pool.h"
+#include "parallel/trial_runner.h"
+
+namespace rstlab::parallel {
+namespace {
+
+// ---------------------------------------------------------------------
+// SeedSequence
+// ---------------------------------------------------------------------
+
+TEST(SeedSequenceTest, SeedsAreDeterministicAndDistinct) {
+  SeedSequence a(42);
+  SeedSequence b(42);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    EXPECT_EQ(a.SeedForTrial(t), b.SeedForTrial(t));
+    seen.insert(a.SeedForTrial(t));
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions in a short range
+  SeedSequence other(43);
+  EXPECT_NE(a.SeedForTrial(0), other.SeedForTrial(0));
+}
+
+TEST(SeedSequenceTest, RngForTrialReproducesStream) {
+  SeedSequence seeds(7);
+  Rng first = seeds.RngForTrial(5);
+  Rng second = seeds.RngForTrial(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(first.Next64(), second.Next64());
+}
+
+/// The per-trial tally an experiment would accumulate: integer counters
+/// plus a float sum (deliberately non-associative) and a running max.
+struct ProbeTally {
+  std::uint64_t count = 0;
+  std::uint64_t max_draw = 0;
+  double sum = 0.0;
+  void Merge(const ProbeTally& o) {
+    count += o.count;
+    max_draw = std::max(max_draw, o.max_draw);
+    sum += o.sum;
+  }
+};
+
+ProbeTally RunProbe(std::size_t threads, std::uint64_t trials) {
+  TrialRunner runner(threads);
+  SeedSequence seeds(0xDECAF);
+  return runner.RunSeeded<ProbeTally>(
+      trials, seeds, [](std::uint64_t, Rng& rng, ProbeTally& tally) {
+        const std::uint64_t draw = rng.UniformBelow(1 << 20);
+        ++tally.count;
+        tally.max_draw = std::max(tally.max_draw, draw);
+        tally.sum += rng.UniformDouble();
+      });
+}
+
+TEST(TrialRunnerTest, TalliesBitIdenticalAcrossThreadCounts) {
+  const ProbeTally reference = RunProbe(1, 777);
+  EXPECT_EQ(reference.count, 777u);
+  for (std::size_t threads : {2u, 3u, 4u, 8u}) {
+    const ProbeTally tally = RunProbe(threads, 777);
+    EXPECT_EQ(tally.count, reference.count) << threads;
+    EXPECT_EQ(tally.max_draw, reference.max_draw) << threads;
+    // Bit-identical, not approximately equal: the chunk layout and
+    // merge order are thread-count-independent by contract.
+    EXPECT_EQ(tally.sum, reference.sum) << threads;
+  }
+}
+
+TEST(TrialRunnerTest, CoversEveryTrialExactlyOnce) {
+  TrialRunner runner(4);
+  const std::uint64_t trials = 1000;
+  struct IndexTally {
+    std::vector<std::uint64_t> seen;
+    void Merge(const IndexTally& o) {
+      seen.insert(seen.end(), o.seen.begin(), o.seen.end());
+    }
+  };
+  const IndexTally tally = runner.Run<IndexTally>(
+      trials, [](std::uint64_t t, IndexTally& local) {
+        local.seen.push_back(t);
+      });
+  // Chunk-ordered merge => the concatenation is exactly 0..trials-1.
+  ASSERT_EQ(tally.seen.size(), trials);
+  for (std::uint64_t t = 0; t < trials; ++t) EXPECT_EQ(tally.seen[t], t);
+}
+
+TEST(TrialRunnerTest, ZeroTrialsYieldsDefaultTally) {
+  TrialRunner runner(3);
+  const ProbeTally tally = runner.Run<ProbeTally>(
+      0, [](std::uint64_t, ProbeTally&) { FAIL() << "body must not run"; });
+  EXPECT_EQ(tally.count, 0u);
+}
+
+TEST(TrialRunnerTest, BodyExceptionPropagatesAndRunnerSurvives) {
+  TrialRunner runner(2);
+  EXPECT_THROW(runner.Run<ProbeTally>(100,
+                                      [](std::uint64_t t, ProbeTally&) {
+                                        if (t == 37) {
+                                          throw std::runtime_error("boom");
+                                        }
+                                      }),
+               std::runtime_error);
+  // The pool is still usable after a failed map.
+  const ProbeTally tally = runner.Run<ProbeTally>(
+      10, [](std::uint64_t, ProbeTally& local) { ++local.count; });
+  EXPECT_EQ(tally.count, 10u);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::logic_error);
+  // The error is cleared once reported; the pool keeps working.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ZeroThreadRequestClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Thread-count resolution
+// ---------------------------------------------------------------------
+
+TEST(ResolveThreadCountTest, PrecedenceCliThenEnv) {
+  ::setenv("RSTLAB_THREADS", "5", 1);
+  EXPECT_EQ(ResolveThreadCount(3), 3u);  // CLI wins
+  EXPECT_EQ(ResolveThreadCount(0), 5u);  // env next
+  ::setenv("RSTLAB_THREADS", "nonsense", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1u);  // falls through to hardware
+  ::unsetenv("RSTLAB_THREADS");
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+}
+
+TEST(ResolveThreadCountTest, ParseThreadsFlagStripsArgv) {
+  ::unsetenv("RSTLAB_THREADS");
+  const char* raw[] = {"bench", "--threads=7", "--benchmark_filter=x"};
+  char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1]),
+                  const_cast<char*>(raw[2])};
+  int argc = 3;
+  EXPECT_EQ(ParseThreadsFlag(&argc, argv), 7u);
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "--benchmark_filter=x");
+}
+
+// ---------------------------------------------------------------------
+// BenchRecorder
+// ---------------------------------------------------------------------
+
+TEST(BenchRecorderTest, FormatsEntryAsJsonLine) {
+  TrialBenchEntry entry;
+  entry.bench = "bench_x";
+  entry.experiment = "E1.m=16";
+  entry.threads = 4;
+  entry.trials = 200;
+  entry.wall_seconds = 0.5;
+  entry.trials_per_sec = 400.0;
+  entry.tally_checksum = 99;
+  EXPECT_EQ(FormatTrialBenchEntry(entry),
+            "{\"bench\":\"bench_x\",\"experiment\":\"E1.m=16\","
+            "\"threads\":4,\"trials\":200,\"wall_seconds\":0.5,"
+            "\"trials_per_sec\":400,\"tally_checksum\":99}");
+}
+
+TEST(BenchRecorderTest, ChecksumIsOrderSensitive) {
+  EXPECT_NE(Checksum64({1, 2}), Checksum64({2, 1}));
+  EXPECT_EQ(Checksum64({1, 2}), Checksum64({1, 2}));
+  EXPECT_NE(Checksum64({}), Checksum64({0}));
+}
+
+}  // namespace
+}  // namespace rstlab::parallel

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "stmodel/internal_arena.h"
 #include "stmodel/st_context.h"
 #include "stmodel/tape_io.h"
@@ -219,6 +222,36 @@ TEST(SortedFieldCursorTest, ZeroCountIsImmediatelyExhausted) {
   SortedFieldCursor cursor(t, 0, arena);
   EXPECT_TRUE(cursor.exhausted());
   cursor.AdvanceDistinct();  // no-op, no crash
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+TEST(SortedFieldCursorTest, AdvanceDistinctSkipsLongDuplicateRuns) {
+  // Three runs of duplicates of very different lengths; AdvanceDistinct
+  // must land on each distinct value exactly once.
+  std::string content;
+  for (int i = 0; i < 17; ++i) content += "0#";
+  for (int i = 0; i < 1; ++i) content += "01#";
+  for (int i = 0; i < 9; ++i) content += "111#";
+  tape::Tape t(content);
+  InternalArena arena;
+  SortedFieldCursor cursor(t, 27, arena);
+  std::vector<std::string> distinct;
+  while (!cursor.exhausted()) {
+    distinct.push_back(*cursor.value());
+    cursor.AdvanceDistinct();
+  }
+  EXPECT_EQ(distinct,
+            (std::vector<std::string>{"0", "01", "111"}));
+}
+
+TEST(SortedFieldCursorTest, AdvanceDistinctExhaustsOnAllDuplicates) {
+  tape::Tape t("10#10#10#10#10#");
+  InternalArena arena;
+  SortedFieldCursor cursor(t, 5, arena);
+  EXPECT_EQ(*cursor.value(), "10");
+  cursor.AdvanceDistinct();
+  EXPECT_TRUE(cursor.exhausted());
+  cursor.AdvanceDistinct();  // idempotent once exhausted
   EXPECT_TRUE(cursor.exhausted());
 }
 
