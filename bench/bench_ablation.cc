@@ -22,6 +22,7 @@
 #include "core/experiment.h"
 #include "fingerprint/fingerprint.h"
 #include "fingerprint/prime.h"
+#include "obs/flags.h"
 #include "parallel/bench_recorder.h"
 #include "parallel/seed_sequence.h"
 #include "parallel/trial_runner.h"
@@ -282,10 +283,14 @@ BENCHMARK(BM_ParamsSampling)->Arg(64)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_ablation");
   const std::size_t threads =
       rstlab::parallel::ParseThreadsFlag(&argc, argv);
   TrialRunner runner(threads);
+  runner.set_trace(obs.sink());
   BenchRecorder recorder("bench_ablation", threads);
+  recorder.set_metrics(obs.metrics());
   std::cout << "trial engine: threads=" << threads << "\n\n";
   RunModulusAblation(runner, recorder);
   RunFixedPrimeAdversary(runner, recorder);
@@ -296,6 +301,7 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "warning: " << written.status() << "\n";
   }
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

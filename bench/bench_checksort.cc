@@ -11,6 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
+#include "obs/flags.h"
+#include "obs/ring_sink.h"
+#include "obs/timeline.h"
 #include "problems/generators.h"
 #include "problems/reference.h"
 #include "sorting/deciders.h"
@@ -58,6 +61,28 @@ void RunScalingTable(rstlab::problems::Problem problem,
             << "; paper: Theta(log N) scans, Corollary 7)\n\n";
 }
 
+// With --trace (or --metrics) active, runs one small CHECK-SORT decide
+// with tape-level tracing: the merge-sort passes show up as alternating
+// scan segments across the five decider tapes.
+void RunTracedExemplar(rstlab::obs::ObsSession& obs) {
+  if (obs.sink() == nullptr) return;
+  Rng rng(42);
+  rstlab::problems::Instance inst =
+      rstlab::problems::SortedPair(8, 8, rng);
+  rstlab::obs::RingSink ring;
+  rstlab::obs::TeeSink tee(obs.sink(), &ring);
+  rstlab::stmodel::StContext ctx(rstlab::sorting::kDeciderTapes);
+  ctx.AttachTrace(&tee);
+  ctx.LoadInput(inst.Encode());
+  auto decided = rstlab::sorting::DecideOnTapes(
+      rstlab::problems::Problem::kCheckSort, ctx);
+  ctx.FlushTrace();
+  std::cout << "traced exemplar (CHECK-SORT decide, m=8 n=8, "
+            << (decided.ok() && decided.value() ? "yes" : "no")
+            << "):\n"
+            << rstlab::obs::RenderScanTimeline(ring.Snapshot()) << "\n";
+}
+
 void BM_Decider(benchmark::State& state) {
   const std::size_t m = static_cast<std::size_t>(state.range(0));
   Rng rng(7);
@@ -79,6 +104,8 @@ BENCHMARK(BM_Decider)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_checksort");
   RunScalingTable(rstlab::problems::Problem::kCheckSort,
                   "E3a: CHECK-SORT in ST(O(log N), O(n + log N), 5)");
   RunScalingTable(
@@ -86,6 +113,8 @@ int main(int argc, char** argv) {
       "E3b: MULTISET-EQUALITY in ST(O(log N), O(n + log N), 5)");
   RunScalingTable(rstlab::problems::Problem::kSetEquality,
                   "E3c: SET-EQUALITY in ST(O(log N), O(n + log N), 5)");
+  RunTracedExemplar(obs);
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

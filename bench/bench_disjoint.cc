@@ -15,6 +15,7 @@
 
 #include "core/experiment.h"
 #include "fingerprint/prime.h"
+#include "obs/flags.h"
 #include "problems/disjoint_sets.h"
 #include "sorting/deciders.h"
 #include "stmodel/st_context.h"
@@ -114,8 +115,11 @@ BENCHMARK(BM_DisjointDecider)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_disjoint");
   RunDeciderTable();
   RunResidueGuessTable();
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -21,6 +21,9 @@
 
 #include "core/experiment.h"
 #include "fingerprint/fingerprint.h"
+#include "obs/flags.h"
+#include "obs/ring_sink.h"
+#include "obs/timeline.h"
 #include "parallel/bench_recorder.h"
 #include "parallel/seed_sequence.h"
 #include "parallel/trial_runner.h"
@@ -196,6 +199,29 @@ void RunExactProbabilityTable(TrialRunner& runner,
                " zero event, while actual zero counts are tiny\n\n";
 }
 
+// With --trace (or --metrics) active, runs one representative
+// fingerprint test with tape-level tracing attached: the events land in
+// the trace file and the scan timeline — the head-position envelope of
+// the two Theorem 8(a) scans — is printed for eyeballing.
+void RunTracedExemplar(rstlab::obs::ObsSession& obs) {
+  if (obs.sink() == nullptr) return;
+  Rng rng(42);
+  rstlab::problems::Instance inst =
+      rstlab::problems::EqualMultisets(8, 16, rng);
+  rstlab::obs::RingSink ring;
+  rstlab::obs::TeeSink tee(obs.sink(), &ring);
+  rstlab::stmodel::StContext ctx(1);
+  ctx.AttachTrace(&tee);
+  ctx.LoadInput(inst.Encode());
+  auto outcome = rstlab::fingerprint::TestMultisetEqualityOnTapes(ctx, rng);
+  ctx.FlushTrace();
+  std::cout << "traced exemplar (Theorem 8(a) run, m=8 n=16, "
+            << (outcome.ok() && outcome.value().accepted ? "accepted"
+                                                         : "rejected")
+            << "):\n"
+            << rstlab::obs::RenderScanTimeline(ring.Snapshot()) << "\n";
+}
+
 void BM_FingerprintTape(benchmark::State& state) {
   const std::size_t m = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
@@ -229,19 +255,25 @@ BENCHMARK(BM_FingerprintHost)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_fingerprint");
   const std::size_t threads =
       rstlab::parallel::ParseThreadsFlag(&argc, argv);
   TrialRunner runner(threads);
+  runner.set_trace(obs.sink());
   BenchRecorder recorder("bench_fingerprint", threads);
+  recorder.set_metrics(obs.metrics());
   std::cout << "trial engine: threads=" << threads << "\n\n";
   RunErrorTable(runner, recorder);
   RunClaim1Table(runner, recorder);
   RunExactProbabilityTable(runner, recorder);
+  RunTracedExemplar(obs);
   if (auto written = recorder.Write(); written.ok()) {
     std::cout << "trial timings -> " << written.value() << "\n\n";
   } else {
     std::cerr << "warning: " << written.status() << "\n";
   }
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

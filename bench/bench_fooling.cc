@@ -18,6 +18,7 @@
 #include "listmachine/analysis.h"
 #include "listmachine/machines.h"
 #include "listmachine/skeleton.h"
+#include "obs/flags.h"
 #include "parallel/bench_recorder.h"
 #include "parallel/seed_sequence.h"
 #include "parallel/trial_runner.h"
@@ -198,10 +199,14 @@ BENCHMARK(BM_Composition)->Arg(4)->Arg(8)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_fooling");
   const std::size_t threads =
       rstlab::parallel::ParseThreadsFlag(&argc, argv);
   TrialRunner runner(threads);
+  runner.set_trace(obs.sink());
   BenchRecorder recorder("bench_fooling", threads);
+  recorder.set_metrics(obs.metrics());
   std::cout << "trial engine: threads=" << threads << "\n\n";
   RunFoolingTable(runner, recorder);
   RunRegimeTable();
@@ -210,6 +215,7 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "warning: " << written.status() << "\n";
   }
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,6 +18,7 @@
 #include "listmachine/analysis.h"
 #include "listmachine/machines.h"
 #include "listmachine/skeleton.h"
+#include "obs/flags.h"
 #include "util/random.h"
 
 namespace {
@@ -126,8 +127,11 @@ BENCHMARK(BM_SkeletonBuild);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_listmachine");
   RunGrowthTable();
   RunSkeletonCountTable();
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,6 +15,7 @@
 #include "core/experiment.h"
 #include "listmachine/analysis.h"
 #include "listmachine/machines.h"
+#include "obs/flags.h"
 #include "permutation/phi.h"
 
 namespace {
@@ -110,7 +111,10 @@ BENCHMARK(BM_ComparedPairs)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_merge_lemma");
   RunMergeLemmaTable();
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -17,6 +17,7 @@
 #include "core/experiment.h"
 #include "nst/certificate.h"
 #include "nst/paper_verifier.h"
+#include "obs/flags.h"
 #include "permutation/sortedness.h"
 #include "problems/generators.h"
 #include "problems/reference.h"
@@ -138,8 +139,11 @@ BENCHMARK(BM_ExhaustiveCertificates)->Arg(4)->Arg(6)->Arg(7);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_nst");
   RunVerifierTable();
   RunSoundnessTable();
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
+#include "obs/flags.h"
 #include "problems/generators.h"
 #include "problems/reference.h"
 #include "query/relalg.h"
@@ -188,9 +189,12 @@ BENCHMARK(BM_Product)->Arg(16)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_relalg");
   RunScalingTable();
   RunQueryComplexityTable();
   RunReductionTable();
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -23,6 +23,7 @@
 #include "fingerprint/fingerprint.h"
 #include "nst/certificate.h"
 #include "nst/paper_verifier.h"
+#include "obs/flags.h"
 #include "problems/generators.h"
 #include "sorting/deciders.h"
 #include "stmodel/st_context.h"
@@ -154,8 +155,11 @@ BENCHMARK(BM_DeterministicVsRandomized)
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_separation");
   RunSeparationTable();
   RunLowerBoundRegimeTable();
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

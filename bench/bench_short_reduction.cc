@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
+#include "obs/flags.h"
 #include "permutation/phi.h"
 #include "problems/check_phi.h"
 #include "problems/reference.h"
@@ -141,8 +142,11 @@ BENCHMARK(BM_ShortReductionTapes)->Arg(8)->Arg(32)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_short_reduction");
   RunReductionTable();
   RunShortDeciderTable();
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

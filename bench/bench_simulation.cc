@@ -20,6 +20,7 @@
 #include "listmachine/simulation.h"
 #include "machine/machine_builder.h"
 #include "machine/turing_machine.h"
+#include "obs/flags.h"
 #include "parallel/bench_recorder.h"
 #include "parallel/trial_runner.h"
 
@@ -144,10 +145,14 @@ BENCHMARK(BM_Simulation)->Arg(8)->Arg(32)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_simulation");
   const std::size_t threads =
       rstlab::parallel::ParseThreadsFlag(&argc, argv);
   TrialRunner runner(threads);
+  runner.set_trace(obs.sink());
   BenchRecorder recorder("bench_simulation", threads);
+  recorder.set_metrics(obs.metrics());
   std::cout << "trial engine: threads=" << threads << "\n\n";
   RunProbabilityTable(runner, recorder);
   RunResourceTable();
@@ -156,6 +161,7 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "warning: " << written.status() << "\n";
   }
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,6 +14,7 @@
 #include <cmath>
 
 #include "core/experiment.h"
+#include "obs/flags.h"
 #include "permutation/phi.h"
 #include "permutation/sortedness.h"
 #include "util/random.h"
@@ -70,7 +71,10 @@ BENCHMARK(BM_BitReversalConstruction)->Arg(1 << 10)->Arg(1 << 16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
+                              "bench_sortedness");
   RunSortednessTable();
+  obs.Finish(std::cout);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validates a rstlab trace file (--trace=FILE output, JSON lines).
+
+Checks, line by line:
+  * every line parses as a JSON object;
+  * the `ev` kind is one of the known event kinds;
+  * the keys required for that kind are present with sane types;
+  * the stream is bracketed by run_begin / run_end;
+  * scan_end envelopes satisfy lo <= pos <= hi;
+  * reversal directions are +1/-1.
+
+Usage: scripts/check_trace.py TRACE.jsonl [--min-events N]
+Exits 0 on a valid trace, 1 otherwise (first error printed).
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_KINDS = {
+    "run_begin",
+    "run_end",
+    "trial_begin",
+    "trial_end",
+    "scan_begin",
+    "scan_end",
+    "reversal",
+    "arena_high_water",
+}
+
+# Keys every event row carries, with their JSON types.
+BASE_KEYS = {
+    "ev": str,
+    "tape": int,
+    "trial": int,
+    "scan": int,
+    "pos": int,
+    "dir": int,
+    "value": int,
+}
+
+
+def check_line(line_no: int, line: str) -> str | None:
+    """Returns an error message for a bad line, or None when valid."""
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as err:
+        return f"line {line_no}: not valid JSON ({err})"
+    if not isinstance(event, dict):
+        return f"line {line_no}: not a JSON object"
+    for key, expected_type in BASE_KEYS.items():
+        if key not in event:
+            return f"line {line_no}: missing key {key!r}"
+        if not isinstance(event[key], expected_type) or isinstance(
+            event[key], bool
+        ):
+            return (
+                f"line {line_no}: key {key!r} has type "
+                f"{type(event[key]).__name__}, want {expected_type.__name__}"
+            )
+    kind = event["ev"]
+    if kind not in KNOWN_KINDS:
+        return f"line {line_no}: unknown event kind {kind!r}"
+    if kind == "scan_end":
+        if "lo" not in event or "hi" not in event:
+            return f"line {line_no}: scan_end without lo/hi envelope"
+        if not event["lo"] <= event["pos"] <= event["hi"]:
+            return (
+                f"line {line_no}: scan_end envelope violated: "
+                f"lo={event['lo']} pos={event['pos']} hi={event['hi']}"
+            )
+    if kind in ("scan_begin", "scan_end", "reversal") and event["tape"] < 0:
+        return f"line {line_no}: {kind} without a tape id"
+    if event["dir"] not in (1, -1):
+        return f"line {line_no}: dir must be +1/-1, got {event['dir']}"
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace file (JSON lines)")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail when the trace has fewer events than this",
+    )
+    args = parser.parse_args()
+
+    kinds_seen: dict[str, int] = {}
+    total = 0
+    try:
+        with open(args.trace, encoding="utf-8") as stream:
+            for line_no, line in enumerate(stream, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                error = check_line(line_no, line)
+                if error is not None:
+                    print(f"{args.trace}: {error}", file=sys.stderr)
+                    return 1
+                kind = json.loads(line)["ev"]
+                kinds_seen[kind] = kinds_seen.get(kind, 0) + 1
+                total += 1
+    except OSError as err:
+        print(f"{args.trace}: {err}", file=sys.stderr)
+        return 1
+
+    if total < args.min_events:
+        print(
+            f"{args.trace}: only {total} events, wanted >= {args.min_events}",
+            file=sys.stderr,
+        )
+        return 1
+    if kinds_seen.get("run_begin", 0) == 0 or kinds_seen.get("run_end", 0) == 0:
+        print(
+            f"{args.trace}: stream is not bracketed by run_begin/run_end "
+            f"(saw {kinds_seen})",
+            file=sys.stderr,
+        )
+        return 1
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(kinds_seen.items()))
+    print(f"{args.trace}: OK — {total} events ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,8 @@
 #include "fingerprint/barrett.h"
 
-#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 
 namespace rstlab::fingerprint {
 
@@ -30,7 +32,16 @@ unsigned __int128 MulHi128(unsigned __int128 a, unsigned __int128 b) {
 }  // namespace
 
 Barrett::Barrett(std::uint64_t modulus) : modulus_(modulus) {
-  assert(modulus >= 2 && modulus < (std::uint64_t{1} << 63));
+  // Enforced in every build mode, not just under assert(): a modulus
+  // outside [2, 2^63) silently corrupts every subsequent Reduce (the
+  // q-error bound needs x - q*m to fit after at most a few subtractions),
+  // and the construction is never on a hot path.
+  if (modulus < 2 || modulus >= (std::uint64_t{1} << 63)) {
+    std::fprintf(stderr,
+                 "Barrett: modulus %" PRIu64 " outside [2, 2^63)\n",
+                 modulus);
+    std::abort();
+  }
   reciprocal_ = ~static_cast<unsigned __int128>(0) / modulus;
 }
 

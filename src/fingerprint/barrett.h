@@ -18,10 +18,19 @@ namespace rstlab::fingerprint {
 /// and every prime > 2 — the only moduli the fingerprint code uses).
 /// For x < 2^128, q = floor(x * r / 2^128) then satisfies
 /// floor(x / m) - 2 <= q <= floor(x / m), so x - q*m < 3m and two
-/// conditional subtractions finish the reduction. The paper's moduli
-/// satisfy 6k <= 2^62 (ComputeK enforces it), comfortably within range.
+/// conditional subtractions finish the reduction. The only m in range
+/// that DO divide 2^128 are the powers of two; for those r is exactly
+/// floor(2^128 / m) - 1, q underestimates floor(x / m) by at most one
+/// more, and the subtraction loop in Reduce still terminates with
+/// x - q*m < 3m — power-of-two moduli are off the spec of the error
+/// analysis above but remain correct (see the boundary tests). The
+/// paper's moduli satisfy 6k <= 2^62 (ComputeK enforces it),
+/// comfortably within range.
 struct Barrett {
   /// Precomputes the reciprocal of `modulus` (one 128-bit division).
+  /// The precondition 2 <= modulus < 2^63 is enforced in every build
+  /// mode: a violating modulus aborts the process rather than
+  /// corrupting every later Reduce.
   explicit Barrett(std::uint64_t modulus);
 
   std::uint64_t modulus() const { return modulus_; }

@@ -1,0 +1,71 @@
+#include "obs/flags.h"
+
+#include <cstring>
+
+namespace rstlab::obs {
+
+ObsOptions ParseObsFlags(int* argc, char** argv) {
+  ObsOptions options;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      options.trace_path = arg + 8;
+      continue;
+    }
+    if (std::strcmp(arg, "--metrics") == 0) {
+      options.metrics = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  for (int i = out; i < *argc; ++i) argv[i] = nullptr;
+  *argc = out;
+  return options;
+}
+
+ObsSession::ObsSession(const ObsOptions& options, std::string bench_name)
+    : bench_name_(std::move(bench_name)) {
+  if (!options.trace_path.empty()) {
+    jsonl_ = std::make_unique<JsonlSink>(options.trace_path);
+  }
+  if (options.metrics) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    counting_ = std::make_unique<CountingSink>(*registry_, jsonl_.get());
+  }
+  if (TraceSink* s = sink()) {
+    s->OnEvent(MakeRunEvent(EventKind::kRunBegin, 0, bench_name_));
+  }
+}
+
+TraceSink* ObsSession::sink() {
+  if (counting_ != nullptr) return counting_.get();
+  return jsonl_.get();
+}
+
+MetricsRegistry* ObsSession::metrics() { return registry_.get(); }
+
+void ObsSession::Finish(std::ostream& os) {
+  if (finished_) return;
+  finished_ = true;
+  if (TraceSink* s = sink()) {
+    s->OnEvent(MakeRunEvent(EventKind::kRunEnd, 0, bench_name_));
+  }
+  if (jsonl_ != nullptr) {
+    jsonl_->Flush();
+    if (jsonl_->ok()) {
+      os << "trace -> " << jsonl_->path() << " (" << jsonl_->lines()
+         << " events)\n";
+    } else {
+      os << "warning: trace file " << jsonl_->path()
+         << " could not be written\n";
+    }
+  }
+  if (registry_ != nullptr) {
+    os << "metrics (" << bench_name_ << "):\n";
+    registry_->Print(os);
+  }
+  os << "\n";
+}
+
+}  // namespace rstlab::obs

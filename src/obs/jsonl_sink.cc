@@ -1,0 +1,75 @@
+#include "obs/jsonl_sink.h"
+
+#include <sstream>
+
+namespace rstlab::obs {
+
+namespace {
+
+/// Minimal JSON string escaping for the labels we emit (bench names).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatEventJson(const TraceEvent& event) {
+  std::ostringstream os;
+  os << "{\"ev\":\"" << EventKindName(event.kind) << "\""
+     << ",\"tape\":" << event.tape_id << ",\"trial\":" << event.trial
+     << ",\"scan\":" << event.scan << ",\"pos\":" << event.position;
+  if (event.kind == EventKind::kScanEnd) {
+    os << ",\"lo\":" << event.lo << ",\"hi\":" << event.hi;
+  }
+  os << ",\"dir\":" << event.direction << ",\"value\":" << event.value;
+  if (!event.label.empty()) {
+    os << ",\"label\":\"" << EscapeJson(event.label) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : path_(path), out_(path, std::ios::trunc) {}
+
+bool JsonlSink::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return out_.good();
+}
+
+std::uint64_t JsonlSink::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void JsonlSink::OnEvent(const TraceEvent& event) {
+  const std::string line = FormatEventJson(event);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return;
+  out_ << line << "\n";
+  ++lines_;
+}
+
+void JsonlSink::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) out_.flush();
+}
+
+}  // namespace rstlab::obs

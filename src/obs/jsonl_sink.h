@@ -1,0 +1,51 @@
+#ifndef RSTLAB_OBS_JSONL_SINK_H_
+#define RSTLAB_OBS_JSONL_SINK_H_
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace rstlab::obs {
+
+/// Formats one event as a single-line JSON object, e.g.
+/// `{"ev":"reversal","tape":0,"trial":0,"scan":1,"pos":12,"dir":-1}`.
+/// Every event carries the fixed keys ev/tape/trial/scan/pos/dir/value;
+/// kScanEnd adds lo/hi and labelled events add "label". Keys appear in
+/// that order, so the output is byte-deterministic for a fixed stream.
+std::string FormatEventJson(const TraceEvent& event);
+
+/// Streams trace events to a file, one JSON object per line (the
+/// `--trace=FILE` exporter). Thread-safe; events arriving from trial-
+/// engine workers interleave at line granularity, each line stamped
+/// with its trial id so a post-processor can re-group them.
+class JsonlSink : public TraceSink {
+ public:
+  /// Opens (truncates) `path`. Check `ok()` before relying on output.
+  explicit JsonlSink(const std::string& path);
+
+  /// True iff the file opened and every write so far succeeded.
+  bool ok() const;
+
+  /// The path given at construction.
+  const std::string& path() const { return path_; }
+
+  /// Lines written so far.
+  std::uint64_t lines() const;
+
+  void OnEvent(const TraceEvent& event) override;
+
+  /// Flushes buffered lines to the file.
+  void Flush();
+
+ private:
+  const std::string path_;
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace rstlab::obs
+
+#endif  // RSTLAB_OBS_JSONL_SINK_H_

@@ -1,0 +1,79 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace rstlab::obs {
+
+void MetricsRegistry::Add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, value] : counters_) {
+    out.emplace_back(name, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : gauges_) out.emplace_back(name, value);
+  return out;
+}
+
+std::string MetricsRegistry::ToJsonObject() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  // counters_ and gauges_ are each name-sorted; emit counters first to
+  // keep the rendering deterministic without merging the key spaces.
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << value;
+    first = false;
+  }
+  for (const auto& [name, value] : gauges_) {
+    std::ostringstream num;
+    num.precision(9);
+    num << value;
+    os << (first ? "" : ",") << "\"" << name << "\":" << num.str();
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+void MetricsRegistry::Print(std::ostream& os) const {
+  for (const auto& [name, value] : Snapshot()) {
+    os << "  " << name << " = " << value << "\n";
+  }
+}
+
+void CountingSink::OnEvent(const TraceEvent& event) {
+  registry_.Add("trace.events");
+  registry_.Add(std::string("trace.") + EventKindName(event.kind));
+  if (event.kind == EventKind::kArenaHighWater) {
+    registry_.SetGauge("arena.high_water_bits",
+                       static_cast<double>(event.value));
+  }
+  if (inner_ != nullptr) inner_->OnEvent(event);
+}
+
+}  // namespace rstlab::obs

@@ -1,0 +1,74 @@
+#ifndef RSTLAB_OBS_METRICS_H_
+#define RSTLAB_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rstlab::obs {
+
+/// Thread-safe registry of named counters (monotone uint64) and gauges
+/// (last-written double). The `--metrics` plumbing of the bench
+/// binaries writes trace-derived totals here and `BenchRecorder` folds
+/// a snapshot into its JSON rows; anything else (tests, tools) can use
+/// it directly.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to counter `name` (creating it at 0).
+  void Add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Sets gauge `name` to `value`.
+  void SetGauge(const std::string& name, double value);
+
+  /// Current value of counter `name` (0 when absent).
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Current value of gauge `name` (0.0 when absent).
+  double gauge(const std::string& name) const;
+
+  /// All counters then all gauges, each name-sorted.
+  std::vector<std::pair<std::string, double>> Snapshot() const;
+
+  /// Renders `{"name":value,...}` with names sorted (counters as
+  /// integers, gauges with 9 significant digits); `{}` when empty.
+  std::string ToJsonObject() const;
+
+  /// Pretty-prints one `name = value` line per metric.
+  void Print(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// A TraceSink that tallies events into a MetricsRegistry — one
+/// `trace.<kind>` counter per event kind plus `trace.events` — and
+/// forwards to an optional inner sink. Lets `--metrics` ride the same
+/// wiring as `--trace` with no per-bench bookkeeping.
+class CountingSink : public TraceSink {
+ public:
+  /// Counts into `registry`, forwarding to `inner` (may be null).
+  CountingSink(MetricsRegistry& registry, TraceSink* inner = nullptr)
+      : registry_(registry), inner_(inner) {}
+
+  void OnEvent(const TraceEvent& event) override;
+
+ private:
+  MetricsRegistry& registry_;
+  TraceSink* inner_;
+};
+
+}  // namespace rstlab::obs
+
+#endif  // RSTLAB_OBS_METRICS_H_

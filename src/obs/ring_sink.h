@@ -1,0 +1,47 @@
+#ifndef RSTLAB_OBS_RING_SINK_H_
+#define RSTLAB_OBS_RING_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rstlab::obs {
+
+/// In-memory bounded trace sink for tests and post-run analysis.
+///
+/// Keeps the most recent `capacity` events; older events are dropped
+/// (and counted) rather than growing without bound, so a ring can be
+/// left attached to a long run. Thread-safe.
+class RingSink : public TraceSink {
+ public:
+  /// A ring holding at most `capacity` events (0 is clamped to 1).
+  explicit RingSink(std::size_t capacity = 4096);
+
+  void OnEvent(const TraceEvent& event) override;
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total events ever delivered.
+  std::uint64_t total() const;
+
+  /// Events discarded because the ring was full.
+  std::uint64_t dropped() const;
+
+  /// Forgets all retained events and resets the counters.
+  void Clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // insertion cursor once the ring is full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rstlab::obs
+
+#endif  // RSTLAB_OBS_RING_SINK_H_

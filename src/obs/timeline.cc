@@ -1,0 +1,141 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace rstlab::obs {
+
+namespace {
+
+struct Segment {
+  std::uint64_t scan = 0;
+  std::uint64_t begin_pos = 0;
+  std::uint64_t end_pos = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  int direction = +1;
+  bool open = false;
+};
+
+struct TapeTimeline {
+  std::vector<Segment> segments;
+  std::uint64_t reversals = 0;
+  bool has_open = false;
+  Segment pending;
+};
+
+/// One envelope bar: '=' across [lo, hi] scaled to [0, max_pos], with
+/// an arrowhead on the side the head ended on.
+std::string Bar(const Segment& seg, std::uint64_t max_pos,
+                std::size_t width) {
+  std::string bar(width, ' ');
+  const double scale =
+      max_pos == 0 ? 0.0
+                   : static_cast<double>(width - 1) /
+                         static_cast<double>(max_pos);
+  auto col = [&](std::uint64_t pos) {
+    return static_cast<std::size_t>(static_cast<double>(pos) * scale);
+  };
+  const std::size_t from = col(seg.lo);
+  const std::size_t to = col(seg.hi);
+  for (std::size_t i = from; i <= to && i < width; ++i) bar[i] = '=';
+  const std::size_t head = col(seg.end_pos);
+  if (head < width) bar[head] = seg.direction > 0 ? '>' : '<';
+  return "|" + bar + "|";
+}
+
+}  // namespace
+
+std::string RenderScanTimeline(const std::vector<TraceEvent>& events,
+                               std::size_t width) {
+  width = std::max<std::size_t>(8, width);
+  std::map<std::int32_t, TapeTimeline> tapes;
+  std::uint64_t max_pos = 0;
+  std::uint64_t high_water = 0;
+  bool saw_high_water = false;
+  std::uint64_t trials = 0;
+
+  for (const TraceEvent& event : events) {
+    max_pos = std::max({max_pos, event.position, event.hi});
+    switch (event.kind) {
+      case EventKind::kScanBegin: {
+        TapeTimeline& tl = tapes[event.tape_id];
+        // A re-begin of the same segment index is a reset (AttachTrace
+        // followed by LoadInput), not a new segment: replace the
+        // pending one instead of emitting a phantom zero-length scan.
+        if (tl.has_open && tl.pending.scan != event.scan) {
+          tl.segments.push_back(tl.pending);
+        }
+        tl.pending = Segment{event.scan,     event.position,
+                             event.position, event.position,
+                             event.position, event.direction,
+                             /*open=*/true};
+        tl.has_open = true;
+        break;
+      }
+      case EventKind::kScanEnd: {
+        TapeTimeline& tl = tapes[event.tape_id];
+        // The begin position comes from the matching kScanBegin when we
+        // saw it; a lone kScanEnd (begin outside the capture window)
+        // starts at whichever envelope end the direction implies.
+        std::uint64_t begin_pos = event.direction > 0 ? event.lo : event.hi;
+        if (tl.has_open && tl.pending.scan == event.scan) {
+          begin_pos = tl.pending.begin_pos;
+        }
+        tl.segments.push_back(Segment{event.scan, begin_pos,
+                                      event.position, event.lo, event.hi,
+                                      event.direction, /*open=*/false});
+        tl.has_open = false;
+        break;
+      }
+      case EventKind::kReversal:
+        tapes[event.tape_id].reversals += 1;
+        break;
+      case EventKind::kArenaHighWater:
+        high_water = std::max(high_water, event.value);
+        saw_high_water = true;
+        break;
+      case EventKind::kTrialBegin:
+        ++trials;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::ostringstream os;
+  if (trials > 0) os << "trials traced: " << trials << "\n";
+  for (auto& [tape_id, tl] : tapes) {
+    if (tl.has_open) {
+      tl.pending.end_pos = tl.pending.begin_pos;
+      tl.segments.push_back(tl.pending);
+      tl.has_open = false;
+    }
+    std::uint64_t span_lo = 0;
+    std::uint64_t span_hi = 0;
+    if (!tl.segments.empty()) {
+      span_lo = tl.segments.front().lo;
+      span_hi = tl.segments.front().hi;
+      for (const Segment& seg : tl.segments) {
+        span_lo = std::min(span_lo, seg.lo);
+        span_hi = std::max(span_hi, seg.hi);
+      }
+    }
+    os << "tape " << tape_id << ": scans=" << tl.segments.size()
+       << " reversals=" << tl.reversals << " span=[" << span_lo << ","
+       << span_hi << "]\n";
+    for (const Segment& seg : tl.segments) {
+      os << "  scan " << seg.scan << " "
+         << (seg.direction > 0 ? "->" : "<-") << " " << seg.begin_pos
+         << ".." << seg.end_pos << " " << Bar(seg, max_pos, width)
+         << (seg.open ? " (open)" : "") << "\n";
+    }
+  }
+  if (saw_high_water) {
+    os << "arena high-water: " << high_water << " bits\n";
+  }
+  return os.str();
+}
+
+}  // namespace rstlab::obs

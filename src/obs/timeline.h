@@ -1,0 +1,30 @@
+#ifndef RSTLAB_OBS_TIMELINE_H_
+#define RSTLAB_OBS_TIMELINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rstlab::obs {
+
+/// Renders a captured event stream as a human-readable per-tape scan
+/// timeline: one line per scan segment showing its head-position
+/// envelope as a bar scaled to the largest position in the stream,
+/// e.g.
+///
+///   tape 0: scans=2 reversals=1 span=[0,12]
+///     scan 0 -> 0..12 |===========>|
+///     scan 1 <- 12..0 |<===========|
+///
+/// Segments still open at the end of the stream (no kScanEnd — call
+/// `Tape::FlushTrace()` to close them) are listed as `(open)`. A final
+/// line reports the arena high-water mark when the stream contains
+/// kArenaHighWater events. `width` is the bar width in characters.
+std::string RenderScanTimeline(const std::vector<TraceEvent>& events,
+                               std::size_t width = 48);
+
+}  // namespace rstlab::obs
+
+#endif  // RSTLAB_OBS_TIMELINE_H_

@@ -1,0 +1,43 @@
+#include "obs/trace.h"
+
+namespace rstlab::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRunBegin:
+      return "run_begin";
+    case EventKind::kRunEnd:
+      return "run_end";
+    case EventKind::kTrialBegin:
+      return "trial_begin";
+    case EventKind::kTrialEnd:
+      return "trial_end";
+    case EventKind::kScanBegin:
+      return "scan_begin";
+    case EventKind::kScanEnd:
+      return "scan_end";
+    case EventKind::kReversal:
+      return "reversal";
+    case EventKind::kArenaHighWater:
+      return "arena_high_water";
+  }
+  return "unknown";
+}
+
+TraceEvent MakeTrialEvent(EventKind kind, std::uint64_t trial) {
+  TraceEvent event;
+  event.kind = kind;
+  event.trial = trial;
+  return event;
+}
+
+TraceEvent MakeRunEvent(EventKind kind, std::uint64_t value,
+                        std::string label) {
+  TraceEvent event;
+  event.kind = kind;
+  event.value = value;
+  event.label = std::move(label);
+  return event;
+}
+
+}  // namespace rstlab::obs

@@ -1,0 +1,109 @@
+#ifndef RSTLAB_OBS_TRACE_H_
+#define RSTLAB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rstlab::obs {
+
+/// The typed run-trace events the metered substrates emit.
+///
+/// A trace is the event-level counterpart of a `ResourceReport`: where
+/// the report gives the final Definition-1 bill `(r, s, t)`, the trace
+/// says *where* each unit was spent — which tape reversed at which head
+/// position, how each scan segment's head-position envelope evolved,
+/// when the internal arena reached a new high-water mark. Downstream
+/// consumers replay the stream (compliance pinpointing, the scan
+/// timeline renderer) or export it (JSON lines).
+enum class EventKind : std::uint8_t {
+  /// An StContext run started (`value` = input size N) or a bench
+  /// binary's whole invocation started (`label` = binary name).
+  kRunBegin,
+  /// Matching end marker for kRunBegin.
+  kRunEnd,
+  /// A Monte-Carlo trial started on the trial engine (`trial` set).
+  kTrialBegin,
+  /// Matching end marker for kTrialBegin.
+  kTrialEnd,
+  /// A tape began scan segment `scan` at `position`, heading
+  /// `direction`.
+  kScanBegin,
+  /// A tape finished scan segment `scan` at `position`; `lo`/`hi` give
+  /// the segment's head-position envelope.
+  kScanEnd,
+  /// A tape's head flipped direction at `position`; `direction` is the
+  /// new direction. One kReversal == one unit of rev(rho, i).
+  kReversal,
+  /// The internal arena reached a new high-water mark of `value` bits.
+  kArenaHighWater,
+};
+
+/// Short stable name for `kind` (used by the JSON exporter and tests).
+const char* EventKindName(EventKind kind);
+
+/// One trace event. A single flat struct covers every kind; fields not
+/// listed for a kind above are zero / empty.
+struct TraceEvent {
+  EventKind kind = EventKind::kRunBegin;
+  /// Tape index within the emitting context, or -1 when the event is
+  /// not tape-scoped.
+  std::int32_t tape_id = -1;
+  /// Trial number for kTrialBegin/kTrialEnd (0 outside the engine).
+  std::uint64_t trial = 0;
+  /// Scan-segment index on the emitting tape (segment 0 starts at
+  /// reset; each reversal opens the next).
+  std::uint64_t scan = 0;
+  /// Head position at the event.
+  std::uint64_t position = 0;
+  /// Lowest / highest head position of a finished segment (kScanEnd).
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  /// Head direction after the event: +1 right, -1 left.
+  int direction = +1;
+  /// Kind-specific payload (input size N, high-water bits, ...).
+  std::uint64_t value = 0;
+  /// Optional free-form label (bench name on the run markers).
+  std::string label;
+};
+
+/// Receiver of trace events.
+///
+/// The null sink is represented by a plain `nullptr`: every emitter
+/// guards with `if (sink != nullptr)`, so an untraced run pays one
+/// predictable branch per *reversal* (not per move) and nothing else.
+/// Sinks installed on a `TrialRunner` receive events from worker
+/// threads concurrently and must be thread-safe; the sinks shipped in
+/// this module all are.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Delivers one event. Implementations must not re-enter the emitter.
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+/// Forwards every event to two downstream sinks (either may be null),
+/// e.g. a JSON-lines file plus an in-memory ring for rendering.
+class TeeSink : public TraceSink {
+ public:
+  TeeSink(TraceSink* first, TraceSink* second)
+      : first_(first), second_(second) {}
+
+  void OnEvent(const TraceEvent& event) override {
+    if (first_ != nullptr) first_->OnEvent(event);
+    if (second_ != nullptr) second_->OnEvent(event);
+  }
+
+ private:
+  TraceSink* first_;
+  TraceSink* second_;
+};
+
+/// Convenience constructors for the non-tape-scoped events.
+TraceEvent MakeTrialEvent(EventKind kind, std::uint64_t trial);
+TraceEvent MakeRunEvent(EventKind kind, std::uint64_t value,
+                        std::string label = {});
+
+}  // namespace rstlab::obs
+
+#endif  // RSTLAB_OBS_TRACE_H_

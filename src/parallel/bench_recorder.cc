@@ -1,5 +1,8 @@
 #include "parallel/bench_recorder.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -48,7 +51,11 @@ std::string FormatTrialBenchEntry(const TrialBenchEntry& entry) {
      << ",\"trials\":" << entry.trials
      << ",\"wall_seconds\":" << FormatJsonDouble(entry.wall_seconds)
      << ",\"trials_per_sec\":" << FormatJsonDouble(entry.trials_per_sec)
-     << ",\"tally_checksum\":" << entry.tally_checksum << "}";
+     << ",\"tally_checksum\":" << entry.tally_checksum;
+  if (!entry.metrics_json.empty()) {
+    os << ",\"metrics\":" << entry.metrics_json;
+  }
+  os << "}";
   return os.str();
 }
 
@@ -67,6 +74,7 @@ void BenchRecorder::Record(const std::string& experiment,
   entry.trials_per_sec =
       wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds : 0.0;
   entry.tally_checksum = tally_checksum;
+  if (metrics_ != nullptr) entry.metrics_json = metrics_->ToJsonObject();
   entries_.push_back(std::move(entry));
 }
 
@@ -98,16 +106,34 @@ Result<std::string> BenchRecorder::Write() const {
   for (const TrialBenchEntry& entry : entries_) {
     kept.push_back(FormatTrialBenchEntry(entry));
   }
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot open " + path + " for writing");
+  // Assemble the new snapshot in a temp file in the same directory and
+  // atomically rename() it over the target: a crash mid-write leaves
+  // the previous snapshot intact, and two bench binaries racing each
+  // produce a complete file (last rename wins) instead of interleaved
+  // garbage corrupting the tracked perf trajectory.
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open " + tmp_path + " for writing");
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      out << kept[i] << (i + 1 < kept.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("short write to " + tmp_path);
+    }
   }
-  out << "[\n";
-  for (std::size_t i = 0; i < kept.size(); ++i) {
-    out << kept[i] << (i + 1 < kept.size() ? "," : "") << "\n";
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename " + tmp_path + " to " + path);
   }
-  out << "]\n";
-  if (!out.good()) return Status::Internal("short write to " + path);
   return path;
 }
 

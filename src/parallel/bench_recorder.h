@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace rstlab::parallel {
@@ -22,6 +23,10 @@ struct TrialBenchEntry {
   double wall_seconds = 0.0;
   double trials_per_sec = 0.0;  // trials / wall_seconds
   std::uint64_t tally_checksum = 0;
+  /// Pre-rendered `{"name":value,...}` snapshot of the binary's metrics
+  /// registry at record time; empty (and omitted from the JSON row)
+  /// unless the binary ran with `--metrics`.
+  std::string metrics_json;
 };
 
 /// Accumulates TrialBenchEntry rows for one bench binary and writes them
@@ -32,14 +37,25 @@ struct TrialBenchEntry {
 /// entries from *other* bench binaries already in the file are kept,
 /// this binary's previous entries are replaced — so running the bench
 /// suite in any order converges to one complete snapshot, and the perf
-/// trajectory can be tracked by committing the file.
+/// trajectory can be tracked by committing the file. The merge is
+/// crash- and race-safe: the new file is assembled in a temp file next
+/// to the target and atomically rename()d over it, so a reader (or a
+/// concurrently-writing sibling binary) always sees a complete file.
 class BenchRecorder {
  public:
   BenchRecorder(std::string bench_name, std::size_t threads);
 
-  /// Records one timed Monte-Carlo loop.
+  /// Records one timed Monte-Carlo loop. When a metrics registry is
+  /// attached, the row also captures its snapshot at this moment
+  /// (cumulative totals for the binary so far).
   void Record(const std::string& experiment, std::uint64_t trials,
               double wall_seconds, std::uint64_t tally_checksum);
+
+  /// Attaches the `--metrics` registry whose snapshots Record() folds
+  /// into subsequent rows (nullptr detaches; not owned).
+  void set_metrics(const obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+  }
 
   const std::vector<TrialBenchEntry>& entries() const { return entries_; }
 
@@ -54,6 +70,7 @@ class BenchRecorder {
   std::string bench_name_;
   std::size_t threads_;
   std::vector<TrialBenchEntry> entries_;
+  const obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Formats one entry as a single-line JSON object.

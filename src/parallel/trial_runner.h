@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.h"
 #include "parallel/seed_sequence.h"
 #include "parallel/thread_pool.h"
 
@@ -36,6 +37,14 @@ class TrialRunner {
 
   std::size_t threads() const { return pool_.thread_count(); }
 
+  /// Installs `sink` (nullptr detaches). A traced runner emits one
+  /// kTrialBegin/kTrialEnd pair per trial, stamped with the trial
+  /// number. Events arrive from worker threads concurrently, so the
+  /// sink must be thread-safe (every sink in src/obs is); their
+  /// arrival order across trials is scheduling-dependent, but the
+  /// per-trial stamps let a consumer re-group them deterministically.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Runs `body(trial, tally)` for every trial in [0, trials) and
   /// returns the merged tally. `body` must be callable concurrently
   /// from multiple threads (each invocation gets its chunk-local tally).
@@ -48,7 +57,15 @@ class TrialRunner {
       pool_.Submit([&, c] {
         Tally local;
         for (std::uint64_t t = chunks[c].begin; t < chunks[c].end; ++t) {
+          if (trace_ != nullptr) {
+            trace_->OnEvent(
+                obs::MakeTrialEvent(obs::EventKind::kTrialBegin, t));
+          }
           body(t, local);
+          if (trace_ != nullptr) {
+            trace_->OnEvent(
+                obs::MakeTrialEvent(obs::EventKind::kTrialEnd, t));
+          }
         }
         partial[c] = std::move(local);
       });
@@ -83,6 +100,7 @@ class TrialRunner {
 
   ThreadPool pool_;
   std::size_t chunks_hint_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 /// The thread count a bench binary should use, in precedence order:

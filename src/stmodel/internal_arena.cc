@@ -48,7 +48,15 @@ InternalArena::Allocation InternalArena::Allocate(std::size_t bits) {
 
 void InternalArena::Add(std::size_t bits) {
   current_bits_ += bits;
-  high_water_bits_ = std::max(high_water_bits_, current_bits_);
+  if (current_bits_ > high_water_bits_) {
+    high_water_bits_ = current_bits_;
+    if (trace_ != nullptr) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kArenaHighWater;
+      event.value = high_water_bits_;
+      trace_->OnEvent(event);
+    }
+  }
 }
 
 void InternalArena::Remove(std::size_t bits) {

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/trace.h"
+
 namespace rstlab::stmodel {
 
 /// Metered internal memory of an ST-machine (the tapes t+1..t+u of
@@ -65,12 +67,18 @@ class InternalArena {
   /// Resets the accounting (start of a fresh run).
   void Reset();
 
+  /// Installs `sink` (nullptr detaches). The traced arena emits one
+  /// kArenaHighWater event per high-water transition — each time
+  /// current_bits() exceeds the previous maximum.
+  void AttachTrace(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   void Add(std::size_t bits);
   void Remove(std::size_t bits);
 
   std::size_t current_bits_ = 0;
   std::size_t high_water_bits_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 /// Number of bits needed to store a value in {0, ..., value}; at least 1.

@@ -21,9 +21,33 @@ const tape::Tape& StContext::tape(std::size_t i) const {
 
 void StContext::LoadInput(std::string content) {
   input_size_ = content.size();
+  if (trace_ != nullptr) {
+    trace_->OnEvent(obs::MakeRunEvent(obs::EventKind::kRunBegin,
+                                      input_size_));
+  }
   tapes_[0].Reset(std::move(content));
   for (std::size_t i = 1; i < tapes_.size(); ++i) tapes_[i].Reset("");
   arena_.Reset();
+}
+
+void StContext::AttachTrace(obs::TraceSink* sink) {
+  trace_ = sink;
+  if (trace_ != nullptr) {
+    trace_->OnEvent(obs::MakeRunEvent(obs::EventKind::kRunBegin,
+                                      input_size_));
+  }
+  for (std::size_t i = 0; i < tapes_.size(); ++i) {
+    tapes_[i].AttachTrace(sink, static_cast<std::int32_t>(i));
+  }
+  arena_.AttachTrace(sink);
+}
+
+void StContext::FlushTrace() {
+  for (auto& t : tapes_) t.FlushTrace();
+  if (trace_ != nullptr) {
+    trace_->OnEvent(obs::MakeRunEvent(obs::EventKind::kRunEnd,
+                                      input_size_));
+  }
 }
 
 tape::ResourceReport StContext::Report() const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "stmodel/internal_arena.h"
 #include "tape/resource_meter.h"
 #include "tape/tape.h"
@@ -45,10 +46,21 @@ class StContext {
   /// The run's measured costs so far.
   tape::ResourceReport Report() const;
 
+  /// Installs `sink` (nullptr detaches) on every tape (tape i's events
+  /// carry tape_id = i) and on the arena, and emits a kRunBegin event.
+  /// Subsequent LoadInput calls emit a fresh kRunBegin with the new N.
+  void AttachTrace(obs::TraceSink* sink);
+
+  /// Closes every tape's open scan segment (emitting its kScanEnd) and
+  /// emits kRunEnd. Call at the end of a traced run, before rendering
+  /// or replaying the event stream.
+  void FlushTrace();
+
  private:
   std::vector<tape::Tape> tapes_;
   InternalArena arena_;
   std::size_t input_size_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace rstlab::stmodel

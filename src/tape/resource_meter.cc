@@ -1,5 +1,7 @@
 #include "tape/resource_meter.h"
 
+#include <algorithm>
+#include <set>
 #include <sstream>
 
 namespace rstlab::tape {
@@ -30,6 +32,60 @@ bool Complies(const ResourceReport& report, const StBounds& bounds) {
   return report.scan_bound <= bounds.max_scans &&
          report.internal_space <= bounds.max_internal_space &&
          report.num_external_tapes <= bounds.max_external_tapes;
+}
+
+std::string BoundViolation::ToString() const {
+  std::ostringstream os;
+  os << quantity << " " << measured << " > " << bound;
+  if (tape_id >= 0) os << " at tape " << tape_id << " pos " << position;
+  os << " (event " << event_index << ")";
+  return os.str();
+}
+
+std::optional<BoundViolation> FirstViolation(
+    const std::vector<obs::TraceEvent>& events, const StBounds& bounds) {
+  std::uint64_t reversals = 0;
+  std::uint64_t internal_space = 0;
+  std::set<std::int32_t> tapes_seen;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::TraceEvent& event = events[i];
+    BoundViolation violation;
+    violation.tape_id = event.tape_id;
+    violation.position = event.position;
+    violation.event_index = i;
+    if (event.tape_id >= 0) {
+      tapes_seen.insert(event.tape_id);
+      if (tapes_seen.size() > bounds.max_external_tapes) {
+        violation.quantity = "external_tapes";
+        violation.measured = tapes_seen.size();
+        violation.bound = bounds.max_external_tapes;
+        return violation;
+      }
+    }
+    switch (event.kind) {
+      case obs::EventKind::kReversal:
+        ++reversals;
+        if (1 + reversals > bounds.max_scans) {
+          violation.quantity = "scan_bound";
+          violation.measured = 1 + reversals;
+          violation.bound = bounds.max_scans;
+          return violation;
+        }
+        break;
+      case obs::EventKind::kArenaHighWater:
+        internal_space = std::max(internal_space, event.value);
+        if (internal_space > bounds.max_internal_space) {
+          violation.quantity = "internal_space";
+          violation.measured = internal_space;
+          violation.bound = bounds.max_internal_space;
+          return violation;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace rstlab::tape

@@ -2,9 +2,11 @@
 #define RSTLAB_TAPE_RESOURCE_METER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tape/tape.h"
 
 namespace rstlab::tape {
@@ -49,6 +51,38 @@ struct StBounds {
 /// True iff `report` complies with `bounds` (Definition 2 membership for
 /// one particular run).
 bool Complies(const ResourceReport& report, const StBounds& bounds);
+
+/// Where (not just whether) a run left its declared class: the first
+/// trace event at which a bound was exceeded.
+struct BoundViolation {
+  /// Which bound broke: "scan_bound", "internal_space" or
+  /// "external_tapes".
+  std::string quantity;
+  /// The measured value immediately after the offending event.
+  std::uint64_t measured = 0;
+  /// The bound it exceeded.
+  std::uint64_t bound = 0;
+  /// Tape the offending event belongs to (-1 when not tape-scoped).
+  std::int32_t tape_id = -1;
+  /// Head position at the offending event.
+  std::uint64_t position = 0;
+  /// Index of the offending event in the replayed stream.
+  std::size_t event_index = 0;
+
+  /// Renders e.g. "scan_bound 5 > 4 at tape 0 pos 128 (event 37)".
+  std::string ToString() const;
+};
+
+/// The event-level variant of `Complies`: replays a captured trace
+/// stream (e.g. a RingSink snapshot) against `bounds` and returns the
+/// first event at which a bound was exceeded, or nullopt when the whole
+/// stream complies. The replay accumulates exactly the Definition-1
+/// quantities — scan_bound = 1 + total kReversal events, internal
+/// space = max kArenaHighWater value, tape count = distinct tape ids
+/// seen — so a compliant stream's totals match `MeasureTapes` on the
+/// same run.
+std::optional<BoundViolation> FirstViolation(
+    const std::vector<obs::TraceEvent>& events, const StBounds& bounds);
 
 }  // namespace rstlab::tape
 

@@ -1,6 +1,6 @@
 #include "tape/tape.h"
 
-#include <cassert>
+#include <algorithm>
 
 namespace rstlab::tape {
 
@@ -11,6 +11,12 @@ void Tape::Reset(std::string content) {
   head_ = 0;
   direction_ = Direction::kRight;
   reversals_ = 0;
+  scan_index_ = 0;
+  segment_start_ = 0;
+  if (trace_ != nullptr) {
+    segment_open_ = true;
+    EmitScanBegin();
+  }
 }
 
 char Tape::Read() const {
@@ -23,10 +29,63 @@ void Tape::Write(char symbol) {
   cells_[head_] = symbol;
 }
 
+void Tape::AttachTrace(obs::TraceSink* sink, std::int32_t tape_id) {
+  trace_ = sink;
+  trace_tape_id_ = tape_id;
+  scan_index_ = 0;
+  segment_start_ = head_;
+  segment_open_ = trace_ != nullptr;
+  if (trace_ != nullptr) EmitScanBegin();
+}
+
+void Tape::EmitScanBegin() {
+  obs::TraceEvent event;
+  event.kind = obs::EventKind::kScanBegin;
+  event.tape_id = trace_tape_id_;
+  event.scan = scan_index_;
+  event.position = head_;
+  event.direction = static_cast<int>(direction_);
+  trace_->OnEvent(event);
+}
+
+void Tape::EmitScanEnd() {
+  obs::TraceEvent event;
+  event.kind = obs::EventKind::kScanEnd;
+  event.tape_id = trace_tape_id_;
+  event.scan = scan_index_;
+  event.position = head_;
+  event.lo = std::min(segment_start_, head_);
+  event.hi = std::max(segment_start_, head_);
+  event.direction = static_cast<int>(direction_);
+  trace_->OnEvent(event);
+}
+
+void Tape::FlushTrace() {
+  if (trace_ == nullptr || !segment_open_) return;
+  EmitScanEnd();
+  segment_open_ = false;
+}
+
 void Tape::RecordDirection(Direction d) {
   if (d != direction_) {
+    if (trace_ != nullptr) {
+      if (segment_open_) EmitScanEnd();
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kReversal;
+      event.tape_id = trace_tape_id_;
+      event.scan = scan_index_;
+      event.position = head_;
+      event.direction = static_cast<int>(d);
+      trace_->OnEvent(event);
+    }
     ++reversals_;
     direction_ = d;
+    if (trace_ != nullptr) {
+      ++scan_index_;
+      segment_start_ = head_;
+      segment_open_ = true;
+      EmitScanBegin();
+    }
   }
 }
 
@@ -37,8 +96,13 @@ void Tape::MoveRight() {
 }
 
 void Tape::MoveLeft() {
+  // One-sided tape: at cell 0 the head cannot move, so the attempted
+  // move must not flip the recorded direction or charge a reversal —
+  // rev(rho, i) of Definition 1 counts direction changes of the actual
+  // head trajectory, and a blocked move has none.
+  if (head_ == 0) return;
   RecordDirection(Direction::kLeft);
-  if (head_ > 0) --head_;
+  --head_;
 }
 
 void Tape::Seek(std::size_t position) {

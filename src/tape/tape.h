@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace rstlab::tape {
 
 /// The blank symbol present on every unwritten cell (paper: the square
@@ -30,6 +32,11 @@ enum class Direction : int {
 ///
 /// The head starts at cell 0 moving right. Reads and writes never move the
 /// head; movement is explicit via MoveLeft/MoveRight/Seek.
+///
+/// Observability: `AttachTrace` installs an event sink. The traced tape
+/// emits scan-segment begin/end events (with the segment's head-position
+/// envelope) and one kReversal per direction change. Untraced tapes pay
+/// a single null-pointer check per direction change and nothing per move.
 class Tape {
  public:
   /// An empty tape (all blanks).
@@ -39,8 +46,8 @@ class Tape {
   explicit Tape(std::string content);
 
   /// Replaces the entire tape content and rewinds the head to cell 0
-  /// moving right, resetting reversal accounting. Use only to set up an
-  /// input tape before a run.
+  /// moving right, resetting reversal accounting (and, when traced,
+  /// opening scan segment 0).
   void Reset(std::string content);
 
   /// The symbol under the head.
@@ -53,9 +60,10 @@ class Tape {
   /// as needed.
   void MoveRight();
 
-  /// Moves the head one cell to the left. At cell 0 the head stays (the
-  /// tape is one-sided) but a direction change is still recorded, matching
-  /// list-machine semantics (Definition 24(c)).
+  /// Moves the head one cell to the left. At cell 0 the head cannot move
+  /// (the tape is one-sided) and the call is a no-op: Definition 1 counts
+  /// direction changes of the head's actual trajectory, so a blocked
+  /// move charges no reversal and leaves the recorded direction as-is.
   void MoveLeft();
 
   /// Moves the head to absolute cell `position`, metering the direction
@@ -82,13 +90,31 @@ class Tape {
   /// True iff the symbol under the head is blank.
   bool AtBlank() const { return Read() == kBlank; }
 
+  /// Installs `sink` (nullptr detaches) and tags this tape's events with
+  /// `tape_id`. Resets segment bookkeeping and opens scan segment 0 at
+  /// the current head position.
+  void AttachTrace(obs::TraceSink* sink, std::int32_t tape_id);
+
+  /// Emits the kScanEnd event for the currently open scan segment, so a
+  /// consumer sees the final segment's envelope. Idempotent; a no-op
+  /// when untraced. Call at the end of a traced run.
+  void FlushTrace();
+
  private:
   void RecordDirection(Direction d);
+  void EmitScanBegin();
+  void EmitScanEnd();
 
   std::string cells_;
   std::size_t head_ = 0;
   Direction direction_ = Direction::kRight;
   std::uint64_t reversals_ = 0;
+
+  obs::TraceSink* trace_ = nullptr;
+  std::int32_t trace_tape_id_ = -1;
+  std::uint64_t scan_index_ = 0;       // current segment number
+  std::size_t segment_start_ = 0;      // head position the segment began at
+  bool segment_open_ = false;          // an un-flushed segment exists
 };
 
 }  // namespace rstlab::tape

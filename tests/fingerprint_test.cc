@@ -144,6 +144,74 @@ TEST(BarrettTest, EdgeModuli) {
   }
 }
 
+TEST(BarrettTest, BoundaryModuliNearTopOfRange) {
+  // The largest prime below 2^63 (2^63 - 25) and its neighbours: the
+  // reciprocal has the fewest usable quotient bits here, so quotient
+  // error is maximal.
+  const std::uint64_t near_top[] = {
+      (std::uint64_t{1} << 63) - 25,  // prime
+      (std::uint64_t{1} << 63) - 1,   // largest in-range value
+      (std::uint64_t{1} << 63) - 2,
+  };
+  const unsigned __int128 max128 = ~static_cast<unsigned __int128>(0);
+  for (std::uint64_t m : near_top) {
+    const Barrett barrett(m);
+    // Reduce of the absolute maximum 128-bit value against the widening
+    // reference reduction.
+    const std::uint64_t expected = static_cast<std::uint64_t>(max128 % m);
+    EXPECT_EQ(barrett.Reduce(max128), expected) << "m=" << m;
+    EXPECT_EQ(barrett.Reduce(static_cast<unsigned __int128>(m)), 0u);
+    EXPECT_EQ(barrett.Reduce(static_cast<unsigned __int128>(m) - 1),
+              m - 1);
+  }
+}
+
+TEST(BarrettTest, SmallestOddPrimeExhaustive) {
+  // m = 3: every residue class is reachable; sweep products around the
+  // 64-bit extremes as well as a dense small range.
+  const Barrett barrett(3);
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      ASSERT_EQ(barrett.MulMod(a, b), (a * b) % 3);
+    }
+  }
+  const std::uint64_t top = ~std::uint64_t{0};
+  for (std::uint64_t a = top - 8; a != 0; ++a) {
+    EXPECT_EQ(barrett.MulMod(a, top), MulMod(a, top, 3));
+  }
+  EXPECT_EQ(barrett.PowMod(2, 64), PowMod(2, 64, 3));
+}
+
+TEST(BarrettTest, PowerOfTwoModuliStayCorrect) {
+  // Powers of two are the only in-range divisors of 2^128: the
+  // precomputed reciprocal is floor(2^128/m) - 1 instead of the exact
+  // quotient, which is off the header's error analysis but must still
+  // reduce correctly (the subtraction loop absorbs the extra slack).
+  Rng rng(0xB0);
+  for (int shift = 1; shift < 63; ++shift) {
+    const std::uint64_t m = std::uint64_t{1} << shift;
+    const Barrett barrett(m);
+    const std::uint64_t big = ~std::uint64_t{0};
+    ASSERT_EQ(barrett.MulMod(big, big), MulMod(big, big, m)) << m;
+    for (int i = 0; i < 32; ++i) {
+      const std::uint64_t a = rng.Next64();
+      const std::uint64_t b = rng.Next64();
+      ASSERT_EQ(barrett.MulMod(a, b), MulMod(a, b, m))
+          << "a=" << a << " b=" << b << " m=" << m;
+    }
+  }
+}
+
+TEST(BarrettDeathTest, RejectsOutOfRangeModuliInEveryBuildMode) {
+  // The precondition 2 <= m < 2^63 is enforced with an abort even in
+  // release builds: a silent out-of-range modulus would corrupt every
+  // subsequent Reduce.
+  EXPECT_DEATH(Barrett(0), "outside");
+  EXPECT_DEATH(Barrett(1), "outside");
+  EXPECT_DEATH(Barrett(std::uint64_t{1} << 63), "outside");
+  EXPECT_DEATH(Barrett(~std::uint64_t{0}), "outside");
+}
+
 // ---------------------------------------------------------------------
 // PrimePool
 // ---------------------------------------------------------------------

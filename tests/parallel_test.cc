@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <set>
+#include <string>
 #include <stdexcept>
 #include <vector>
 
@@ -197,6 +202,100 @@ TEST(BenchRecorderTest, ChecksumIsOrderSensitive) {
   EXPECT_NE(Checksum64({1, 2}), Checksum64({2, 1}));
   EXPECT_EQ(Checksum64({1, 2}), Checksum64({1, 2}));
   EXPECT_NE(Checksum64({}), Checksum64({0}));
+}
+
+/// Points RSTLAB_BENCH_JSON at a temp file for the test's lifetime.
+class BenchRecorderFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "bench_recorder_test.json";
+    std::remove(path_.c_str());
+    ::setenv("RSTLAB_BENCH_JSON", path_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("RSTLAB_BENCH_JSON");
+    std::remove(path_.c_str());
+  }
+  std::vector<std::string> ReadLines() const {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+  std::string path_;
+};
+
+TEST_F(BenchRecorderFileTest, MergePreservesOtherBinariesRowsByteForByte) {
+  BenchRecorder first("bench_alpha", 2);
+  first.Record("A1", 100, 0.25, 111);
+  first.Record("A2", 200, 0.5, 222);
+  ASSERT_TRUE(first.Write().ok());
+
+  // Capture bench_alpha's rows exactly as written.
+  std::vector<std::string> alpha_rows;
+  for (const std::string& line : ReadLines()) {
+    if (line.find("\"bench\":\"bench_alpha\"") != std::string::npos) {
+      std::string row = line;
+      if (!row.empty() && row.back() == ',') row.pop_back();
+      alpha_rows.push_back(row);
+    }
+  }
+  ASSERT_EQ(alpha_rows.size(), 2u);
+
+  // A second binary merging in (twice, to exercise self-replacement)
+  // must keep bench_alpha's rows byte-for-byte.
+  BenchRecorder second("bench_beta", 4);
+  second.Record("B1", 50, 0.1, 333);
+  ASSERT_TRUE(second.Write().ok());
+  ASSERT_TRUE(second.Write().ok());
+
+  std::vector<std::string> alpha_after;
+  std::size_t beta_count = 0;
+  for (const std::string& line : ReadLines()) {
+    std::string row = line;
+    if (!row.empty() && row.back() == ',') row.pop_back();
+    if (row.find("\"bench\":\"bench_alpha\"") != std::string::npos) {
+      alpha_after.push_back(row);
+    }
+    if (row.find("\"bench\":\"bench_beta\"") != std::string::npos) {
+      ++beta_count;
+    }
+  }
+  EXPECT_EQ(alpha_after, alpha_rows);
+  EXPECT_EQ(beta_count, 1u);  // replaced, not duplicated
+
+  // The snapshot stays a well-formed array: bracket lines plus rows.
+  const std::vector<std::string> lines = ReadLines();
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines.front(), "[");
+  EXPECT_EQ(lines.back(), "]");
+}
+
+TEST_F(BenchRecorderFileTest, WriteIsAtomicNoTempFileSurvives) {
+  BenchRecorder recorder("bench_gamma", 1);
+  recorder.Record("G1", 10, 0.01, 444);
+  auto written = recorder.Write();
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value(), path_);
+  // The temp staging file must be gone after a successful rename.
+  const std::string tmp_prefix = path_ + ".tmp.";
+  const std::string tmp_path =
+      tmp_prefix + std::to_string(static_cast<long>(::getpid()));
+  std::ifstream tmp(tmp_path);
+  EXPECT_FALSE(tmp.good());
+  // And the target parses as one row per line between brackets.
+  const std::vector<std::string> lines = ReadLines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1],
+            FormatTrialBenchEntry(recorder.entries()[0]));
+}
+
+TEST_F(BenchRecorderFileTest, WriteFailsCleanlyOnUnwritableDirectory) {
+  ::setenv("RSTLAB_BENCH_JSON", "/nonexistent-dir/bench.json", 1);
+  BenchRecorder recorder("bench_delta", 1);
+  recorder.Record("D1", 1, 0.001, 555);
+  EXPECT_FALSE(recorder.Write().ok());
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "obs/ring_sink.h"
+#include "obs/trace.h"
 #include "tape/resource_meter.h"
 #include "tape/tape.h"
 
@@ -50,13 +54,67 @@ TEST(TapeTest, DirectionChangeCountsOnce) {
   EXPECT_EQ(t.reversals(), 2u);
 }
 
-TEST(TapeTest, InitialLeftMoveIsAReversal) {
-  // The head starts in right direction; moving left first thing is a
-  // direction change.
+TEST(TapeTest, BlockedLeftMoveAtCellZeroChargesNothing) {
+  // The tape is one-sided: at cell 0 a left move cannot happen, so it
+  // must not flip the recorded direction or charge a reversal —
+  // Definition 1 counts direction changes of the actual head
+  // trajectory, and a blocked move has none.
   Tape t("ab");
   t.MoveLeft();
+  EXPECT_EQ(t.reversals(), 0u);
+  EXPECT_EQ(t.head(), 0u);
+  EXPECT_EQ(t.direction(), Direction::kRight);
+  // Repeated blocked moves stay free.
+  t.MoveLeft();
+  t.MoveLeft();
+  EXPECT_EQ(t.reversals(), 0u);
+  // Moving right afterwards continues the initial rightward scan: no
+  // phantom right-reversal either.
+  t.MoveRight();
+  EXPECT_EQ(t.reversals(), 0u);
+}
+
+TEST(TapeTest, BlockedLeftMoveAfterRealReversalKeepsLeftDirection) {
+  Tape t("abc");
+  t.MoveRight();
+  t.MoveLeft();  // real reversal at cell 1
   EXPECT_EQ(t.reversals(), 1u);
-  EXPECT_EQ(t.head(), 0u);  // clamped at the left end
+  EXPECT_EQ(t.head(), 0u);
+  t.MoveLeft();  // blocked at cell 0: still facing left, no charge
+  EXPECT_EQ(t.reversals(), 1u);
+  EXPECT_EQ(t.direction(), Direction::kLeft);
+  t.MoveRight();  // real reversal back to the right
+  EXPECT_EQ(t.reversals(), 2u);
+}
+
+TEST(TapeTest, SeekZeroRoundTripCostsOneReversalPerTurn) {
+  Tape t("0123456789");
+  t.Seek(5);
+  EXPECT_EQ(t.reversals(), 0u);
+  t.Seek(0);  // backward scan: one reversal
+  EXPECT_EQ(t.head(), 0u);
+  EXPECT_EQ(t.reversals(), 1u);
+  t.Seek(0);  // already there: a no-op, no phantom charge
+  EXPECT_EQ(t.reversals(), 1u);
+  t.Seek(5);  // forward again: second reversal
+  EXPECT_EQ(t.reversals(), 2u);
+  t.Seek(0);
+  t.Seek(0);
+  EXPECT_EQ(t.reversals(), 3u);
+}
+
+TEST(TapeTest, LeftEdgeChurnKeepsScanBoundExact) {
+  // Regression for the phantom-reversal bug: left-edge churn used to
+  // inflate r. A run that scans right then returns to cell 0 and pokes
+  // the edge must bill exactly scan_bound = 2 (one reversal).
+  Tape t("abcd");
+  for (int i = 0; i < 4; ++i) t.MoveRight();
+  t.Seek(0);
+  t.MoveLeft();
+  t.MoveLeft();
+  ResourceReport report = MeasureTapes({&t}, 0);
+  EXPECT_EQ(report.scan_bound, 2u);
+  EXPECT_EQ(report.reversals_per_tape[0], 1u);
 }
 
 TEST(TapeTest, SeekCostsAtMostTwoReversals) {
@@ -119,6 +177,72 @@ TEST(ResourceMeterTest, ComplianceChecks) {
   bounds.max_internal_space = 100;
   bounds.max_external_tapes = 1;
   EXPECT_FALSE(Complies(report, bounds));
+}
+
+TEST(ResourceMeterTest, FirstViolationPinpointsScanBoundBreach) {
+  // A traced tape run whose third reversal breaks max_scans = 3: the
+  // checker must name the exact event — tape id, head position and
+  // index in the stream — not just the final tally.
+  obs::RingSink ring;
+  Tape t("abcdef");
+  t.AttachTrace(&ring, /*tape_id=*/0);
+  for (int i = 0; i < 6; ++i) t.MoveRight();
+  t.MoveLeft();   // reversal 1 at pos 6 -> scan_bound 2
+  t.MoveLeft();
+  t.MoveRight();  // reversal 2 at pos 4 -> scan_bound 3
+  t.MoveRight();
+  t.MoveLeft();   // reversal 3 at pos 6 -> scan_bound 4 > 3
+  t.FlushTrace();
+
+  const std::vector<obs::TraceEvent> events = ring.Snapshot();
+  StBounds bounds{/*max_scans=*/3, /*max_internal_space=*/1024,
+                  /*max_external_tapes=*/1};
+  const auto violation = FirstViolation(events, bounds);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->quantity, "scan_bound");
+  EXPECT_EQ(violation->measured, 4u);
+  EXPECT_EQ(violation->bound, 3u);
+  EXPECT_EQ(violation->tape_id, 0);
+  EXPECT_EQ(violation->position, 6u);
+  // The offending event is the third kReversal in the stream; check
+  // the index points at exactly that event.
+  ASSERT_LT(violation->event_index, events.size());
+  EXPECT_EQ(events[violation->event_index].kind,
+            obs::EventKind::kReversal);
+  EXPECT_NE(violation->ToString().find("scan_bound 4 > 3"),
+            std::string::npos);
+
+  // The same stream complies once the bound matches the measured run.
+  bounds.max_scans = 4;
+  EXPECT_FALSE(FirstViolation(events, bounds).has_value());
+}
+
+TEST(ResourceMeterTest, FirstViolationSpotsArenaAndTapeBreaches) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent high_water;
+  high_water.kind = obs::EventKind::kArenaHighWater;
+  high_water.value = 200;
+  events.push_back(high_water);
+  const auto arena_violation =
+      FirstViolation(events, StBounds{4, /*max_internal_space=*/100, 2});
+  ASSERT_TRUE(arena_violation.has_value());
+  EXPECT_EQ(arena_violation->quantity, "internal_space");
+  EXPECT_EQ(arena_violation->measured, 200u);
+  EXPECT_EQ(arena_violation->event_index, 0u);
+
+  events.clear();
+  for (std::int32_t tape = 0; tape < 3; ++tape) {
+    obs::TraceEvent begin;
+    begin.kind = obs::EventKind::kScanBegin;
+    begin.tape_id = tape;
+    events.push_back(begin);
+  }
+  const auto tape_violation =
+      FirstViolation(events, StBounds{4, 100, /*max_external_tapes=*/2});
+  ASSERT_TRUE(tape_violation.has_value());
+  EXPECT_EQ(tape_violation->quantity, "external_tapes");
+  EXPECT_EQ(tape_violation->measured, 3u);
+  EXPECT_EQ(tape_violation->event_index, 2u);
 }
 
 TEST(ResourceMeterTest, ReportToStringMentionsEverything) {
