@@ -22,6 +22,7 @@
 #include "core/experiment.h"
 #include "fingerprint/fingerprint.h"
 #include "fingerprint/prime.h"
+#include "extmem/storage.h"
 #include "obs/flags.h"
 #include "parallel/bench_recorder.h"
 #include "parallel/seed_sequence.h"
@@ -285,6 +286,10 @@ BENCHMARK(BM_ParamsSampling)->Arg(64)->Arg(1024);
 int main(int argc, char** argv) {
   rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
                               "bench_ablation");
+  rstlab::extmem::StorageOptions storage =
+      rstlab::extmem::ParseBackendFlags(&argc, argv);
+  storage.metrics = obs.metrics();
+  rstlab::extmem::SetProcessStorageOptions(storage);
   const std::size_t threads =
       rstlab::parallel::ParseThreadsFlag(&argc, argv);
   TrialRunner runner(threads);

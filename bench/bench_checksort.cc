@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
+#include "extmem/storage.h"
 #include "obs/flags.h"
 #include "obs/ring_sink.h"
 #include "obs/timeline.h"
@@ -106,6 +107,10 @@ BENCHMARK(BM_Decider)->Arg(64)->Arg(256)->Arg(1024);
 int main(int argc, char** argv) {
   rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
                               "bench_checksort");
+  rstlab::extmem::StorageOptions storage =
+      rstlab::extmem::ParseBackendFlags(&argc, argv);
+  storage.metrics = obs.metrics();
+  rstlab::extmem::SetProcessStorageOptions(storage);
   RunScalingTable(rstlab::problems::Problem::kCheckSort,
                   "E3a: CHECK-SORT in ST(O(log N), O(n + log N), 5)");
   RunScalingTable(

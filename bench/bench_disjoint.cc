@@ -15,6 +15,7 @@
 
 #include "core/experiment.h"
 #include "fingerprint/prime.h"
+#include "extmem/storage.h"
 #include "obs/flags.h"
 #include "problems/disjoint_sets.h"
 #include "sorting/deciders.h"
@@ -117,6 +118,10 @@ BENCHMARK(BM_DisjointDecider)->Arg(64)->Arg(256)->Arg(1024);
 int main(int argc, char** argv) {
   rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
                               "bench_disjoint");
+  rstlab::extmem::StorageOptions storage =
+      rstlab::extmem::ParseBackendFlags(&argc, argv);
+  storage.metrics = obs.metrics();
+  rstlab::extmem::SetProcessStorageOptions(storage);
   RunDeciderTable();
   RunResidueGuessTable();
   obs.Finish(std::cout);

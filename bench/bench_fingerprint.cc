@@ -21,6 +21,7 @@
 
 #include "core/experiment.h"
 #include "fingerprint/fingerprint.h"
+#include "extmem/storage.h"
 #include "obs/flags.h"
 #include "obs/ring_sink.h"
 #include "obs/timeline.h"
@@ -257,6 +258,10 @@ BENCHMARK(BM_FingerprintHost)->Arg(64)->Arg(256)->Arg(1024);
 int main(int argc, char** argv) {
   rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
                               "bench_fingerprint");
+  rstlab::extmem::StorageOptions storage =
+      rstlab::extmem::ParseBackendFlags(&argc, argv);
+  storage.metrics = obs.metrics();
+  rstlab::extmem::SetProcessStorageOptions(storage);
   const std::size_t threads =
       rstlab::parallel::ParseThreadsFlag(&argc, argv);
   TrialRunner runner(threads);

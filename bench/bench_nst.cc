@@ -17,6 +17,7 @@
 #include "core/experiment.h"
 #include "nst/certificate.h"
 #include "nst/paper_verifier.h"
+#include "extmem/storage.h"
 #include "obs/flags.h"
 #include "permutation/sortedness.h"
 #include "problems/generators.h"
@@ -141,6 +142,10 @@ BENCHMARK(BM_ExhaustiveCertificates)->Arg(4)->Arg(6)->Arg(7);
 int main(int argc, char** argv) {
   rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
                               "bench_nst");
+  rstlab::extmem::StorageOptions storage =
+      rstlab::extmem::ParseBackendFlags(&argc, argv);
+  storage.metrics = obs.metrics();
+  rstlab::extmem::SetProcessStorageOptions(storage);
   RunVerifierTable();
   RunSoundnessTable();
   obs.Finish(std::cout);

@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
+#include "extmem/storage.h"
 #include "obs/flags.h"
 #include "problems/generators.h"
 #include "problems/reference.h"
@@ -191,6 +192,10 @@ BENCHMARK(BM_Product)->Arg(16)->Arg(64);
 int main(int argc, char** argv) {
   rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
                               "bench_relalg");
+  rstlab::extmem::StorageOptions storage =
+      rstlab::extmem::ParseBackendFlags(&argc, argv);
+  storage.metrics = obs.metrics();
+  rstlab::extmem::SetProcessStorageOptions(storage);
   RunScalingTable();
   RunQueryComplexityTable();
   RunReductionTable();

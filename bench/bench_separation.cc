@@ -23,6 +23,7 @@
 #include "fingerprint/fingerprint.h"
 #include "nst/certificate.h"
 #include "nst/paper_verifier.h"
+#include "extmem/storage.h"
 #include "obs/flags.h"
 #include "problems/generators.h"
 #include "sorting/deciders.h"
@@ -157,6 +158,10 @@ BENCHMARK(BM_DeterministicVsRandomized)
 int main(int argc, char** argv) {
   rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
                               "bench_separation");
+  rstlab::extmem::StorageOptions storage =
+      rstlab::extmem::ParseBackendFlags(&argc, argv);
+  storage.metrics = obs.metrics();
+  rstlab::extmem::SetProcessStorageOptions(storage);
   RunSeparationTable();
   RunLowerBoundRegimeTable();
   obs.Finish(std::cout);

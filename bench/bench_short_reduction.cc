@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
+#include "extmem/storage.h"
 #include "obs/flags.h"
 #include "permutation/phi.h"
 #include "problems/check_phi.h"
@@ -144,6 +145,10 @@ BENCHMARK(BM_ShortReductionTapes)->Arg(8)->Arg(32)->Arg(128);
 int main(int argc, char** argv) {
   rstlab::obs::ObsSession obs(rstlab::obs::ParseObsFlags(&argc, argv),
                               "bench_short_reduction");
+  rstlab::extmem::StorageOptions storage =
+      rstlab::extmem::ParseBackendFlags(&argc, argv);
+  storage.metrics = obs.metrics();
+  rstlab::extmem::SetProcessStorageOptions(storage);
   RunReductionTable();
   RunShortDeciderTable();
   obs.Finish(std::cout);

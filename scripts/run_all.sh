@@ -40,3 +40,11 @@ done 2>&1 | tee bench_output.txt
 if [ -f "$RSTLAB_BENCH_JSON" ]; then
   cp "$RSTLAB_BENCH_JSON" BENCH_trials.json
 fi
+
+# Surface the out-of-core comparison (E18b: mem vs file wall time, block
+# I/O counters and readahead hit rate) at the end of the run, so the
+# cost of running tapes from disk is visible without digging through
+# bench_output.txt.
+echo
+echo "=== out-of-core summary (from bench_extmem) ==="
+sed -n '/E18b:/,/^$/p' bench_output.txt

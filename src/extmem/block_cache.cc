@@ -1,0 +1,122 @@
+#include "extmem/block_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rstlab::extmem {
+
+namespace {
+
+/// Post-validation device faults (disk full, file yanked) must not be
+/// served as data; they are fatal, matching the no-exceptions contract.
+void DieOnIoError(const Status& status) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "rstlab extmem: fatal device error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace
+
+BlockCache::BlockCache(BlockFile& file, std::size_t capacity_blocks,
+                       std::size_t readahead_blocks)
+    : file_(file),
+      capacity_(std::max<std::size_t>(2, capacity_blocks)),
+      // The window must fit beside the pinned block and one victim
+      // slot, or prefetch would evict its own freshly-loaded blocks.
+      readahead_(std::min(readahead_blocks, capacity_ - 2)) {}
+
+char* BlockCache::Acquire(std::size_t index, bool for_write) {
+  auto found = by_index_.find(index);
+  LruList::iterator entry;
+  if (found != by_index_.end()) {
+    ++stats_.cache_hits;
+    entry = found->second;
+    if (entry->from_readahead && !entry->touched) ++stats_.readahead_hits;
+    entry->touched = true;
+    entries_.splice(entries_.begin(), entries_, entry);
+  } else {
+    ++stats_.cache_misses;
+    entry = Load(index, /*from_readahead=*/false);
+  }
+  entry->dirty = entry->dirty || for_write;
+  pinned_ = index;
+  Prefetch(index);
+  // Prefetch can evict, but never the pinned block just acquired.
+  return entry->data.data();
+}
+
+BlockCache::LruList::iterator BlockCache::Load(std::size_t index,
+                                               bool from_readahead) {
+  EvictIfFull();
+  entries_.emplace_front();
+  LruList::iterator entry = entries_.begin();
+  entry->index = index;
+  entry->data.resize(file_.block_size());
+  entry->from_readahead = from_readahead;
+  entry->touched = !from_readahead;
+  DieOnIoError(file_.ReadBlock(index, entry->data.data()));
+  // Blocks past the written extent are synthesized blank without
+  // touching the device; only real record reads count as I/O.
+  if (index < file_.num_blocks()) ++stats_.block_reads;
+  if (from_readahead) ++stats_.readahead_blocks;
+  by_index_.emplace(index, entry);
+  return entry;
+}
+
+void BlockCache::EvictIfFull() {
+  if (entries_.size() < capacity_) return;
+  // Walk from the LRU end, skipping the pinned block.
+  for (auto it = std::prev(entries_.end());; --it) {
+    if (it->index != pinned_) {
+      if (it->dirty) {
+        DieOnIoError(file_.WriteBlock(it->index, it->data.data()));
+        ++stats_.block_writes;
+      }
+      ++stats_.evictions;
+      by_index_.erase(it->index);
+      entries_.erase(it);
+      return;
+    }
+    if (it == entries_.begin()) return;  // everything pinned (capacity 1)
+  }
+}
+
+void BlockCache::Prefetch(std::size_t from_index) {
+  if (readahead_ == 0) return;
+  for (std::size_t step = 1; step <= readahead_; ++step) {
+    std::size_t target;
+    if (direction_ > 0) {
+      target = from_index + step;
+      // Nothing on disk past the last written block; those cells read
+      // blank without I/O.
+      if (target >= file_.num_blocks()) break;
+    } else {
+      if (step > from_index) break;
+      target = from_index - step;
+    }
+    if (by_index_.find(target) != by_index_.end()) continue;
+    // Loading may evict the LRU block (typically the one the head just
+    // left); the window is clamped so it never evicts itself.
+    Load(target, /*from_readahead=*/true);
+  }
+}
+
+Status BlockCache::FlushDirty() {
+  for (Entry& entry : entries_) {
+    if (!entry.dirty) continue;
+    RSTLAB_RETURN_IF_ERROR(file_.WriteBlock(entry.index, entry.data.data()));
+    ++stats_.block_writes;
+    entry.dirty = false;
+  }
+  return Status::OK();
+}
+
+void BlockCache::Drop() {
+  entries_.clear();
+  by_index_.clear();
+  pinned_ = static_cast<std::size_t>(-1);
+}
+
+}  // namespace rstlab::extmem

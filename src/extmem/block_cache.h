@@ -1,0 +1,97 @@
+#ifndef RSTLAB_EXTMEM_BLOCK_CACHE_H_
+#define RSTLAB_EXTMEM_BLOCK_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "extmem/block_file.h"
+#include "extmem/io_stats.h"
+#include "util/status.h"
+
+namespace rstlab::extmem {
+
+/// Bounded write-back cache of tape-file blocks: the internal-memory
+/// buffer pool between a `FileStorage` and its `BlockFile`.
+///
+/// Replacement is LRU with one pinned block — the block most recently
+/// acquired (the one under the tape head) is never evicted, so a
+/// memoized payload pointer in the storage layer stays valid between
+/// acquires. Dirty blocks are written back (with a fresh checksum) on
+/// eviction and on `FlushDirty`.
+///
+/// Readahead: tape heads move one cell at a time, so block access is
+/// sequential by construction; the cache prefetches up to
+/// `readahead_blocks` on-disk blocks ahead of each acquired block in
+/// the hinted scan direction (`SetDirectionHint`, fed from the tape's
+/// head direction). Prefetched blocks count into
+/// `IoStats::readahead_blocks`, and their first subsequent access into
+/// `IoStats::readahead_hits` — the ratio is the readahead hit rate the
+/// E18 experiment reports (≈ 1.0 on pure scans).
+///
+/// The device is validated at Open/Create time; an I/O failure during
+/// cache traffic afterwards is an OS-level fault and aborts with the
+/// failing status rather than serving unchecked data.
+class BlockCache {
+ public:
+  /// A cache over `file` holding at most `capacity_blocks` resident
+  /// blocks (clamped to ≥ 2: the pinned block plus one victim slot).
+  BlockCache(BlockFile& file, std::size_t capacity_blocks,
+             std::size_t readahead_blocks);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns the resident payload of block `index` (block_size bytes),
+  /// loading and prefetching as needed. The returned block is pinned
+  /// until the next Acquire. With `for_write`, the block is marked
+  /// dirty and written back before being dropped.
+  char* Acquire(std::size_t index, bool for_write);
+
+  /// Sets the prefetch direction: +1 when the head scans right, -1
+  /// when it scans left.
+  void SetDirectionHint(int direction) {
+    direction_ = direction < 0 ? -1 : 1;
+  }
+
+  /// Writes every dirty resident block back to the device.
+  Status FlushDirty();
+
+  /// Discards every resident block, dirty ones included (used when the
+  /// whole tape content is replaced).
+  void Drop();
+
+  const IoStats& stats() const { return stats_; }
+  std::size_t resident_blocks() const { return entries_.size(); }
+  std::size_t capacity_blocks() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::size_t index = 0;
+    std::vector<char> data;
+    bool dirty = false;
+    bool from_readahead = false;  // loaded by prefetch...
+    bool touched = false;         // ...and not yet accessed
+  };
+  using LruList = std::list<Entry>;  // front = most recently used
+
+  /// Loads block `index` into the cache (evicting as needed) and
+  /// returns its entry. `from_readahead` tags speculative loads.
+  LruList::iterator Load(std::size_t index, bool from_readahead);
+  void EvictIfFull();
+  void Prefetch(std::size_t from_index);
+
+  BlockFile& file_;
+  std::size_t capacity_;
+  std::size_t readahead_;
+  int direction_ = 1;
+  std::size_t pinned_ = static_cast<std::size_t>(-1);
+  LruList entries_;
+  std::unordered_map<std::size_t, LruList::iterator> by_index_;
+  IoStats stats_;
+};
+
+}  // namespace rstlab::extmem
+
+#endif  // RSTLAB_EXTMEM_BLOCK_CACHE_H_

@@ -1,0 +1,130 @@
+#include "extmem/file_storage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace rstlab::extmem {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t Log2(std::size_t pow2) {
+  std::size_t shift = 0;
+  while ((static_cast<std::size_t>(1) << shift) < pow2) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+FileStorage::FileStorage(std::unique_ptr<BlockFile> file,
+                         const FileOptions& options)
+    : file_(std::move(file)),
+      cache_(*file_, options.cache_blocks, options.readahead_blocks),
+      block_shift_(Log2(file_->block_size())),
+      cell_mask_(file_->block_size() - 1),
+      length_(static_cast<std::size_t>(file_->header_length())),
+      delete_on_close_(options.delete_on_close),
+      metrics_(options.metrics) {}
+
+Result<std::unique_ptr<FileStorage>> FileStorage::Create(
+    std::string path, const FileOptions& options) {
+  const std::size_t block_size =
+      RoundUpPow2(std::max<std::size_t>(16, options.block_size));
+  Result<std::unique_ptr<BlockFile>> file =
+      BlockFile::Create(std::move(path), block_size);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<FileStorage>(
+      new FileStorage(std::move(file).value(), options));
+}
+
+Result<std::unique_ptr<FileStorage>> FileStorage::Open(
+    std::string path, const FileOptions& options) {
+  Result<std::unique_ptr<BlockFile>> file = BlockFile::Open(std::move(path));
+  if (!file.ok()) return file.status();
+  if ((file.value()->block_size() & (file.value()->block_size() - 1)) != 0) {
+    return Status::Internal(
+        "extmem: corrupt header (block size not a power of two)");
+  }
+  return std::unique_ptr<FileStorage>(
+      new FileStorage(std::move(file).value(), options));
+}
+
+FileStorage::~FileStorage() {
+  if (!delete_on_close_) {
+    Status status = Flush();
+    if (!status.ok()) {
+      std::fprintf(stderr, "rstlab extmem: flush on close failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (metrics_ != nullptr) io_stats().PublishTo(*metrics_);
+  const std::string path = file_->path();
+  file_.reset();  // closes the stream before unlinking
+  if (delete_on_close_) std::remove(path.c_str());
+}
+
+void FileStorage::Assign(std::string content) {
+  ForgetCurrent();
+  cache_.Drop();
+  Status status = file_->Truncate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "rstlab extmem: fatal device error: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  length_ = content.size();
+  // Bulk-load the content block by block, straight past the cache: the
+  // whole tape is about to be scanned from cell 0, so caching the tail
+  // here would only evict the blocks the head needs first.
+  const std::size_t block_size = file_->block_size();
+  std::vector<char> block(block_size);
+  for (std::size_t pos = 0; pos < content.size(); pos += block_size) {
+    const std::size_t chunk = std::min(block_size, content.size() - pos);
+    std::copy_n(content.data() + pos, chunk, block.begin());
+    std::fill(block.begin() + static_cast<std::ptrdiff_t>(chunk),
+              block.end(), kBlankCell);
+    status = file_->WriteBlock(pos >> block_shift_, block.data());
+    if (!status.ok()) {
+      std::fprintf(stderr, "rstlab extmem: fatal device error: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    ++direct_.block_writes;
+  }
+}
+
+std::string FileStorage::ReadRange(std::size_t pos, std::size_t count) {
+  if (pos >= length_) return std::string();
+  count = std::min(count, length_ - pos);
+  std::string out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const std::size_t index = pos + out.size();
+    const char* block = BlockFor(index, /*for_write=*/false);
+    const std::size_t offset = index & cell_mask_;
+    const std::size_t chunk =
+        std::min(count - out.size(), file_->block_size() - offset);
+    out.append(block + offset, chunk);
+  }
+  return out;
+}
+
+Status FileStorage::Flush() {
+  ForgetCurrent();
+  RSTLAB_RETURN_IF_ERROR(cache_.FlushDirty());
+  return file_->Sync(length_);
+}
+
+IoStats FileStorage::io_stats() const {
+  IoStats total = cache_.stats();
+  total += direct_;
+  return total;
+}
+
+}  // namespace rstlab::extmem

@@ -1,0 +1,28 @@
+#include "extmem/io_stats.h"
+
+#include <cstdio>
+
+namespace rstlab::extmem {
+
+void IoStats::PublishTo(obs::MetricsRegistry& registry) const {
+  registry.Add("extmem.block_reads", block_reads);
+  registry.Add("extmem.block_writes", block_writes);
+  registry.Add("extmem.cache_hits", cache_hits);
+  registry.Add("extmem.cache_misses", cache_misses);
+  registry.Add("extmem.readahead_blocks", readahead_blocks);
+  registry.Add("extmem.readahead_hits", readahead_hits);
+  registry.Add("extmem.evictions", evictions);
+}
+
+std::string IoStats::ToString() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "reads=%llu writes=%llu hit%%=%.1f ra%%=%.1f evict=%llu",
+                static_cast<unsigned long long>(block_reads),
+                static_cast<unsigned long long>(block_writes),
+                100.0 * HitRate(), 100.0 * ReadaheadHitRate(),
+                static_cast<unsigned long long>(evictions));
+  return buffer;
+}
+
+}  // namespace rstlab::extmem

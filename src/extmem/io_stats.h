@@ -1,0 +1,87 @@
+#ifndef RSTLAB_EXTMEM_IO_STATS_H_
+#define RSTLAB_EXTMEM_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rstlab::extmem {
+
+/// Block-level I/O counters of one storage backend (all zero for the
+/// in-memory backend). These are the observable cost of running
+/// out-of-core: the paper's model charges for head reversals, the
+/// machine underneath charges for block transfers — both are reported
+/// side by side in the E18 table and the `--metrics` output.
+struct IoStats {
+  /// Physical block loads from the backing file (demand + readahead).
+  std::uint64_t block_reads = 0;
+  /// Physical block write-backs (eviction of dirty blocks and Flush).
+  std::uint64_t block_writes = 0;
+  /// Block lookups served from the cache.
+  std::uint64_t cache_hits = 0;
+  /// Block lookups that required a load.
+  std::uint64_t cache_misses = 0;
+  /// Blocks loaded speculatively by the sequential readahead.
+  std::uint64_t readahead_blocks = 0;
+  /// Prefetched blocks that were subsequently accessed (first touch).
+  std::uint64_t readahead_hits = 0;
+  /// Cache entries evicted to make room.
+  std::uint64_t evictions = 0;
+
+  IoStats& operator+=(const IoStats& other) {
+    block_reads += other.block_reads;
+    block_writes += other.block_writes;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    readahead_blocks += other.readahead_blocks;
+    readahead_hits += other.readahead_hits;
+    evictions += other.evictions;
+    return *this;
+  }
+
+  /// Counter-wise difference against an `earlier` snapshot of the same
+  /// monotone counters — the I/O incurred between the two snapshots.
+  IoStats DeltaSince(const IoStats& earlier) const {
+    IoStats delta;
+    delta.block_reads = block_reads - earlier.block_reads;
+    delta.block_writes = block_writes - earlier.block_writes;
+    delta.cache_hits = cache_hits - earlier.cache_hits;
+    delta.cache_misses = cache_misses - earlier.cache_misses;
+    delta.readahead_blocks = readahead_blocks - earlier.readahead_blocks;
+    delta.readahead_hits = readahead_hits - earlier.readahead_hits;
+    delta.evictions = evictions - earlier.evictions;
+    return delta;
+  }
+
+  /// Fraction of block lookups served from the cache (1.0 when no
+  /// lookups happened).
+  double HitRate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 1.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// Fraction of prefetched blocks that were subsequently used (1.0
+  /// when nothing was prefetched). On a pure sequential scan this
+  /// approaches 1: every block after the first is brought in ahead of
+  /// the head.
+  double ReadaheadHitRate() const {
+    return readahead_blocks == 0
+               ? 1.0
+               : static_cast<double>(readahead_hits) /
+                     static_cast<double>(readahead_blocks);
+  }
+
+  /// Adds every counter to `registry` under `extmem.<counter>` names,
+  /// so `--metrics` runs fold block I/O into `BENCH_trials.json` rows.
+  void PublishTo(obs::MetricsRegistry& registry) const;
+
+  /// Renders e.g. "reads=12 writes=4 hit%=98.4 ra%=100.0".
+  std::string ToString() const;
+};
+
+}  // namespace rstlab::extmem
+
+#endif  // RSTLAB_EXTMEM_IO_STATS_H_

@@ -53,6 +53,15 @@ void WriteField(tape::Tape& t, const std::string& payload) {
   t.MoveRight();
 }
 
+/// Sum of the sort tapes' I/O counters, snapshotted before and after
+/// the sort so `SortStats::io` is the sort's own spill bill.
+extmem::IoStats TapesIoStats(stmodel::StContext& ctx,
+                             const std::vector<std::size_t>& tapes) {
+  extmem::IoStats total;
+  for (std::size_t t : tapes) total += ctx.tape(t).io_stats();
+  return total;
+}
+
 }  // namespace
 
 Status SortFieldsOnTapes(stmodel::StContext& ctx, std::size_t src,
@@ -67,6 +76,7 @@ Status SortFieldsOnTapes(stmodel::StContext& ctx, std::size_t src,
   tape::Tape& a = ctx.tape(aux1);
   tape::Tape& b = ctx.tape(aux2);
   stmodel::InternalArena& arena = ctx.arena();
+  const extmem::IoStats io_before = TapesIoStats(ctx, {src, aux1, aux2});
 
   // Pass 0: count fields and the maximum field length (sizes the two
   // record buffers).
@@ -137,6 +147,9 @@ Status SortFieldsOnTapes(stmodel::StContext& ctx, std::size_t src,
   }
 
   buffer_bits.Release();
+  if (stats != nullptr) {
+    stats->io = TapesIoStats(ctx, {src, aux1, aux2}).DeltaSince(io_before);
+  }
   return Status::OK();
 }
 
@@ -154,6 +167,9 @@ Status SortFieldsOnTapesKWay(stmodel::StContext& ctx, std::size_t src,
   }
   tape::Tape& source = ctx.tape(src);
   stmodel::InternalArena& arena = ctx.arena();
+  std::vector<std::size_t> all_tapes = aux;
+  all_tapes.push_back(src);
+  const extmem::IoStats io_before = TapesIoStats(ctx, all_tapes);
 
   stmodel::Rewind(source);
   std::size_t num_fields = 0;
@@ -227,6 +243,9 @@ Status SortFieldsOnTapesKWay(stmodel::StContext& ctx, std::size_t src,
   }
 
   buffer_bits.Release();
+  if (stats != nullptr) {
+    stats->io = TapesIoStats(ctx, all_tapes).DeltaSince(io_before);
+  }
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "extmem/io_stats.h"
 #include "stmodel/st_context.h"
 #include "util/status.h"
 
@@ -15,6 +16,11 @@ struct SortStats {
   std::size_t passes = 0;
   /// Number of '#'-terminated fields sorted.
   std::size_t num_fields = 0;
+  /// Block-level I/O the sort's tapes incurred (delta over the sort;
+  /// all zero on the in-memory backend). With a file backend the sort
+  /// genuinely spills to disk, and this is the spill bill: roughly
+  /// (passes + 1) sequential sweeps over the data in blocks.
+  extmem::IoStats io;
 };
 
 /// Sorts the '#'-terminated fields of tape `src` in ascending

@@ -1,12 +1,36 @@
 #include "stmodel/st_context.h"
 
 #include <cassert>
+#include <cstdio>
+#include <utility>
 
 namespace rstlab::stmodel {
 
 StContext::StContext(std::size_t num_external_tapes)
-    : tapes_(num_external_tapes) {
+    : StContext(num_external_tapes, extmem::DefaultStorageOptions()) {}
+
+StContext::StContext(std::size_t num_external_tapes,
+                     const extmem::StorageOptions& options)
+    : backend_(options.backend) {
   assert(num_external_tapes >= 1);
+  tapes_.reserve(num_external_tapes);
+  for (std::size_t i = 0; i < num_external_tapes; ++i) {
+    Result<std::unique_ptr<extmem::TapeStorage>> storage =
+        extmem::CreateStorage(options);
+    if (!storage.ok()) {
+      // Surface the failure but keep the machine runnable: a context is
+      // not a fallible operation in the programming model. Experiments
+      // that require the file backend assert on IoStatsTotal() instead
+      // of trusting this silently.
+      std::fprintf(stderr,
+                   "rstlab: %s; tape %zu falls back to the mem backend\n",
+                   storage.status().ToString().c_str(), i);
+      backend_ = extmem::BackendKind::kMem;
+      tapes_.emplace_back();
+      continue;
+    }
+    tapes_.emplace_back(std::move(storage).value());
+  }
 }
 
 tape::Tape& StContext::tape(std::size_t i) {
@@ -48,6 +72,12 @@ void StContext::FlushTrace() {
     trace_->OnEvent(obs::MakeRunEvent(obs::EventKind::kRunEnd,
                                       input_size_));
   }
+}
+
+extmem::IoStats StContext::IoStatsTotal() const {
+  extmem::IoStats total;
+  for (const auto& t : tapes_) total += t.io_stats();
+  return total;
 }
 
 tape::ResourceReport StContext::Report() const {

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "extmem/io_stats.h"
+#include "extmem/storage.h"
 #include "obs/trace.h"
 #include "stmodel/internal_arena.h"
 #include "tape/resource_meter.h"
@@ -18,10 +20,27 @@ namespace rstlab::stmodel {
 /// internal state via `arena()`; afterwards `Report()` yields the run's
 /// measured (r, s, t) costs for compliance checking against a class such
 /// as ST(O(log N), O(1), 2).
+///
+/// Storage backend: every tape of the context is created from one
+/// `extmem::StorageOptions` — in-RAM cells, or file-backed block
+/// storage so runs are not bounded by machine memory. The plain
+/// constructor uses `extmem::DefaultStorageOptions()`, i.e. the
+/// `RSTLAB_TAPE_BACKEND` / `RSTLAB_CACHE_BLOCKS` environment, which is
+/// how CI pushes the whole suite through the file backend. Measured
+/// (r, s, t) is backend-independent; only `IoStatsTotal()` and wall
+/// time differ.
 class StContext {
  public:
-  /// A context with `num_external_tapes` empty tapes.
+  /// A context with `num_external_tapes` empty tapes on the
+  /// process-default storage backend.
   explicit StContext(std::size_t num_external_tapes);
+
+  /// A context whose tapes use the given storage backend. If a backing
+  /// file cannot be created the context falls back to the in-memory
+  /// backend with a warning on stderr (the library does not throw);
+  /// `backend()` reports what was actually built.
+  StContext(std::size_t num_external_tapes,
+            const extmem::StorageOptions& options);
 
   StContext(const StContext&) = delete;
   StContext& operator=(const StContext&) = delete;
@@ -46,6 +65,13 @@ class StContext {
   /// The run's measured costs so far.
   tape::ResourceReport Report() const;
 
+  /// The backend the tapes actually run on.
+  extmem::BackendKind backend() const { return backend_; }
+
+  /// Sum of the tapes' block-level I/O counters (all zero on the
+  /// in-memory backend).
+  extmem::IoStats IoStatsTotal() const;
+
   /// Installs `sink` (nullptr detaches) on every tape (tape i's events
   /// carry tape_id = i) and on the arena, and emits a kRunBegin event.
   /// Subsequent LoadInput calls emit a fresh kRunBegin with the new N.
@@ -60,6 +86,7 @@ class StContext {
   std::vector<tape::Tape> tapes_;
   InternalArena arena_;
   std::size_t input_size_ = 0;
+  extmem::BackendKind backend_ = extmem::BackendKind::kMem;
   obs::TraceSink* trace_ = nullptr;
 };
 

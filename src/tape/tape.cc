@@ -1,32 +1,69 @@
 #include "tape/tape.h"
 
 #include <algorithm>
+#include <cassert>
+#include <utility>
 
 namespace rstlab::tape {
 
-Tape::Tape(std::string content) : cells_(std::move(content)) {}
+namespace {
+
+extmem::MemStorage* AsMem(extmem::TapeStorage* storage) {
+  return dynamic_cast<extmem::MemStorage*>(storage);
+}
+
+}  // namespace
+
+Tape::Tape(std::string content)
+    : storage_(std::make_unique<extmem::MemStorage>(std::move(content))) {
+  mem_ = static_cast<extmem::MemStorage*>(storage_.get());
+}
+
+Tape::Tape(std::unique_ptr<extmem::TapeStorage> storage)
+    : storage_(std::move(storage)) {
+  assert(storage_ != nullptr);
+  mem_ = AsMem(storage_.get());
+}
+
+Tape::Tape(Tape&& other) noexcept
+    : storage_(std::move(other.storage_)),
+      mem_(std::exchange(other.mem_, nullptr)),
+      head_(other.head_),
+      direction_(other.direction_),
+      reversals_(other.reversals_),
+      trace_(other.trace_),
+      trace_tape_id_(other.trace_tape_id_),
+      scan_index_(other.scan_index_),
+      segment_start_(other.segment_start_),
+      segment_open_(other.segment_open_) {}
+
+Tape& Tape::operator=(Tape&& other) noexcept {
+  if (this == &other) return *this;
+  storage_ = std::move(other.storage_);
+  mem_ = std::exchange(other.mem_, nullptr);
+  head_ = other.head_;
+  direction_ = other.direction_;
+  reversals_ = other.reversals_;
+  trace_ = other.trace_;
+  trace_tape_id_ = other.trace_tape_id_;
+  scan_index_ = other.scan_index_;
+  segment_start_ = other.segment_start_;
+  segment_open_ = other.segment_open_;
+  return *this;
+}
 
 void Tape::Reset(std::string content) {
-  cells_ = std::move(content);
+  storage_->Assign(std::move(content));
   head_ = 0;
   direction_ = Direction::kRight;
   reversals_ = 0;
   scan_index_ = 0;
   segment_start_ = 0;
+  if (mem_ == nullptr) storage_->SetDirectionHint(+1);
   if (trace_ != nullptr) {
     segment_open_ = true;
     EmitScanBegin();
   }
-}
-
-char Tape::Read() const {
-  if (head_ >= cells_.size()) return kBlank;
-  return cells_[head_];
-}
-
-void Tape::Write(char symbol) {
-  if (head_ >= cells_.size()) cells_.resize(head_ + 1, kBlank);
-  cells_[head_] = symbol;
 }
 
 void Tape::AttachTrace(obs::TraceSink* sink, std::int32_t tape_id) {
@@ -66,43 +103,28 @@ void Tape::FlushTrace() {
   segment_open_ = false;
 }
 
-void Tape::RecordDirection(Direction d) {
-  if (d != direction_) {
-    if (trace_ != nullptr) {
-      if (segment_open_) EmitScanEnd();
-      obs::TraceEvent event;
-      event.kind = obs::EventKind::kReversal;
-      event.tape_id = trace_tape_id_;
-      event.scan = scan_index_;
-      event.position = head_;
-      event.direction = static_cast<int>(d);
-      trace_->OnEvent(event);
-    }
-    ++reversals_;
-    direction_ = d;
-    if (trace_ != nullptr) {
-      ++scan_index_;
-      segment_start_ = head_;
-      segment_open_ = true;
-      EmitScanBegin();
-    }
+void Tape::RecordDirectionSlow(Direction d) {
+  if (trace_ != nullptr) {
+    if (segment_open_) EmitScanEnd();
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kReversal;
+    event.tape_id = trace_tape_id_;
+    event.scan = scan_index_;
+    event.position = head_;
+    event.direction = static_cast<int>(d);
+    trace_->OnEvent(event);
   }
-}
-
-void Tape::MoveRight() {
-  RecordDirection(Direction::kRight);
-  ++head_;
-  if (head_ >= cells_.size()) cells_.resize(head_ + 1, kBlank);
-}
-
-void Tape::MoveLeft() {
-  // One-sided tape: at cell 0 the head cannot move, so the attempted
-  // move must not flip the recorded direction or charge a reversal —
-  // rev(rho, i) of Definition 1 counts direction changes of the actual
-  // head trajectory, and a blocked move has none.
-  if (head_ == 0) return;
-  RecordDirection(Direction::kLeft);
-  --head_;
+  ++reversals_;
+  direction_ = d;
+  // Steer the file backend's readahead; once per reversal, so the
+  // hint is off the per-move path.
+  if (mem_ == nullptr) storage_->SetDirectionHint(static_cast<int>(d));
+  if (trace_ != nullptr) {
+    ++scan_index_;
+    segment_start_ = head_;
+    segment_open_ = true;
+    EmitScanBegin();
+  }
 }
 
 void Tape::Seek(std::size_t position) {

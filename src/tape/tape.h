@@ -2,16 +2,19 @@
 #define RSTLAB_TAPE_TAPE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <vector>
 
+#include "extmem/io_stats.h"
+#include "extmem/storage.h"
 #include "obs/trace.h"
 
 namespace rstlab::tape {
 
 /// The blank symbol present on every unwritten cell (paper: the square
-/// symbol in Sigma).
-inline constexpr char kBlank = '_';
+/// symbol in Sigma). Aliases the storage layer's blank so both layers
+/// agree on what a never-written cell reads as.
+inline constexpr char kBlank = extmem::kBlankCell;
 
 /// Head movement directions.
 enum class Direction : int {
@@ -33,17 +36,37 @@ enum class Direction : int {
 /// The head starts at cell 0 moving right. Reads and writes never move the
 /// head; movement is explicit via MoveLeft/MoveRight/Seek.
 ///
+/// Storage: where the cells live is delegated to an
+/// `extmem::TapeStorage` backend — in RAM by default, or a
+/// checksummed block file behind an LRU + readahead cache
+/// (`extmem::FileStorage`), which lets experiments run at N larger
+/// than RAM. The reversal and space accounting is backend-independent:
+/// a run's measured (r, s, t) is bit-identical across backends. The
+/// in-memory backend is accessed through a typed pointer with inline
+/// cell accessors, so the common case pays no virtual dispatch per
+/// cell; the head's scan direction is forwarded to the backend (once
+/// per reversal) to steer the file backend's readahead.
+///
 /// Observability: `AttachTrace` installs an event sink. The traced tape
 /// emits scan-segment begin/end events (with the segment's head-position
 /// envelope) and one kReversal per direction change. Untraced tapes pay
 /// a single null-pointer check per direction change and nothing per move.
 class Tape {
  public:
-  /// An empty tape (all blanks).
-  Tape() = default;
+  /// An empty tape (all blanks) on the in-memory backend.
+  Tape() : Tape(std::string()) {}
 
-  /// A tape whose cells 0..content.size()-1 hold `content`.
+  /// A tape whose cells 0..content.size()-1 hold `content`, in memory.
   explicit Tape(std::string content);
+
+  /// A tape over an explicit storage backend (its existing content, if
+  /// any, is the tape content). `storage` must not be null.
+  explicit Tape(std::unique_ptr<extmem::TapeStorage> storage);
+
+  Tape(Tape&& other) noexcept;
+  Tape& operator=(Tape&& other) noexcept;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
 
   /// Replaces the entire tape content and rewinds the head to cell 0
   /// moving right, resetting reversal accounting (and, when traced,
@@ -51,20 +74,42 @@ class Tape {
   void Reset(std::string content);
 
   /// The symbol under the head.
-  char Read() const;
+  char Read() const {
+    if (mem_ != nullptr) return mem_->CellOrBlank(head_);
+    return storage_->ReadCell(head_);
+  }
 
   /// Overwrites the symbol under the head (the head does not move).
-  void Write(char symbol);
+  void Write(char symbol) {
+    if (mem_ != nullptr) {
+      mem_->SetCell(head_, symbol);
+      return;
+    }
+    storage_->WriteCell(head_, symbol);
+  }
 
   /// Moves the head one cell to the right, growing the tape with blanks
-  /// as needed.
-  void MoveRight();
+  /// as needed (block-granular in the storage layer; the per-move cost
+  /// is one comparison).
+  void MoveRight() {
+    RecordDirection(Direction::kRight);
+    ++head_;
+    if (mem_ != nullptr) {
+      mem_->EnsureLength(head_ + 1);
+      return;
+    }
+    storage_->Reserve(head_ + 1);
+  }
 
   /// Moves the head one cell to the left. At cell 0 the head cannot move
   /// (the tape is one-sided) and the call is a no-op: Definition 1 counts
   /// direction changes of the head's actual trajectory, so a blocked
   /// move charges no reversal and leaves the recorded direction as-is.
-  void MoveLeft();
+  void MoveLeft() {
+    if (head_ == 0) return;
+    RecordDirection(Direction::kLeft);
+    --head_;
+  }
 
   /// Moves the head to absolute cell `position`, metering the direction
   /// changes this incurs (at most 2). This is the model's "random access".
@@ -81,14 +126,23 @@ class Tape {
   std::uint64_t reversals() const { return reversals_; }
 
   /// Number of cells ever used (written or visited): space(rho, i).
-  std::size_t cells_used() const { return cells_.size(); }
+  std::size_t cells_used() const { return storage_->size(); }
 
   /// The first `cells_used()` cells as a string (diagnostics and result
   /// extraction; not part of the machine model).
-  const std::string& contents() const { return cells_; }
+  std::string contents() const {
+    return storage_->ReadRange(0, storage_->size());
+  }
 
   /// True iff the symbol under the head is blank.
   bool AtBlank() const { return Read() == kBlank; }
+
+  /// The storage backend underneath (for I/O inspection and flushing).
+  extmem::TapeStorage& storage() { return *storage_; }
+  const extmem::TapeStorage& storage() const { return *storage_; }
+
+  /// Block-level I/O counters of the backend (all zero in memory).
+  extmem::IoStats io_stats() const { return storage_->io_stats(); }
 
   /// Installs `sink` (nullptr detaches) and tags this tape's events with
   /// `tape_id`. Resets segment bookkeeping and opens scan segment 0 at
@@ -101,11 +155,17 @@ class Tape {
   void FlushTrace();
 
  private:
-  void RecordDirection(Direction d);
+  /// Fast path of the per-move direction check; the reversal
+  /// bookkeeping, trace emission and readahead hint live out of line.
+  void RecordDirection(Direction d) {
+    if (d != direction_) RecordDirectionSlow(d);
+  }
+  void RecordDirectionSlow(Direction d);
   void EmitScanBegin();
   void EmitScanEnd();
 
-  std::string cells_;
+  std::unique_ptr<extmem::TapeStorage> storage_;
+  extmem::MemStorage* mem_ = nullptr;  // typed alias when in-memory
   std::size_t head_ = 0;
   Direction direction_ = Direction::kRight;
   std::uint64_t reversals_ = 0;

@@ -1,0 +1,241 @@
+// Differential properties of the storage backends: a tape is a tape,
+// whether its cells live in RAM or in a checksummed block file behind
+// a tiny cache. Random operation sequences and a full decider run must
+// be observably identical across backends — contents, head positions,
+// and the paper's metered quantities (r, s) bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "extmem/file_storage.h"
+#include "extmem/storage.h"
+#include "problems/generators.h"
+#include "problems/instance.h"
+#include "sorting/deciders.h"
+#include "stmodel/st_context.h"
+#include "tape/tape.h"
+#include "util/random.h"
+
+namespace rstlab {
+namespace {
+
+std::string TempDirPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// A file-backed tape with a deliberately tiny geometry (16-cell
+/// blocks, 4-block cache), so even short op sequences cross block
+/// boundaries and trigger eviction.
+tape::Tape MakeFileTape(const std::string& dir) {
+  extmem::StorageOptions options;
+  options.backend = extmem::BackendKind::kFile;
+  options.block_size = 16;
+  options.cache_blocks = 4;
+  options.readahead_blocks = 2;
+  options.dir = dir;
+  auto storage = extmem::CreateStorage(options);
+  EXPECT_TRUE(storage.ok()) << storage.status();
+  return tape::Tape(std::move(storage).value());
+}
+
+enum class Op { kRead, kWrite, kMoveLeft, kMoveRight, kSeek, kReset };
+
+/// Replays a random op sequence on both tapes, checking every
+/// observable after every op.
+void RunDifferentialSequence(std::uint64_t seed, std::size_t num_ops) {
+  const std::string dir = TempDirPath("difftapes");
+  tape::Tape mem;                       // MemStorage backend
+  tape::Tape file = MakeFileTape(dir);  // FileStorage backend
+  ASSERT_STREQ(mem.storage().backend_name(), "mem");
+  ASSERT_STREQ(file.storage().backend_name(), "file");
+
+  Rng rng(seed);
+  for (std::size_t step = 0; step < num_ops; ++step) {
+    const Op op = static_cast<Op>(rng.Next64() % 6);
+    switch (op) {
+      case Op::kRead:
+        break;  // compared below on every step
+      case Op::kWrite: {
+        const char symbol = static_cast<char>('a' + rng.Next64() % 26);
+        mem.Write(symbol);
+        file.Write(symbol);
+        break;
+      }
+      case Op::kMoveLeft:
+        mem.MoveLeft();
+        file.MoveLeft();
+        break;
+      case Op::kMoveRight:
+        mem.MoveRight();
+        file.MoveRight();
+        break;
+      case Op::kSeek: {
+        // Bias targets around the used region, sometimes far past EOF
+        // so heads sit on never-written blank cells.
+        const std::size_t span = mem.cells_used() + 64;
+        const std::size_t target = rng.Next64() % span;
+        mem.Seek(target);
+        file.Seek(target);
+        break;
+      }
+      case Op::kReset: {
+        std::string content;
+        const std::size_t len = rng.Next64() % 200;
+        content.reserve(len);
+        for (std::size_t i = 0; i < len; ++i) {
+          content.push_back(static_cast<char>('0' + rng.Next64() % 10));
+        }
+        mem.Reset(content);
+        file.Reset(std::move(content));
+        break;
+      }
+    }
+    ASSERT_EQ(mem.Read(), file.Read()) << "step " << step;
+    ASSERT_EQ(mem.head(), file.head()) << "step " << step;
+    ASSERT_EQ(mem.direction(), file.direction()) << "step " << step;
+    ASSERT_EQ(mem.reversals(), file.reversals()) << "step " << step;
+    ASSERT_EQ(mem.cells_used(), file.cells_used()) << "step " << step;
+  }
+  EXPECT_EQ(mem.contents(), file.contents());
+}
+
+TEST(ExtmemDifferentialTest, RandomOpSequencesMatchAcrossBackends) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunDifferentialSequence(seed, 600);
+  }
+}
+
+TEST(ExtmemDifferentialTest, HeadFarPastEofReadsBlankOnBothBackends) {
+  const std::string dir = TempDirPath("difftapes");
+  tape::Tape mem("abc");
+  tape::Tape file = MakeFileTape(dir);
+  file.Reset("abc");
+  mem.Seek(10000);
+  file.Seek(10000);
+  EXPECT_EQ(mem.Read(), tape::kBlank);
+  EXPECT_EQ(file.Read(), tape::kBlank);
+  EXPECT_EQ(mem.cells_used(), file.cells_used());
+  mem.Write('z');
+  file.Write('z');
+  EXPECT_EQ(mem.cells_used(), file.cells_used());
+  EXPECT_EQ(mem.contents(), file.contents());
+}
+
+/// StorageOptions for an out-of-core run: 64-cell blocks, 4-block
+/// cache — a 256-cell budget per tape.
+extmem::StorageOptions OutOfCoreOptions(const std::string& dir) {
+  extmem::StorageOptions options;
+  options.backend = extmem::BackendKind::kFile;
+  options.block_size = 64;
+  options.cache_blocks = 4;
+  options.readahead_blocks = 2;
+  options.dir = dir;
+  return options;
+}
+
+/// The E3 acceptance run: the merge-sort CHECK-SORT decider on an
+/// instance at least 4x the per-tape cache budget, on both backends.
+/// The verdict and the paper-metered (r, s) must be bit-identical, and
+/// the file backend's sequential readahead must be effective.
+void RunOutOfCoreDeciderCase(bool sorted_instance) {
+  const std::string dir = TempDirPath("e3tapes");
+  const extmem::StorageOptions options = OutOfCoreOptions(dir);
+  const std::size_t budget = options.block_size * options.cache_blocks;
+
+  Rng rng(7);
+  const problems::Instance instance =
+      sorted_instance ? problems::SortedPair(32, 16, rng)
+                      : problems::MisorderedPair(32, 16, rng);
+  const std::string encoded = instance.Encode();
+  ASSERT_GE(encoded.size(), 4 * budget)
+      << "instance must not fit the cache budget";
+
+  // Explicitly mem (not the process default, which CI may force to
+  // file): this run is the in-RAM reference.
+  stmodel::StContext mem_ctx(sorting::kDeciderTapes,
+                             extmem::StorageOptions{});
+  ASSERT_EQ(mem_ctx.backend(), extmem::BackendKind::kMem);
+  mem_ctx.LoadInput(encoded);
+  Result<bool> mem_verdict =
+      sorting::DecideOnTapes(problems::Problem::kCheckSort, mem_ctx);
+  ASSERT_TRUE(mem_verdict.ok()) << mem_verdict.status();
+
+  stmodel::StContext file_ctx(sorting::kDeciderTapes, options);
+  ASSERT_EQ(file_ctx.backend(), extmem::BackendKind::kFile);
+  file_ctx.LoadInput(encoded);
+  Result<bool> file_verdict =
+      sorting::DecideOnTapes(problems::Problem::kCheckSort, file_ctx);
+  ASSERT_TRUE(file_verdict.ok()) << file_verdict.status();
+
+  // Same verdict and bit-identical metering.
+  EXPECT_EQ(mem_verdict.value(), file_verdict.value());
+  EXPECT_EQ(mem_verdict.value(), sorted_instance);
+  const tape::ResourceReport mem_report = mem_ctx.Report();
+  const tape::ResourceReport file_report = file_ctx.Report();
+  EXPECT_EQ(mem_report.scan_bound, file_report.scan_bound);
+  EXPECT_EQ(mem_report.reversals_per_tape, file_report.reversals_per_tape);
+  EXPECT_EQ(mem_report.internal_space, file_report.internal_space);
+  EXPECT_EQ(mem_report.external_space, file_report.external_space);
+
+  // The file run really went out of core, and its readahead tracked
+  // the scan-shaped access pattern.
+  const extmem::IoStats io = file_ctx.IoStatsTotal();
+  EXPECT_GT(io.block_reads + io.block_writes, 0u);
+  EXPECT_GT(io.readahead_blocks, 0u);
+  EXPECT_GE(io.ReadaheadHitRate(), 0.9)
+      << "readahead=" << io.readahead_blocks
+      << " hits=" << io.readahead_hits;
+  EXPECT_EQ(mem_ctx.IoStatsTotal().block_reads, 0u);
+}
+
+TEST(ExtmemOutOfCoreTest, CheckSortDeciderMatchesOnSortedInstance) {
+  RunOutOfCoreDeciderCase(/*sorted_instance=*/true);
+}
+
+TEST(ExtmemOutOfCoreTest, CheckSortDeciderMatchesOnMisorderedInstance) {
+  RunOutOfCoreDeciderCase(/*sorted_instance=*/false);
+}
+
+TEST(ExtmemOutOfCoreTest, MultisetEqualityDeciderMatchesAcrossBackends) {
+  const std::string dir = TempDirPath("e3tapes");
+  Rng rng(11);
+  const std::string encoded = problems::EqualMultisets(24, 16, rng).Encode();
+
+  stmodel::StContext mem_ctx(sorting::kDeciderTapes,
+                             extmem::StorageOptions{});
+  mem_ctx.LoadInput(encoded);
+  Result<bool> mem_verdict =
+      sorting::DecideOnTapes(problems::Problem::kMultisetEquality, mem_ctx);
+  ASSERT_TRUE(mem_verdict.ok()) << mem_verdict.status();
+
+  stmodel::StContext file_ctx(sorting::kDeciderTapes, OutOfCoreOptions(dir));
+  file_ctx.LoadInput(encoded);
+  Result<bool> file_verdict = sorting::DecideOnTapes(
+      problems::Problem::kMultisetEquality, file_ctx);
+  ASSERT_TRUE(file_verdict.ok()) << file_verdict.status();
+
+  EXPECT_EQ(mem_verdict.value(), file_verdict.value());
+  EXPECT_TRUE(mem_verdict.value());
+  EXPECT_EQ(mem_ctx.Report().scan_bound, file_ctx.Report().scan_bound);
+  EXPECT_EQ(mem_ctx.Report().internal_space,
+            file_ctx.Report().internal_space);
+}
+
+TEST(ExtmemOutOfCoreTest, TapeDirectoryIsEmptyAfterContexts) {
+  const std::string dir = TempDirPath("e3cleanup");
+  {
+    stmodel::StContext ctx(3, OutOfCoreOptions(dir));
+    ctx.LoadInput("1#0#1#");
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rstlab

@@ -12,6 +12,12 @@
 // Instances use the paper's v1#...#vm#v'1#...#v'm# encoding; '-' (the
 // default) reads from stdin. Every decision prints the verdict plus the
 // run's resource bill in the paper's (r, s, t) cost units.
+//
+// Every command also honors --tape-backend={mem,file} and
+// --cache-blocks=K (and the RSTLAB_TAPE_BACKEND / RSTLAB_CACHE_BLOCKS
+// environment variables): with the file backend, tapes live in
+// checksummed block files on disk and only K blocks per tape stay in
+// RAM, so deciders run on inputs larger than memory.
 
 #include <fstream>
 #include <iostream>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "core/rstlab.h"
+#include "extmem/storage.h"
 
 namespace {
 
@@ -35,7 +42,14 @@ int Usage() {
       << "                                          check-sort, disjoint\n"
       << "  rstlab fingerprint [file|-] [seed]\n"
       << "  rstlab sort [file|-]\n"
-      << "  rstlab xpath \"<query>\" [xml-file|-]\n";
+      << "  rstlab xpath \"<query>\" [xml-file|-]\n"
+      << "common flags (any command):\n"
+      << "  --tape-backend=<mem|file>               mem (default) keeps"
+         " tapes in RAM;\n"
+      << "                                          file runs them"
+         " out-of-core\n"
+      << "  --cache-blocks=<K>                      per-tape cache"
+         " budget (file backend)\n";
   return 2;
 }
 
@@ -190,6 +204,8 @@ int XPath(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  rstlab::extmem::SetProcessStorageOptions(
+      rstlab::extmem::ParseBackendFlags(&argc, argv));
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return Usage();
   const std::string command = args[0];
