@@ -1,0 +1,503 @@
+#include "check/analyzer.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace rstlab::check {
+
+std::string StaticBound::ToString() const {
+  return bounded ? std::to_string(value) : std::string("unbounded");
+}
+
+namespace {
+
+using machine::Action;
+using machine::MachineSpec;
+using machine::Move;
+
+/// A small weighted digraph for the resource passes.
+struct Graph {
+  struct Edge {
+    std::size_t to = 0;
+    std::uint32_t weight = 0;
+  };
+  std::vector<std::vector<Edge>> adj;
+
+  explicit Graph(std::size_t n) : adj(n) {}
+  std::size_t size() const { return adj.size(); }
+  void AddEdge(std::size_t from, std::size_t to, std::uint32_t weight) {
+    adj[from].push_back({to, weight});
+  }
+};
+
+/// Kosaraju strongly-connected components. `comp_of[v]` is the
+/// component id of node v. Ids are assigned in topological order of the
+/// condensation: every edge u -> v of the original graph satisfies
+/// comp_of[u] <= comp_of[v], so a sweep by increasing id is a valid
+/// topological traversal.
+class Condensation {
+ public:
+  explicit Condensation(const Graph& g) : comp_of(g.size(), kNone) {
+    const std::size_t n = g.size();
+    // Pass 1: finishing order by iterative DFS.
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::vector<bool> seen(n, false);
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    for (std::size_t root = 0; root < n; ++root) {
+      if (seen[root]) continue;
+      seen[root] = true;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [v, next] = stack.back();
+        if (next < g.adj[v].size()) {
+          const std::size_t to = g.adj[v][next].to;
+          ++next;
+          if (!seen[to]) {
+            seen[to] = true;
+            stack.emplace_back(to, 0);
+          }
+        } else {
+          order.push_back(v);
+          stack.pop_back();
+        }
+      }
+    }
+    // Pass 2: sweep the reverse graph in reverse finishing order; each
+    // sweep discovers one component, and discovery order is a
+    // topological order of the condensation.
+    std::vector<std::vector<std::size_t>> reverse_adj(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const Graph::Edge& e : g.adj[v]) {
+        reverse_adj[e.to].push_back(v);
+      }
+    }
+    std::vector<std::size_t> worklist;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if (comp_of[*it] != kNone) continue;
+      comp_of[*it] = num_components;
+      worklist.push_back(*it);
+      while (!worklist.empty()) {
+        const std::size_t v = worklist.back();
+        worklist.pop_back();
+        for (std::size_t from : reverse_adj[v]) {
+          if (comp_of[from] == kNone) {
+            comp_of[from] = num_components;
+            worklist.push_back(from);
+          }
+        }
+      }
+      ++num_components;
+    }
+  }
+
+  static constexpr std::size_t kNone =
+      std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> comp_of;
+  std::size_t num_components = 0;
+};
+
+/// Nodes of `g` reachable from `start`.
+std::vector<bool> ReachableFrom(const Graph& g, std::size_t start) {
+  std::vector<bool> reach(g.size(), false);
+  std::vector<std::size_t> worklist{start};
+  reach[start] = true;
+  while (!worklist.empty()) {
+    const std::size_t v = worklist.back();
+    worklist.pop_back();
+    for (const Graph::Edge& e : g.adj[v]) {
+      if (!reach[e.to]) {
+        reach[e.to] = true;
+        worklist.push_back(e.to);
+      }
+    }
+  }
+  return reach;
+}
+
+/// The maximum total edge weight over any walk starting at `start`, or
+/// Unbounded() when a positive-weight edge lies on a reachable cycle.
+/// Zero-weight cycles are fine: weight accumulates only across
+/// components of the condensation.
+StaticBound BoundLongestPath(const Graph& g, std::size_t start) {
+  const std::vector<bool> reach = ReachableFrom(g, start);
+  const Condensation scc(g);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (!reach[v]) continue;
+    for (const Graph::Edge& e : g.adj[v]) {
+      if (e.weight > 0 && scc.comp_of[v] == scc.comp_of[e.to]) {
+        return StaticBound::Unbounded();
+      }
+    }
+  }
+  // DP over components in topological order. comp ids already are a
+  // topological order (see Condensation).
+  constexpr std::int64_t kMinusInf = std::numeric_limits<std::int64_t>::min();
+  std::vector<std::int64_t> dist(scc.num_components, kMinusInf);
+  dist[scc.comp_of[start]] = 0;
+  // Bucket nodes by component so we can sweep components in order.
+  std::vector<std::vector<std::size_t>> members(scc.num_components);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (reach[v]) members[scc.comp_of[v]].push_back(v);
+  }
+  std::int64_t best = 0;
+  for (std::size_t c = 0; c < scc.num_components; ++c) {
+    if (dist[c] == kMinusInf) continue;
+    best = std::max(best, dist[c]);
+    for (std::size_t v : members[c]) {
+      for (const Graph::Edge& e : g.adj[v]) {
+        const std::size_t to_comp = scc.comp_of[e.to];
+        if (to_comp == c) continue;
+        dist[to_comp] = std::max(
+            dist[to_comp], dist[c] + static_cast<std::int64_t>(e.weight));
+      }
+    }
+  }
+  return StaticBound::Finite(static_cast<std::uint64_t>(best));
+}
+
+/// Dense numbering of every state mentioned anywhere in the spec.
+struct StateIndex {
+  std::vector<int> states;
+  std::map<int, std::size_t> index;
+
+  explicit StateIndex(const MachineSpec& spec) {
+    auto add = [this](int q) {
+      if (index.emplace(q, states.size()).second) states.push_back(q);
+    };
+    add(spec.start_state);
+    for (int q : spec.final_states) add(q);
+    for (int q : spec.accepting_states) add(q);
+    for (const auto& [key, actions] : spec.transitions) {
+      add(key.first);
+      for (const Action& a : actions) add(a.next_state);
+    }
+  }
+};
+
+/// True iff the key and all of its actions have the arities of `spec` —
+/// the precondition for the CFG and resource passes to index into them.
+bool KeyWellFormed(const MachineSpec& spec, const std::string& symbols,
+                   const std::vector<Action>& actions) {
+  if (symbols.size() != spec.num_tapes()) return false;
+  return std::all_of(actions.begin(), actions.end(),
+                     [&spec](const Action& a) {
+                       return a.write.size() == spec.num_tapes() &&
+                              a.moves.size() == spec.num_tapes();
+                     });
+}
+
+void WellFormednessPass(const MachineSpec& spec,
+                        const AnalyzeOptions& options,
+                        std::optional<bool> declared_deterministic,
+                        Diagnostics& diag) {
+  std::array<bool, 256> allowed{};
+  if (options.alphabet.has_value()) {
+    for (char c : *options.alphabet) {
+      allowed[static_cast<unsigned char>(c)] = true;
+    }
+    allowed[static_cast<unsigned char>(machine::kBlank)] = true;
+  }
+  auto check_alphabet = [&](const std::string& text, int state,
+                            const std::string& key, const char* what) {
+    if (!options.alphabet.has_value()) return;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (!allowed[static_cast<unsigned char>(text[i])]) {
+        std::ostringstream os;
+        os << what << " symbol '" << text[i]
+           << "' is outside the declared alphabet \"" << *options.alphabet
+           << "\"";
+        diag.Add(Code::kAlphabet, Severity::kError, os.str(), state, key, i);
+      }
+    }
+  };
+
+  for (int q : spec.accepting_states) {
+    if (!spec.IsFinal(q)) {
+      diag.Add(Code::kAcceptingNotFinal, Severity::kError,
+               "accepting state " + std::to_string(q) +
+                   " is not in the final-state set",
+               q);
+    }
+  }
+
+  bool any_branch = false;
+  for (const auto& [key, actions] : spec.transitions) {
+    const auto& [state, symbols] = key;
+    if (symbols.size() != spec.num_tapes()) {
+      diag.Add(Code::kKeyArity, Severity::kError,
+               "key has " + std::to_string(symbols.size()) +
+                   " symbol(s) but the machine has " +
+                   std::to_string(spec.num_tapes()) + " tape(s)",
+               state, symbols);
+    } else {
+      check_alphabet(symbols, state, symbols, "key");
+    }
+    if (spec.IsFinal(state)) {
+      diag.Add(Code::kFinalHasRules, Severity::kError,
+               "final state " + std::to_string(state) +
+                   " has outgoing transition rules",
+               state, symbols);
+    }
+    if (actions.size() > 1) {
+      any_branch = true;
+      if (declared_deterministic.value_or(false)) {
+        diag.Add(Code::kNondeterministicKey, Severity::kError,
+                 "machine is declared deterministic but this key has " +
+                     std::to_string(actions.size()) + " actions",
+                 state, symbols);
+      }
+    }
+    for (const Action& a : actions) {
+      if (a.write.size() != spec.num_tapes() ||
+          a.moves.size() != spec.num_tapes()) {
+        std::ostringstream os;
+        os << "action write arity " << a.write.size() << " / moves arity "
+           << a.moves.size() << " != tape count " << spec.num_tapes();
+        diag.Add(Code::kActionArity, Severity::kError, os.str(), state,
+                 symbols);
+      } else {
+        check_alphabet(a.write, state, symbols, "write");
+      }
+    }
+  }
+  if (declared_deterministic.has_value() && !*declared_deterministic &&
+      !any_branch) {
+    diag.Add(Code::kNeverBranches, Severity::kWarning,
+             "machine is declared randomized/nondeterministic but no key "
+             "has more than one action; choice sequences are vacuous");
+  }
+}
+
+void ControlFlowPass(const MachineSpec& spec, const StateIndex& states,
+                     Diagnostics& diag) {
+  // State-level successor graph (ignores symbols: an edge exists if any
+  // key of the source state can reach the target).
+  Graph g(states.states.size());
+  std::set<int> has_rules;
+  for (const auto& [key, actions] : spec.transitions) {
+    has_rules.insert(key.first);
+    const std::size_t from = states.index.at(key.first);
+    for (const Action& a : actions) {
+      g.AddEdge(from, states.index.at(a.next_state), 0);
+    }
+  }
+  const std::vector<bool> reach =
+      ReachableFrom(g, states.index.at(spec.start_state));
+
+  for (std::size_t i = 0; i < states.states.size(); ++i) {
+    if (!reach[i]) {
+      diag.Add(Code::kUnreachableState, Severity::kWarning,
+               "state " + std::to_string(states.states[i]) +
+                   " is unreachable from the start state",
+               states.states[i]);
+    }
+  }
+
+  // Stuck successors: a reachable action leading to a non-final state
+  // with no rules halts the run in a rejecting limbo. Reported once per
+  // stuck target.
+  std::set<int> reported;
+  for (const auto& [key, actions] : spec.transitions) {
+    if (!reach[states.index.at(key.first)]) continue;
+    for (const Action& a : actions) {
+      if (spec.IsFinal(a.next_state) || has_rules.count(a.next_state) > 0) {
+        continue;
+      }
+      if (!reported.insert(a.next_state).second) continue;
+      diag.Add(Code::kStuckSuccessor, Severity::kWarning,
+               "action leads to state " + std::to_string(a.next_state) +
+                   " which is neither final nor has any rules (the run "
+                   "halts stuck there)",
+               key.first, key.second);
+    }
+  }
+
+  if (spec.IsFinal(spec.start_state)) {
+    diag.Add(Code::kTrivialStart, Severity::kWarning,
+             "start state is final: the machine halts immediately",
+             spec.start_state);
+  } else if (has_rules.count(spec.start_state) == 0) {
+    diag.Add(Code::kTrivialStart, Severity::kWarning,
+             "start state has no transition rules: the machine is stuck "
+             "immediately",
+             spec.start_state);
+  }
+}
+
+/// Per-external-tape head-direction phase analysis: node (state, dir),
+/// reversal edges weigh 1. The bound is sound because the runtime
+/// tracker charges a reversal only on a strict direction change, which
+/// corresponds to a weight-1 edge on the executed path (the static walk
+/// also charges blocked left moves at cell 0, so it can only
+/// over-approximate).
+StaticBound ExternalReversalBound(const MachineSpec& spec,
+                                  const StateIndex& states,
+                                  std::size_t tape) {
+  const std::size_t n = states.states.size();
+  Graph g(2 * n);  // node = 2 * state_index + (0: dir +1, 1: dir -1)
+  for (const auto& [key, actions] : spec.transitions) {
+    if (!KeyWellFormed(spec, key.second, actions)) continue;
+    const std::size_t from = states.index.at(key.first);
+    for (const Action& a : actions) {
+      const std::size_t to = states.index.at(a.next_state);
+      switch (a.moves[tape]) {
+        case Move::kStay:
+          g.AddEdge(2 * from, 2 * to, 0);
+          g.AddEdge(2 * from + 1, 2 * to + 1, 0);
+          break;
+        case Move::kRight:
+          g.AddEdge(2 * from, 2 * to, 0);
+          g.AddEdge(2 * from + 1, 2 * to, 1);
+          break;
+        case Move::kLeft:
+          g.AddEdge(2 * from, 2 * to + 1, 1);
+          g.AddEdge(2 * from + 1, 2 * to + 1, 0);
+          break;
+      }
+    }
+  }
+  return BoundLongestPath(g, 2 * states.index.at(spec.start_state));
+}
+
+/// Internal tapes only grow under right moves: cells used on any run is
+/// at most 1 + (number of right moves on the executed path).
+StaticBound InternalCellBound(const MachineSpec& spec,
+                              const StateIndex& states, std::size_t tape) {
+  Graph g(states.states.size());
+  for (const auto& [key, actions] : spec.transitions) {
+    if (!KeyWellFormed(spec, key.second, actions)) continue;
+    const std::size_t from = states.index.at(key.first);
+    for (const Action& a : actions) {
+      g.AddEdge(from, states.index.at(a.next_state),
+                a.moves[tape] == Move::kRight ? 1 : 0);
+    }
+  }
+  StaticBound bound =
+      BoundLongestPath(g, states.index.at(spec.start_state));
+  if (bound.bounded) ++bound.value;  // the initial blank cell
+  return bound;
+}
+
+void ResourcePass(const MachineSpec& spec, const StateIndex& states,
+                  const AnalyzeOptions& options, Diagnostics& diag,
+                  StaticResources& res) {
+  res.external_reversals.clear();
+  res.internal_cells.clear();
+  std::uint64_t scan = 1;
+  bool scan_bounded = true;
+  for (std::size_t i = 0; i < spec.num_external_tapes; ++i) {
+    const StaticBound b = ExternalReversalBound(spec, states, i);
+    res.external_reversals.push_back(b);
+    scan_bounded = scan_bounded && b.bounded;
+    if (b.bounded) scan += b.value;
+  }
+  res.scan_bound =
+      scan_bounded ? StaticBound::Finite(scan) : StaticBound::Unbounded();
+
+  std::uint64_t cells = 0;
+  bool cells_bounded = true;
+  for (std::size_t j = 0; j < spec.num_internal_tapes; ++j) {
+    const StaticBound b =
+        InternalCellBound(spec, states, spec.num_external_tapes + j);
+    res.internal_cells.push_back(b);
+    cells_bounded = cells_bounded && b.bounded;
+    if (b.bounded) cells += b.value;
+  }
+  res.total_internal_cells = cells_bounded ? StaticBound::Finite(cells)
+                                           : StaticBound::Unbounded();
+
+  if (!options.declared.has_value()) return;
+  const core::ResourceClass& cls = *options.declared;
+  if (spec.num_external_tapes > cls.t) {
+    diag.Add(Code::kTapeCount, Severity::kError,
+             "machine has " + std::to_string(spec.num_external_tapes) +
+                 " external tapes but class " + cls.name + " allows " +
+                 std::to_string(cls.t));
+  }
+  const std::uint64_t r_n = cls.r_of_n(options.check_n);
+  if (res.scan_bound.bounded && res.scan_bound.value > r_n) {
+    diag.Add(Code::kReversalBound, Severity::kError,
+             "static scan bound " + res.scan_bound.ToString() +
+                 " exceeds declared r(N) = " + std::to_string(r_n) +
+                 " of class " + cls.name + " at N = " +
+                 std::to_string(options.check_n));
+  } else if (!res.scan_bound.bounded) {
+    diag.Add(Code::kReversalBound, Severity::kNote,
+             "reversals sit on a control-flow cycle; membership in " +
+                 cls.name + " must be established dynamically");
+  }
+  const std::size_t s_n = cls.s_of_n(options.check_n);
+  if (res.total_internal_cells.bounded &&
+      res.total_internal_cells.value > s_n) {
+    diag.Add(Code::kSpaceBound, Severity::kError,
+             "static internal-space bound " +
+                 res.total_internal_cells.ToString() +
+                 " cells exceeds declared s(N) = " + std::to_string(s_n) +
+                 " of class " + cls.name + " at N = " +
+                 std::to_string(options.check_n));
+  } else if (!res.total_internal_cells.bounded) {
+    // A tape that grows on a cycle can never meet a constant s(N).
+    const bool constant_space =
+        cls.s_of_n(std::size_t{1} << 10) == cls.s_of_n(std::size_t{1} << 20);
+    diag.Add(Code::kSpaceBound,
+             constant_space ? Severity::kError : Severity::kNote,
+             constant_space
+                 ? "an internal tape grows on a control-flow cycle but "
+                   "class " + cls.name + " declares constant space"
+                 : "internal space sits on a control-flow cycle; "
+                   "membership in " + cls.name +
+                       " must be established dynamically");
+  }
+}
+
+}  // namespace
+
+Analysis Analyze(const machine::MachineSpec& spec,
+                 const AnalyzeOptions& options) {
+  Analysis out;
+  std::optional<bool> declared_deterministic = options.declared_deterministic;
+  if (!declared_deterministic.has_value() && options.declared.has_value()) {
+    declared_deterministic =
+        options.declared->mode == core::MachineMode::kDeterministic;
+  }
+
+  WellFormednessPass(spec, options, declared_deterministic,
+                     out.diagnostics);
+  const StateIndex states(spec);
+  ControlFlowPass(spec, states, out.diagnostics);
+  ResourcePass(spec, states, options, out.diagnostics, out.resources);
+  return out;
+}
+
+Status CheckCostsAgainstCertificate(const machine::RunCosts& costs,
+                                    const StaticResources& certified) {
+  for (std::size_t i = 0; i < certified.external_reversals.size() &&
+                          i < costs.external_reversals.size();
+       ++i) {
+    const StaticBound& b = certified.external_reversals[i];
+    if (b.bounded && costs.external_reversals[i] > b.value) {
+      std::ostringstream os;
+      os << CodeName(Code::kCertificateViolated) << ": run performed "
+         << costs.external_reversals[i] << " reversals on external tape "
+         << i << " but the static certificate allows " << b.value;
+      return Status::ResourceExhausted(os.str());
+    }
+  }
+  if (certified.total_internal_cells.bounded &&
+      costs.internal_space > certified.total_internal_cells.value) {
+    std::ostringstream os;
+    os << CodeName(Code::kCertificateViolated) << ": run used "
+       << costs.internal_space
+       << " internal cells but the static certificate allows "
+       << certified.total_internal_cells.value;
+    return Status::ResourceExhausted(os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace rstlab::check

@@ -1,0 +1,88 @@
+#ifndef RSTLAB_CHECK_ANALYZER_H_
+#define RSTLAB_CHECK_ANALYZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/diagnostics.h"
+#include "core/complexity.h"
+#include "machine/turing_machine.h"
+#include "util/status.h"
+
+namespace rstlab::check {
+
+/// A statically derived upper bound: a finite value, or "not statically
+/// bounded" (the quantity may grow with the input).
+struct StaticBound {
+  bool bounded = false;
+  std::uint64_t value = 0;
+
+  static StaticBound Finite(std::uint64_t v) { return {true, v}; }
+  static StaticBound Unbounded() { return {false, 0}; }
+
+  /// Renders "3" or "unbounded".
+  std::string ToString() const;
+};
+
+/// The static resource certificate of a machine: per-external-tape
+/// reversal bounds (upper bounds on Definition 1's rev(rho, i) over
+/// every possible run), the derived scan bound 1 + sum rev, and
+/// per-internal-tape cell bounds. A bound of Unbounded() means the
+/// quantity sits on a control-flow cycle, so no input-independent bound
+/// exists — not that the machine is wrong.
+struct StaticResources {
+  std::vector<StaticBound> external_reversals;
+  StaticBound scan_bound = StaticBound::Finite(1);
+  std::vector<StaticBound> internal_cells;
+  StaticBound total_internal_cells = StaticBound::Finite(0);
+};
+
+/// What the analyzer should assume about the machine under test.
+struct AnalyzeOptions {
+  /// The complexity class the machine claims membership of. When set,
+  /// the analyzer cross-checks mode (determinism), tape count and the
+  /// static resource bounds against it.
+  std::optional<core::ResourceClass> declared;
+  /// Explicit determinism claim; overrides `declared`'s mode when set.
+  std::optional<bool> declared_deterministic;
+  /// The machine's tape alphabet (kBlank is always admitted). When set,
+  /// every key and write symbol must come from it.
+  std::optional<std::string> alphabet;
+  /// Input size at which declared r(N)/s(N) are evaluated for the
+  /// static cross-check.
+  std::size_t check_n = std::size_t{1} << 20;
+};
+
+/// The full analyzer output: the findings plus the static certificate.
+struct Analysis {
+  Diagnostics diagnostics;
+  StaticResources resources;
+
+  bool clean() const { return diagnostics.clean(); }
+};
+
+/// Statically analyzes `spec` without running it. Passes:
+///   1. well-formedness (RST001-RST005): arities, alphabet, final and
+///      accepting state discipline;
+///   2. control flow (RST006-RST009, RST012): reachability over the
+///      state graph, stuck successors, determinism vs declaration;
+///   3. static resource bounding (RST010, RST011, RST016): a
+///      per-external-tape head-direction phase analysis over the CFG
+///      upper-bounds reversals on every run; internal tapes are bounded
+///      by the maximum number of right-moves on any path. Both are
+///      cross-checked against the declared class when provided.
+Analysis Analyze(const machine::MachineSpec& spec,
+                 const AnalyzeOptions& options = {});
+
+/// Runtime hook (the model's sanitizer): verifies that a completed
+/// run's measured costs never exceed the statically certified bounds.
+/// A violation means the analyzer or the executor is wrong, so the
+/// returned status is ResourceExhausted and carries RST015.
+Status CheckCostsAgainstCertificate(const machine::RunCosts& costs,
+                                    const StaticResources& certified);
+
+}  // namespace rstlab::check
+
+#endif  // RSTLAB_CHECK_ANALYZER_H_

@@ -1,0 +1,128 @@
+#include "check/diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rstlab::check {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kActionArity:
+      return "RST001";
+    case Code::kKeyArity:
+      return "RST002";
+    case Code::kAlphabet:
+      return "RST003";
+    case Code::kFinalHasRules:
+      return "RST004";
+    case Code::kAcceptingNotFinal:
+      return "RST005";
+    case Code::kNondeterministicKey:
+      return "RST006";
+    case Code::kNeverBranches:
+      return "RST007";
+    case Code::kUnreachableState:
+      return "RST008";
+    case Code::kStuckSuccessor:
+      return "RST009";
+    case Code::kReversalBound:
+      return "RST010";
+    case Code::kSpaceBound:
+      return "RST011";
+    case Code::kTrivialStart:
+      return "RST012";
+    case Code::kNoChoices:
+      return "RST013";
+    case Code::kBadMovement:
+      return "RST014";
+    case Code::kCertificateViolated:
+      return "RST015";
+    case Code::kTapeCount:
+      return "RST016";
+  }
+  return "RST???";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityName(severity) << " " << CodeName(code);
+  if (state.has_value() || key.has_value() || tape.has_value()) {
+    os << " [";
+    bool first = true;
+    if (state.has_value()) {
+      os << "state " << *state;
+      first = false;
+    }
+    if (key.has_value()) {
+      if (!first) os << ", ";
+      os << "key \"" << *key << "\"";
+      first = false;
+    }
+    if (tape.has_value()) {
+      if (!first) os << ", ";
+      os << "tape " << *tape;
+    }
+    os << "]";
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+void Diagnostics::Add(Diagnostic diagnostic) {
+  findings_.push_back(std::move(diagnostic));
+}
+
+void Diagnostics::Add(Code code, Severity severity, std::string message,
+                      std::optional<int> state,
+                      std::optional<std::string> key,
+                      std::optional<std::size_t> tape) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.state = state;
+  d.key = std::move(key);
+  d.tape = tape;
+  findings_.push_back(std::move(d));
+}
+
+std::size_t Diagnostics::CountSeverity(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings_.begin(), findings_.end(),
+                    [severity](const Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+bool Diagnostics::HasCode(Code code) const {
+  return FindCode(code) != nullptr;
+}
+
+const Diagnostic* Diagnostics::FindCode(Code code) const {
+  for (const Diagnostic& d : findings_) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+std::string Diagnostics::ToString() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : findings_) {
+    os << d.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rstlab::check

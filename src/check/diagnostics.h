@@ -1,0 +1,117 @@
+#ifndef RSTLAB_CHECK_DIAGNOSTICS_H_
+#define RSTLAB_CHECK_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rstlab::check {
+
+/// How bad a finding is. Errors make a machine unfit to run; warnings
+/// flag likely mistakes; notes are informational.
+enum class Severity {
+  kError,
+  kWarning,
+  kNote,
+};
+
+/// Short name for `severity` ("error", "warning", "note").
+const char* SeverityName(Severity severity);
+
+/// Stable diagnostic codes of the machine-program analyzer. Codes are
+/// append-only: a released code never changes meaning, so tests, CI
+/// filters and suppression lists can key on them.
+enum class Code {
+  /// Action write/moves arity differs from the machine's tape count.
+  kActionArity,          // RST001
+  /// Transition key has the wrong number of symbols.
+  kKeyArity,             // RST002
+  /// A key or write symbol is outside the declared alphabet.
+  kAlphabet,             // RST003
+  /// A final state has outgoing transition rules.
+  kFinalHasRules,        // RST004
+  /// An accepting state is not final.
+  kAcceptingNotFinal,    // RST005
+  /// A machine declared deterministic has a multi-action key.
+  kNondeterministicKey,  // RST006
+  /// A machine declared randomized/nondeterministic never branches.
+  kNeverBranches,        // RST007
+  /// A state is unreachable from the start state.
+  kUnreachableState,     // RST008
+  /// An action's successor is a non-final state with no rules (the run
+  /// would halt stuck there, rejecting implicitly).
+  kStuckSuccessor,       // RST009
+  /// The static reversal bound exceeds the declared r(N).
+  kReversalBound,        // RST010
+  /// The static internal-space bound exceeds the declared s(N).
+  kSpaceBound,           // RST011
+  /// The start state is final or has no applicable rules.
+  kTrivialStart,         // RST012
+  /// A list machine reports zero choices (|C| must be >= 1).
+  kNoChoices,            // RST013
+  /// A list-machine transition returned a malformed movement vector.
+  kBadMovement,          // RST014
+  /// A run exceeded a statically certified bound (runtime hook).
+  kCertificateViolated,  // RST015
+  /// The machine's tape count differs from the declared class's t.
+  kTapeCount,            // RST016
+};
+
+/// The stable "RSTnnn" spelling of `code`.
+const char* CodeName(Code code);
+
+/// One finding: code, severity, message and an optional location inside
+/// the transition table (state and/or key symbols, and/or a tape index).
+struct Diagnostic {
+  Code code = Code::kActionArity;
+  Severity severity = Severity::kError;
+  std::string message;
+  /// State the finding is anchored at, if any.
+  std::optional<int> state;
+  /// Key symbols (one char per tape) the finding is anchored at, if any.
+  std::optional<std::string> key;
+  /// Tape index the finding concerns, if any.
+  std::optional<std::size_t> tape;
+
+  /// Renders e.g. `error RST001 [state 3, key "0_"]: write arity 1 != 2`.
+  std::string ToString() const;
+};
+
+/// A structured analyzer report: an ordered list of findings plus
+/// convenience queries. Produced before any run of the machine.
+class Diagnostics {
+ public:
+  /// Appends a finding.
+  void Add(Diagnostic diagnostic);
+  /// Convenience: appends a finding built from the pieces.
+  void Add(Code code, Severity severity, std::string message,
+           std::optional<int> state = std::nullopt,
+           std::optional<std::string> key = std::nullopt,
+           std::optional<std::size_t> tape = std::nullopt);
+
+  const std::vector<Diagnostic>& findings() const { return findings_; }
+  /// Number of findings with the given severity.
+  std::size_t CountSeverity(Severity severity) const;
+  std::size_t num_errors() const { return CountSeverity(Severity::kError); }
+  std::size_t num_warnings() const {
+    return CountSeverity(Severity::kWarning);
+  }
+  /// True iff no error-severity finding is present.
+  bool clean() const { return num_errors() == 0; }
+  /// True iff some finding carries `code`.
+  bool HasCode(Code code) const;
+  /// The first finding carrying `code`, or nullptr.
+  const Diagnostic* FindCode(Code code) const;
+
+  /// Renders all findings, one per line (empty string when clean and
+  /// warning-free).
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> findings_;
+};
+
+}  // namespace rstlab::check
+
+#endif  // RSTLAB_CHECK_DIAGNOSTICS_H_

@@ -1,0 +1,159 @@
+#include "check/nlm_adapter.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace rstlab::check {
+
+namespace {
+
+using listmachine::CellContent;
+using listmachine::ChoiceId;
+using listmachine::ListMachineExecutor;
+using listmachine::ListMachineProgram;
+using listmachine::ListMachineRun;
+using listmachine::Movement;
+using listmachine::StateId;
+using listmachine::TransitionResult;
+
+/// Forwards to an inner program, validating every TransitionResult
+/// before the executor consumes it. Malformed movement vectors are
+/// repaired (padded/truncated to arity, directions clamped to {-1,+1})
+/// so the probe can continue past the first finding.
+class ValidatingProgram : public ListMachineProgram {
+ public:
+  ValidatingProgram(const ListMachineProgram* inner, Diagnostics* diag)
+      : inner_(inner), diag_(diag) {}
+
+  std::size_t num_lists() const override { return inner_->num_lists(); }
+  std::size_t num_choices() const override { return inner_->num_choices(); }
+  StateId initial_state() const override { return inner_->initial_state(); }
+  bool IsFinal(StateId state) const override {
+    return inner_->IsFinal(state);
+  }
+  bool IsAccepting(StateId state) const override {
+    return inner_->IsAccepting(state);
+  }
+
+  TransitionResult Step(StateId state,
+                        const std::vector<const CellContent*>& reads,
+                        ChoiceId choice) const override {
+    TransitionResult tr = inner_->Step(state, reads, choice);
+    const std::size_t t = inner_->num_lists();
+    if (tr.movements.size() != t && !reported_arity_) {
+      reported_arity_ = true;
+      std::ostringstream os;
+      os << "alpha returned " << tr.movements.size()
+         << " movement(s) for a machine with " << t << " list(s)";
+      diag_->Add(Code::kBadMovement, Severity::kError, os.str(), state);
+    }
+    tr.movements.resize(t, Movement{+1, false});
+    for (Movement& m : tr.movements) {
+      if (m.head_direction != +1 && m.head_direction != -1) {
+        if (!reported_direction_) {
+          reported_direction_ = true;
+          diag_->Add(Code::kBadMovement, Severity::kError,
+                     "alpha returned head_direction " +
+                         std::to_string(m.head_direction) +
+                         ", which is outside {-1, +1}",
+                     state);
+        }
+        m.head_direction = m.head_direction < 0 ? -1 : +1;
+      }
+    }
+    return tr;
+  }
+
+ private:
+  const ListMachineProgram* inner_;
+  Diagnostics* diag_;
+  // The probe visits many steps; one finding per defect kind is enough.
+  mutable bool reported_arity_ = false;
+  mutable bool reported_direction_ = false;
+};
+
+}  // namespace
+
+Diagnostics CheckListMachine(const ListMachineProgram& program,
+                             const NlmCheckOptions& options) {
+  Diagnostics diag;
+
+  if (program.num_choices() == 0) {
+    diag.Add(Code::kNoChoices, Severity::kError,
+             "list machine declares |C| = 0; Definition 14 requires at "
+             "least one choice");
+  }
+  if (program.num_lists() == 0) {
+    diag.Add(Code::kTapeCount, Severity::kError,
+             "list machine declares t = 0 lists");
+  }
+  for (int s = -options.probe_states; s <= options.probe_states; ++s) {
+    if (program.IsAccepting(s) && !program.IsFinal(s)) {
+      diag.Add(Code::kAcceptingNotFinal, Severity::kError,
+               "state " + std::to_string(s) +
+                   " is accepting but not final",
+               s);
+      break;  // one witness is enough
+    }
+  }
+  if (program.IsFinal(program.initial_state())) {
+    diag.Add(Code::kTrivialStart, Severity::kWarning,
+             "initial state is final: the machine halts immediately",
+             program.initial_state());
+  }
+
+  if (options.declared.has_value()) {
+    const bool declared_deterministic =
+        options.declared->mode == core::MachineMode::kDeterministic;
+    if (declared_deterministic && program.num_choices() > 1) {
+      diag.Add(Code::kNondeterministicKey, Severity::kError,
+               "machine is declared deterministic but |C| = " +
+                   std::to_string(program.num_choices()));
+    }
+    if (!declared_deterministic && program.num_choices() == 1) {
+      diag.Add(Code::kNeverBranches, Severity::kWarning,
+               "machine is declared randomized/nondeterministic but "
+               "|C| = 1; choice sequences are vacuous");
+    }
+    if (program.num_lists() > options.declared->t) {
+      diag.Add(Code::kTapeCount, Severity::kError,
+               "machine has " + std::to_string(program.num_lists()) +
+                   " lists but class " + options.declared->name +
+                   " allows " + std::to_string(options.declared->t));
+    }
+  }
+  if (program.num_choices() == 0 || program.num_lists() == 0) {
+    return diag;  // the dynamic probe needs a runnable machine
+  }
+
+  // Dynamic probe through the validating proxy: every constant choice
+  // sequence on every sample input.
+  ValidatingProgram proxy(&program, &diag);
+  ListMachineExecutor executor(&proxy);
+  bool reported_scan = false;
+  for (const std::vector<std::uint64_t>& input : options.sample_inputs) {
+    for (std::size_t c = 0; c < program.num_choices(); ++c) {
+      const std::vector<ChoiceId> choices(options.max_steps,
+                                          static_cast<ChoiceId>(c));
+      const ListMachineRun run =
+          executor.RunWithChoices(input, choices, options.max_steps);
+      if (!options.declared.has_value() || reported_scan || !run.halted) {
+        continue;
+      }
+      const std::uint64_t r_n =
+          options.declared->r_of_n(std::max<std::size_t>(1, input.size()));
+      if (run.ScanBound() > r_n) {
+        reported_scan = true;
+        std::ostringstream os;
+        os << "observed scan bound " << run.ScanBound() << " on a probe "
+           << "input of size " << input.size() << " exceeds declared "
+           << "r(N) = " << r_n << " of class " << options.declared->name;
+        diag.Add(Code::kReversalBound, Severity::kError, os.str());
+      }
+    }
+  }
+  return diag;
+}
+
+}  // namespace rstlab::check

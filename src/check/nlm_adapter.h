@@ -1,0 +1,47 @@
+#ifndef RSTLAB_CHECK_NLM_ADAPTER_H_
+#define RSTLAB_CHECK_NLM_ADAPTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "check/analyzer.h"
+#include "check/diagnostics.h"
+#include "core/complexity.h"
+#include "listmachine/list_machine.h"
+
+namespace rstlab::check {
+
+/// How an NLM (nondeterministic list machine, Definition 14) program is
+/// probed. A list machine's transition function alpha is an opaque
+/// virtual function, so unlike MachineSpec it cannot be inspected as a
+/// table; the adapter combines interface checks (static declarations)
+/// with a bounded dynamic probe of alpha over sample inputs.
+struct NlmCheckOptions {
+  /// State range [-probe_states, probe_states] over which the
+  /// accepting-implies-final discipline is probed.
+  int probe_states = 256;
+  /// Inputs the dynamic probe runs the machine on (with every choice
+  /// fixed per run, cycling through |C|).
+  std::vector<std::vector<std::uint64_t>> sample_inputs;
+  /// Step budget per probed run.
+  std::size_t max_steps = 4096;
+  /// Declared class; enables the determinism and observed-reversal
+  /// cross-checks.
+  std::optional<core::ResourceClass> declared;
+};
+
+/// Checks a list machine program before trusting its runs: declaration
+/// sanity (RST013, RST016, RST005, RST012), determinism vs the declared
+/// mode (RST006, RST007) and — via a validating proxy program that
+/// intercepts every alpha result — movement-vector well-formedness
+/// (RST014: wrong arity or a head_direction outside {-1, +1}) and
+/// observed scan bounds vs the declared r(N) (RST010) on the sample
+/// inputs. The probe is sound but not complete: it certifies only the
+/// explored runs, which DESIGN.md documents as the NLM caveat.
+Diagnostics CheckListMachine(const listmachine::ListMachineProgram& program,
+                             const NlmCheckOptions& options);
+
+}  // namespace rstlab::check
+
+#endif  // RSTLAB_CHECK_NLM_ADAPTER_H_

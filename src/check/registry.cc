@@ -1,0 +1,136 @@
+#include "check/registry.h"
+
+#include "core/complexity.h"
+#include "listmachine/machines.h"
+#include "machine/machine_builder.h"
+#include "machine/paper_machines.h"
+
+namespace rstlab::check {
+
+namespace {
+
+AnalyzeOptions Options(core::ResourceClass declared, std::string alphabet) {
+  AnalyzeOptions options;
+  options.declared = std::move(declared);
+  options.alphabet = std::move(alphabet);
+  return options;
+}
+
+}  // namespace
+
+std::vector<CheckedMachine> AllCheckedMachines() {
+  using core::ConstScans;
+  using core::ConstSpace;
+  using core::LogSpace;
+  namespace zoo = machine::zoo;
+  namespace paper = machine::paper;
+
+  std::vector<CheckedMachine> machines;
+  machines.push_back(
+      {"first-symbol-one", zoo::FirstSymbolOne(),
+       Options(core::StClass("ST(1, 0, 1)", ConstScans(1), ConstSpace(0), 1),
+               "01"),
+       {"", "0", "1", "101", "011"}});
+  machines.push_back(
+      {"even-ones", zoo::EvenOnes(),
+       Options(core::StClass("ST(1, 0, 1)", ConstScans(1), ConstSpace(0), 1),
+               "01#"),
+       {"", "0110", "111", "10#11#", "1"}});
+  machines.push_back(
+      {"fair-coin", zoo::FairCoin(),
+       Options(
+           core::RstClass("RST(1, 0, 1)", ConstScans(1), ConstSpace(0), 1),
+           "01"),
+       {"", "0", "1"}});
+  machines.push_back(
+      {"biased-coin", zoo::BiasedCoin(3, 2),
+       Options(
+           core::RstClass("RST(1, 0, 1)", ConstScans(1), ConstSpace(0), 1),
+           "01"),
+       {"", "0", "1"}});
+  machines.push_back(
+      {"two-field-equality", zoo::TwoFieldEquality(),
+       Options(core::StClass("ST(3, 0, 2)", ConstScans(3), ConstSpace(0), 2),
+               "01#AZ"),
+       {"01#01#", "01#10#", "#", "#0#", "1#1#", "10#10#"}});
+  machines.push_back(
+      {"guess-first-bit", zoo::GuessFirstBit(),
+       Options(
+           core::NstClass("NST(1, 0, 1)", ConstScans(1), ConstSpace(0), 1),
+           "01"),
+       {"0", "1", "01", "10"}});
+  machines.push_back(
+      {"palindrome", zoo::Palindrome(),
+       Options(core::StClass("ST(4, 0, 2)", ConstScans(4), ConstSpace(0), 2),
+               "01#AZ"),
+       {"0110#", "010#", "01#", "#", "1#"}});
+  machines.push_back(
+      {"balanced-zeros-ones", zoo::BalancedZerosOnes(),
+       Options(core::StClass("ST(1, O(log N), 1)", ConstScans(1),
+                             LogSpace(4.0), 1),
+               "01#^"),
+       {"", "01", "0011", "0101", "011", "000111", "0001"}});
+  machines.push_back(
+      {"theorem8a-fingerprint", paper::Theorem8aFingerprint(),
+       Options(core::CoRstClass("co-RST(2, 0, 1)", ConstScans(2),
+                                ConstSpace(0), 1),
+               "01#$AZD"),
+       {"", "$", "0$0", "11$11", "10#1$01#1", "1$0", "111$1", "0#$#0"}});
+  machines.push_back(
+      {"theorem8b-guess-verify", paper::Theorem8bGuessVerify(),
+       Options(
+           core::NstClass("NST(1, 0, 1)", ConstScans(1), ConstSpace(0), 1),
+           "01#"),
+       {"", "11", "01#11", "00", "0#0", "1", "#11#0"}});
+  return machines;
+}
+
+std::vector<CheckedListMachine> AllCheckedListMachines() {
+  using core::ConstScans;
+  using core::ConstSpace;
+
+  std::vector<CheckedListMachine> machines;
+  {
+    CheckedListMachine m;
+    m.name = "nlm-zigzag";
+    m.program = std::make_shared<listmachine::ZigZagMachine>(
+        /*t=*/2, /*num_sweeps=*/2, /*m=*/4);
+    m.options.declared =
+        core::StClass("ST(8, 0, 2)", ConstScans(8), ConstSpace(0), 2);
+    m.options.sample_inputs = {{1, 2, 3, 4}};
+    machines.push_back(std::move(m));
+  }
+  {
+    CheckedListMachine m;
+    m.name = "nlm-reverse-compare";
+    m.program =
+        std::make_shared<listmachine::ReverseCompareMachine>(/*m=*/3,
+                                                             /*budget=*/3);
+    m.options.declared =
+        core::StClass("ST(2, 0, 2)", ConstScans(2), ConstSpace(0), 2);
+    m.options.sample_inputs = {{1, 2, 3, 9, 3, 2}, {1, 2, 3, 1, 3, 2}};
+    machines.push_back(std::move(m));
+  }
+  {
+    CheckedListMachine m;
+    m.name = "nlm-identity-compare";
+    m.program =
+        std::make_shared<listmachine::IdentityCompareMachine>(/*m=*/3);
+    m.options.declared =
+        core::StClass("ST(3, 0, 2)", ConstScans(3), ConstSpace(0), 2);
+    m.options.sample_inputs = {{1, 2, 3, 1, 2, 3}, {1, 2, 3, 1, 9, 3}};
+    machines.push_back(std::move(m));
+  }
+  {
+    CheckedListMachine m;
+    m.name = "nlm-coin";
+    m.program = std::make_shared<listmachine::CoinListMachine>();
+    m.options.declared =
+        core::RstClass("RST(1, 0, 1)", ConstScans(1), ConstSpace(0), 1);
+    m.options.sample_inputs = {{}, {1, 2}};
+    machines.push_back(std::move(m));
+  }
+  return machines;
+}
+
+}  // namespace rstlab::check

@@ -1,0 +1,45 @@
+#ifndef RSTLAB_CHECK_REGISTRY_H_
+#define RSTLAB_CHECK_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/analyzer.h"
+#include "check/nlm_adapter.h"
+#include "listmachine/list_machine.h"
+#include "machine/turing_machine.h"
+
+namespace rstlab::check {
+
+/// One shipped MachineSpec machine plus everything the analyzer needs
+/// to certify it: the declared complexity class, the tape alphabet and
+/// sample inputs for the run-time certificate hook.
+struct CheckedMachine {
+  std::string name;
+  machine::MachineSpec spec;
+  AnalyzeOptions options;
+  /// Representative inputs for dynamic certificate verification
+  /// (check_test's property runs and `rstlab check --runs`).
+  std::vector<std::string> sample_inputs;
+};
+
+/// One shipped list machine (NLM) plus its probe configuration.
+struct CheckedListMachine {
+  std::string name;
+  std::shared_ptr<const listmachine::ListMachineProgram> program;
+  NlmCheckOptions options;
+};
+
+/// Every shipped MachineSpec machine — the zoo of machine_builder.h
+/// plus the paper machines of paper_machines.h — with its declared
+/// class. `rstlab check` and check_test iterate this list; adding a
+/// machine here puts it under the CI gate.
+std::vector<CheckedMachine> AllCheckedMachines();
+
+/// Every shipped list machine instance under the NLM adapter.
+std::vector<CheckedListMachine> AllCheckedListMachines();
+
+}  // namespace rstlab::check
+
+#endif  // RSTLAB_CHECK_REGISTRY_H_

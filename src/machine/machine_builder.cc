@@ -1,6 +1,7 @@
 #include "machine/machine_builder.h"
 
 #include <cassert>
+#include <sstream>
 
 namespace rstlab::machine {
 
@@ -21,21 +22,41 @@ MachineBuilder& MachineBuilder::AddFinal(int state, bool accepting) {
   return *this;
 }
 
+void MachineBuilder::RecordError(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
 MachineBuilder::Rule& MachineBuilder::Rule::Go(
     int next_state, const std::string& write,
     const std::vector<Move>& moves) {
+  MachineSpec& spec = builder_->spec_;
+  if (write.size() != spec.num_tapes() ||
+      moves.size() != spec.num_tapes()) {
+    std::ostringstream os;
+    os << "error RST001 [state " << state_ << ", key \"" << symbols_
+       << "\"]: action write arity " << write.size() << " / moves arity "
+       << moves.size() << " != tape count " << spec.num_tapes();
+    builder_->RecordError(Status::InvalidArgument(os.str()));
+  }
   Action action;
   action.next_state = next_state;
   action.write = write;
   action.moves = moves;
-  spec_->transitions[{state_, symbols_}].push_back(std::move(action));
+  spec.transitions[{state_, symbols_}].push_back(std::move(action));
   return *this;
 }
 
 MachineBuilder::Rule MachineBuilder::On(int state,
                                         const std::string& symbols) {
-  assert(symbols.size() == spec_.num_tapes());
-  return Rule(&spec_, state, symbols);
+  if (symbols.size() != spec_.num_tapes()) {
+    std::ostringstream os;
+    os << "error RST002 [state " << state << ", key \"" << symbols
+       << "\"]: key has " << symbols.size()
+       << " symbol(s) but the machine has " << spec_.num_tapes()
+       << " tape(s)";
+    RecordError(Status::InvalidArgument(os.str()));
+  }
+  return Rule(this, state, symbols);
 }
 
 namespace zoo {

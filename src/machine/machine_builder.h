@@ -32,27 +32,55 @@ class MachineBuilder {
    public:
     /// Appends an action (successor ordering = insertion order, which is
     /// the ordering Definition 17's choice indexing uses).
+    ///
+    /// Arity is validated eagerly: a `write` or `moves` vector whose
+    /// size differs from the machine's tape count records an RST001
+    /// diagnostic on the builder (see `status()`) at the call site,
+    /// instead of surfacing as an opaque failure deep inside
+    /// TuringMachine stepping.
     Rule& Go(int next_state, const std::string& write,
              const std::vector<Move>& moves);
 
    private:
     friend class MachineBuilder;
-    Rule(MachineSpec* spec, int state, std::string symbols)
-        : spec_(spec), state_(state), symbols_(std::move(symbols)) {}
+    Rule(MachineBuilder* builder, int state, std::string symbols)
+        : builder_(builder), state_(state), symbols_(std::move(symbols)) {}
 
-    MachineSpec* spec_;
+    MachineBuilder* builder_;
     int state_;
     std::string symbols_;
   };
 
   /// Starts a rule for reading `symbols` (one char per tape) in `state`.
+  /// A wrong-arity `symbols` records an RST002 diagnostic (see
+  /// `status()`).
   Rule On(int state, const std::string& symbols);
 
-  /// Finalizes and returns the spec.
+  /// OK, or the first arity diagnostic recorded by On()/Go(). The
+  /// message matches the static analyzer's spelling, e.g.
+  /// `error RST001 [state 3, key "0_"]: action write arity 1 / moves
+  /// arity 2 != tape count 2`.
+  const Status& status() const { return status_; }
+
+  /// Finalizes and returns the spec (even when `status()` is an error;
+  /// TuringMachine::Create and the analyzer both re-reject bad arities).
   MachineSpec Build() { return spec_; }
 
+  /// Finalizes with validation: the spec, or the first recorded
+  /// diagnostic.
+  Result<MachineSpec> BuildChecked() {
+    if (!status_.ok()) return status_;
+    return spec_;
+  }
+
  private:
+  friend class Rule;
+
+  /// Records the first builder diagnostic.
+  void RecordError(Status status);
+
   MachineSpec spec_;
+  Status status_;
 };
 
 /// Canonical small machines used in tests and the simulation-lemma

@@ -1,0 +1,47 @@
+#ifndef RSTLAB_MACHINE_PAPER_MACHINES_H_
+#define RSTLAB_MACHINE_PAPER_MACHINES_H_
+
+#include "machine/turing_machine.h"
+
+namespace rstlab::machine {
+
+/// MachineSpec-level witnesses of the paper's algorithmic theorems.
+/// Unlike the tape-level implementations in fingerprint/ and nst/,
+/// these are explicit transition tables, so the static analyzer in
+/// src/check/ can certify their control structure and reversal budget
+/// before any run.
+namespace paper {
+
+/// The Theorem 8(a) fingerprinting machine, scan-level skeleton.
+///
+/// Input v$w with v, w over {0, 1, #} ('#' separates fields). The
+/// machine nondeterministically picks a prime p from {3, 5} (modelling
+/// the random prime choice of Theorem 8(a), step (2)), then:
+///   * forward scan: marks cell 0 (so the return scan can find the left
+///     end) and accumulates d = (digitsum(v) - digitsum(w)) mod p;
+///   * one reversal at the right end;
+///   * backward verification scan: independently re-accumulates the
+///     same difference e mod p, right to left;
+///   * accepts iff d == 0 and e == 0.
+///
+/// No false negatives: equal digit sums pass for every prime, so every
+/// branch accepts — the co-RST acceptance discipline. Exactly one head
+/// reversal on the single external tape, hence class co-RST(2, 0, 1);
+/// the analyzer certifies the reversal bound statically.
+MachineSpec Theorem8aFingerprint();
+
+/// The Theorem 8(b) guess-and-verify machine, scan-level skeleton.
+///
+/// Input: '#'-separated fields over {0, 1}. The machine guesses, at
+/// each field start, whether this field is its certificate; a guessed
+/// field is verified to be all ones (accept at its end, reject on any
+/// '0'), all other fields are skipped. Accepts iff some run accepts,
+/// i.e. iff some field is all ones — one forward scan, zero reversals:
+/// NST(1, 0, 1).
+MachineSpec Theorem8bGuessVerify();
+
+}  // namespace paper
+
+}  // namespace rstlab::machine
+
+#endif  // RSTLAB_MACHINE_PAPER_MACHINES_H_

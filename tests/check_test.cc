@@ -1,0 +1,500 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/analyzer.h"
+#include "check/diagnostics.h"
+#include "check/nlm_adapter.h"
+#include "check/registry.h"
+#include "core/complexity.h"
+#include "listmachine/list_machine.h"
+#include "listmachine/machines.h"
+#include "machine/machine_builder.h"
+#include "machine/paper_machines.h"
+#include "machine/turing_machine.h"
+#include "util/random.h"
+
+namespace rstlab::check {
+namespace {
+
+using machine::Action;
+using machine::MachineBuilder;
+using machine::MachineSpec;
+using machine::Move;
+using machine::kBlank;
+
+// ---------------------------------------------------------------------
+// The CI gate: every shipped paper/zoo machine must certify clean.
+// ---------------------------------------------------------------------
+
+TEST(RegistryTest, AllShippedMachinesAreClean) {
+  for (const CheckedMachine& entry : AllCheckedMachines()) {
+    const Analysis analysis = Analyze(entry.spec, entry.options);
+    EXPECT_TRUE(analysis.clean())
+        << entry.name << ":\n"
+        << analysis.diagnostics.ToString();
+    EXPECT_EQ(analysis.diagnostics.num_warnings(), 0u)
+        << entry.name << ":\n"
+        << analysis.diagnostics.ToString();
+  }
+}
+
+TEST(RegistryTest, AllShippedListMachinesAreClean) {
+  for (const CheckedListMachine& entry : AllCheckedListMachines()) {
+    const Diagnostics diag = CheckListMachine(*entry.program, entry.options);
+    EXPECT_TRUE(diag.clean()) << entry.name << ":\n" << diag.ToString();
+    EXPECT_EQ(diag.num_warnings(), 0u)
+        << entry.name << ":\n"
+        << diag.ToString();
+  }
+}
+
+// The Theorem 8(a) acceptance criterion: at most 2 reversals certified
+// statically on every external tape, matching co-RST(2, 0, 1).
+TEST(RegistryTest, Theorem8aReversalBoundAtMostTwo) {
+  const Analysis analysis = Analyze(machine::paper::Theorem8aFingerprint());
+  ASSERT_EQ(analysis.resources.external_reversals.size(), 1u);
+  for (const StaticBound& b : analysis.resources.external_reversals) {
+    ASSERT_TRUE(b.bounded);
+    EXPECT_LE(b.value, 2u);
+  }
+  ASSERT_TRUE(analysis.resources.scan_bound.bounded);
+  EXPECT_LE(analysis.resources.scan_bound.value, 2u);
+}
+
+TEST(RegistryTest, Theorem8aHasNoFalseNegatives) {
+  // Equal digit sums accept on every branch (probability 1); a sum
+  // mismatch mod one of the primes is caught by at least one branch.
+  auto tm = machine::TuringMachine::Create(
+      machine::paper::Theorem8aFingerprint());
+  ASSERT_TRUE(tm.ok()) << tm.status();
+  EXPECT_DOUBLE_EQ(tm.value().AcceptanceProbability("101$011", 1000), 1.0);
+  EXPECT_DOUBLE_EQ(tm.value().AcceptanceProbability("11$10#1", 1000), 1.0);
+  // Co-RST one-sidedness: a no-instance may still fool the branch whose
+  // prime divides the digit-sum difference, but never every branch.
+  EXPECT_DOUBLE_EQ(tm.value().AcceptanceProbability("1$0", 1000), 0.0);
+  EXPECT_LT(tm.value().AcceptanceProbability("111$", 1000), 1.0);
+}
+
+TEST(RegistryTest, Theorem8bDecidesSomeAllOnesField) {
+  auto tm = machine::TuringMachine::Create(
+      machine::paper::Theorem8bGuessVerify());
+  ASSERT_TRUE(tm.ok()) << tm.status();
+  // NST acceptance: some run accepts.
+  EXPECT_GT(tm.value().AcceptanceProbability("01#11", 1000), 0.0);
+  EXPECT_GT(tm.value().AcceptanceProbability("1", 1000), 0.0);
+  EXPECT_EQ(tm.value().AcceptanceProbability("01#10", 1000), 0.0);
+  EXPECT_EQ(tm.value().AcceptanceProbability("", 1000), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Negative suite: one deliberately broken machine per diagnostic code,
+// asserting both the code and its location.
+// ---------------------------------------------------------------------
+
+/// A healthy little base machine to break: 0 --1--> accept, 0 --0--> 1,
+/// 1 --*--> reject.
+MachineSpec BaseMachine() {
+  MachineBuilder b(1, 0);
+  b.SetStart(0).AddFinal(100, true).AddFinal(101, false);
+  b.On(0, "1").Go(100, "1", {Move::kStay});
+  b.On(0, "0").Go(1, "0", {Move::kRight});
+  b.On(1, "0").Go(101, "0", {Move::kStay});
+  b.On(1, "1").Go(101, "1", {Move::kStay});
+  b.On(1, std::string(1, kBlank))
+      .Go(101, std::string(1, kBlank), {Move::kStay});
+  b.On(0, std::string(1, kBlank))
+      .Go(101, std::string(1, kBlank), {Move::kStay});
+  return b.Build();
+}
+
+TEST(NegativeTest, RST001ActionArity) {
+  MachineSpec spec = BaseMachine();
+  spec.transitions.at({0, "1"})[0].write = "11";  // arity 2 on 1 tape
+  const Analysis analysis = Analyze(spec);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kActionArity);
+  ASSERT_NE(d, nullptr) << analysis.diagnostics.ToString();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->state, 0);
+  EXPECT_EQ(d->key, "1");
+}
+
+TEST(NegativeTest, RST002KeyArity) {
+  MachineSpec spec = BaseMachine();
+  spec.transitions[{0, "10"}] = {Action{100, "1", {Move::kStay}}};
+  const Analysis analysis = Analyze(spec);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kKeyArity);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->state, 0);
+  EXPECT_EQ(d->key, "10");
+}
+
+TEST(NegativeTest, RST003Alphabet) {
+  MachineSpec spec = BaseMachine();
+  spec.transitions[{0, "7"}] = {Action{100, "7", {Move::kStay}}};
+  AnalyzeOptions options;
+  options.alphabet = "01";
+  const Analysis analysis = Analyze(spec, options);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kAlphabet);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->state, 0);
+  EXPECT_EQ(d->key, "7");
+  EXPECT_EQ(d->tape, 0u);
+}
+
+TEST(NegativeTest, RST004FinalHasRules) {
+  MachineSpec spec = BaseMachine();
+  spec.transitions[{100, "1"}] = {Action{100, "1", {Move::kStay}}};
+  const Analysis analysis = Analyze(spec);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kFinalHasRules);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->state, 100);
+}
+
+TEST(NegativeTest, RST005AcceptingNotFinal) {
+  MachineSpec spec = BaseMachine();
+  spec.accepting_states.push_back(1);
+  const Analysis analysis = Analyze(spec);
+  const Diagnostic* d =
+      analysis.diagnostics.FindCode(Code::kAcceptingNotFinal);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->state, 1);
+}
+
+TEST(NegativeTest, RST006NondeterministicKey) {
+  MachineSpec spec = machine::zoo::GuessFirstBit();
+  AnalyzeOptions options;
+  options.declared_deterministic = true;
+  const Analysis analysis = Analyze(spec, options);
+  const Diagnostic* d =
+      analysis.diagnostics.FindCode(Code::kNondeterministicKey);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->state, 0);
+}
+
+TEST(NegativeTest, RST007NeverBranches) {
+  AnalyzeOptions options;
+  options.declared = core::RstClass("RST(1, 0, 1)", core::ConstScans(1),
+                                    core::ConstSpace(0), 1);
+  const Analysis analysis = Analyze(BaseMachine(), options);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kNeverBranches);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(NegativeTest, RST008UnreachableState) {
+  MachineSpec spec = BaseMachine();
+  spec.transitions[{9, "1"}] = {Action{100, "1", {Move::kStay}}};
+  const Analysis analysis = Analyze(spec);
+  const Diagnostic* d =
+      analysis.diagnostics.FindCode(Code::kUnreachableState);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->state, 9);
+}
+
+TEST(NegativeTest, RST009StuckSuccessor) {
+  MachineSpec spec = BaseMachine();
+  // State 7 is neither final nor has any rules.
+  spec.transitions.at({0, "1"})[0].next_state = 7;
+  const Analysis analysis = Analyze(spec);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kStuckSuccessor);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->state, 0);
+  EXPECT_EQ(d->key, "1");
+}
+
+TEST(NegativeTest, RST010ReversalBound) {
+  // Palindrome needs 2 reversals on tape 0; declaring r(N) = 1 must be
+  // refuted statically.
+  AnalyzeOptions options;
+  options.declared = core::StClass("ST(1, 0, 2)", core::ConstScans(1),
+                                   core::ConstSpace(0), 2);
+  const Analysis analysis = Analyze(machine::zoo::Palindrome(), options);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kReversalBound);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(NegativeTest, RST011SpaceBound) {
+  // BalancedZerosOnes grows its internal counters on a loop; a constant
+  // space declaration is statically impossible.
+  AnalyzeOptions options;
+  options.declared = core::StClass("ST(1, 0, 1)", core::ConstScans(1),
+                                   core::ConstSpace(0), 1);
+  const Analysis analysis =
+      Analyze(machine::zoo::BalancedZerosOnes(), options);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kSpaceBound);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(NegativeTest, RST011SpaceBoundFiniteOverflow) {
+  // A straight-line machine that writes 3 internal cells declared with
+  // s(N) = 1: the finite static bound already exceeds it.
+  MachineBuilder b(1, 1);
+  b.SetStart(0).AddFinal(100, true);
+  const std::string bb(2, kBlank);
+  b.On(0, bb).Go(1, bb, {Move::kStay, Move::kRight});
+  b.On(1, bb).Go(2, bb, {Move::kStay, Move::kRight});
+  b.On(2, bb).Go(100, bb, {Move::kStay, Move::kStay});
+  AnalyzeOptions options;
+  options.declared = core::StClass("ST(1, 1, 1)", core::ConstScans(1),
+                                   core::ConstSpace(1), 1);
+  const Analysis analysis = Analyze(b.Build(), options);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kSpaceBound);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(NegativeTest, RST012TrivialStart) {
+  MachineSpec spec = BaseMachine();
+  spec.start_state = 100;  // final
+  const Analysis analysis = Analyze(spec);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kTrivialStart);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->state, 100);
+}
+
+TEST(NegativeTest, RST016TapeCount) {
+  AnalyzeOptions options;
+  options.declared = core::StClass("ST(4, 0, 1)", core::ConstScans(4),
+                                   core::ConstSpace(0), 1);
+  const Analysis analysis =
+      Analyze(machine::zoo::TwoFieldEquality(), options);
+  const Diagnostic* d = analysis.diagnostics.FindCode(Code::kTapeCount);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+// ---------------------------------------------------------------------
+// NLM adapter negatives (RST013, RST014, plus shared codes).
+// ---------------------------------------------------------------------
+
+/// Minimal configurable list machine for adapter tests: walks the input
+/// list right and halts at the end.
+class ProbeProgram : public listmachine::ListMachineProgram {
+ public:
+  std::size_t num_lists() const override { return 2; }
+  std::size_t num_choices() const override { return num_choices_; }
+  listmachine::StateId initial_state() const override { return 0; }
+  bool IsFinal(listmachine::StateId state) const override {
+    return state >= 10;
+  }
+  bool IsAccepting(listmachine::StateId state) const override {
+    return accept_nonfinal_ ? state == 5 : state == 10;
+  }
+  listmachine::TransitionResult Step(
+      listmachine::StateId state,
+      const std::vector<const listmachine::CellContent*>& reads,
+      listmachine::ChoiceId choice) const override {
+    (void)reads;
+    (void)choice;
+    listmachine::TransitionResult tr;
+    tr.next_state = state >= 2 ? 10 : state + 1;
+    tr.movements.assign(break_arity_ ? 1 : 2,
+                        listmachine::Movement{
+                            break_direction_ ? 0 : +1, true});
+    return tr;
+  }
+
+  std::size_t num_choices_ = 1;
+  bool accept_nonfinal_ = false;
+  bool break_arity_ = false;
+  bool break_direction_ = false;
+};
+
+NlmCheckOptions ProbeOptions() {
+  NlmCheckOptions options;
+  options.sample_inputs = {{1, 2, 3}};
+  return options;
+}
+
+TEST(NlmAdapterTest, RST013NoChoices) {
+  ProbeProgram program;
+  program.num_choices_ = 0;
+  const Diagnostics diag = CheckListMachine(program, ProbeOptions());
+  const Diagnostic* d = diag.FindCode(Code::kNoChoices);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(NlmAdapterTest, RST014MovementArity) {
+  ProbeProgram program;
+  program.break_arity_ = true;
+  const Diagnostics diag = CheckListMachine(program, ProbeOptions());
+  const Diagnostic* d = diag.FindCode(Code::kBadMovement);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->state, 0);  // found at the very first probed step
+}
+
+TEST(NlmAdapterTest, RST014HeadDirection) {
+  ProbeProgram program;
+  program.break_direction_ = true;
+  const Diagnostics diag = CheckListMachine(program, ProbeOptions());
+  const Diagnostic* d = diag.FindCode(Code::kBadMovement);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(NlmAdapterTest, RST005AcceptingNotFinalProbed) {
+  ProbeProgram program;
+  program.accept_nonfinal_ = true;
+  const Diagnostics diag = CheckListMachine(program, ProbeOptions());
+  const Diagnostic* d = diag.FindCode(Code::kAcceptingNotFinal);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->state, 5);
+}
+
+TEST(NlmAdapterTest, RST010ObservedScanBound) {
+  // The zig-zag machine performs reversals; r(N) = 1 is refuted by the
+  // dynamic probe.
+  listmachine::ZigZagMachine program(/*t=*/2, /*num_sweeps=*/3, /*m=*/4);
+  NlmCheckOptions options;
+  options.sample_inputs = {{1, 2, 3, 4}};
+  options.declared = core::StClass("ST(1, 0, 2)", core::ConstScans(1),
+                                   core::ConstSpace(0), 2);
+  const Diagnostics diag = CheckListMachine(program, options);
+  const Diagnostic* d = diag.FindCode(Code::kReversalBound);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+// ---------------------------------------------------------------------
+// Runtime certificate hook (RST015) and the builder's eager validation.
+// ---------------------------------------------------------------------
+
+TEST(CertificateTest, RST015FiresOnViolation) {
+  StaticResources certified;
+  certified.external_reversals = {StaticBound::Finite(0)};
+  machine::RunCosts costs;
+  costs.external_reversals = {3};
+  const Status status = CheckCostsAgainstCertificate(costs, certified);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("RST015"), std::string::npos);
+}
+
+TEST(CertificateTest, RST015FiresOnInternalSpaceViolation) {
+  StaticResources certified;
+  certified.total_internal_cells = StaticBound::Finite(2);
+  machine::RunCosts costs;
+  costs.internal_space = 5;
+  const Status status = CheckCostsAgainstCertificate(costs, certified);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("RST015"), std::string::npos);
+}
+
+TEST(CertificateTest, UnboundedCertificateAdmitsEverything) {
+  StaticResources certified;
+  certified.external_reversals = {StaticBound::Unbounded()};
+  certified.total_internal_cells = StaticBound::Unbounded();
+  machine::RunCosts costs;
+  costs.external_reversals = {1'000'000};
+  costs.internal_space = 1'000'000;
+  EXPECT_TRUE(CheckCostsAgainstCertificate(costs, certified).ok());
+}
+
+TEST(BuilderTest, GoValidatesArityEagerly) {
+  MachineBuilder b(2, 0);
+  b.SetStart(0).AddFinal(100, true);
+  b.On(0, "01").Go(100, "0", {Move::kStay, Move::kStay});  // short write
+  EXPECT_FALSE(b.status().ok());
+  EXPECT_NE(b.status().message().find("RST001"), std::string::npos);
+  EXPECT_NE(b.status().message().find("state 0"), std::string::npos);
+  EXPECT_NE(b.status().message().find("key \"01\""), std::string::npos);
+  EXPECT_FALSE(b.BuildChecked().ok());
+}
+
+TEST(BuilderTest, OnValidatesKeyArityEagerly) {
+  MachineBuilder b(2, 0);
+  b.SetStart(0).AddFinal(100, true);
+  b.On(0, "0").Go(100, "00", {Move::kStay, Move::kStay});
+  EXPECT_FALSE(b.status().ok());
+  EXPECT_NE(b.status().message().find("RST002"), std::string::npos);
+}
+
+TEST(BuilderTest, CleanBuilderChecksOut) {
+  MachineBuilder b(1, 0);
+  b.SetStart(0).AddFinal(100, true);
+  b.On(0, "1").Go(100, "1", {Move::kStay});
+  EXPECT_TRUE(b.status().ok()) << b.status();
+  EXPECT_TRUE(b.BuildChecked().ok());
+}
+
+// ---------------------------------------------------------------------
+// Property test: analyzer-certified bounds are never exceeded by 1k
+// random runs of each shipped machine (the soundness of the phase
+// analysis, exercised end to end).
+// ---------------------------------------------------------------------
+
+TEST(CertificateProperty, RandomRunsNeverExceedStaticBounds) {
+  Rng rng(20260805);
+  for (const CheckedMachine& entry : AllCheckedMachines()) {
+    const Analysis analysis = Analyze(entry.spec, entry.options);
+    ASSERT_TRUE(analysis.clean()) << entry.name;
+    auto tm = machine::TuringMachine::Create(entry.spec);
+    ASSERT_TRUE(tm.ok()) << entry.name << ": " << tm.status();
+
+    // Random inputs over the machine's own alphabet, plus the curated
+    // samples; 1000 runs per machine.
+    const std::string alphabet =
+        entry.options.alphabet.value_or("01") + "#";
+    for (int run = 0; run < 1000; ++run) {
+      std::string input;
+      if (run < static_cast<int>(entry.sample_inputs.size())) {
+        input = entry.sample_inputs[static_cast<std::size_t>(run)];
+      } else {
+        const std::size_t len = rng.UniformBelow(13);
+        for (std::size_t i = 0; i < len; ++i) {
+          input += alphabet[rng.UniformBelow(alphabet.size())];
+        }
+      }
+      const machine::RunResult result =
+          tm.value().RunRandomized(input, rng, 5000);
+      const Status certified = CheckCostsAgainstCertificate(
+          result.costs, analysis.resources);
+      EXPECT_TRUE(certified.ok())
+          << entry.name << " on \"" << input << "\": " << certified;
+    }
+  }
+}
+
+// Static bounds agree with the hand-derived reversal counts of the zoo
+// comments (regression against analyzer drift).
+TEST(StaticBoundsTest, MatchHandDerivedZooBounds) {
+  struct Expected {
+    const char* name;
+    std::uint64_t scan_bound;
+  };
+  const std::vector<Expected> expected = {
+      {"first-symbol-one", 1}, {"even-ones", 1},
+      {"fair-coin", 1},        {"biased-coin", 1},
+      {"two-field-equality", 3},
+      {"guess-first-bit", 1},  {"palindrome", 4},
+      {"balanced-zeros-ones", 1},
+      {"theorem8a-fingerprint", 2},
+      {"theorem8b-guess-verify", 1},
+  };
+  const std::vector<CheckedMachine> machines = AllCheckedMachines();
+  ASSERT_EQ(machines.size(), expected.size());
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    EXPECT_EQ(machines[i].name, expected[i].name);
+    const Analysis analysis = Analyze(machines[i].spec, machines[i].options);
+    ASSERT_TRUE(analysis.resources.scan_bound.bounded) << machines[i].name;
+    EXPECT_EQ(analysis.resources.scan_bound.value, expected[i].scan_bound)
+        << machines[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace rstlab::check

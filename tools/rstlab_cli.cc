@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "check/registry.h"
 #include "core/rstlab.h"
 #include "extmem/storage.h"
+#include "machine/turing_machine.h"
 
 namespace {
 
@@ -43,6 +45,10 @@ int Usage() {
       << "  rstlab fingerprint [file|-] [seed]\n"
       << "  rstlab sort [file|-]\n"
       << "  rstlab xpath \"<query>\" [xml-file|-]\n"
+      << "  rstlab check [machine|all] [--runs=K]    static analysis of"
+         " every shipped\n"
+      << "                                          paper/zoo machine;"
+         " exit 1 on errors\n"
       << "common flags (any command):\n"
       << "  --tape-backend=<mem|file>               mem (default) keeps"
          " tapes in RAM;\n"
@@ -201,6 +207,91 @@ int XPath(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Runs the static analyzer over the shipped machine registry, then —
+// as the runtime half of the contract — replays each machine's sample
+// inputs under random choices and asserts the measured RunCosts never
+// exceed the statically certified bounds (RST015 otherwise).
+int Check(const std::vector<std::string>& args) {
+  std::string selector = "all";
+  std::size_t runs = 16;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--runs=", 0) == 0) {
+      runs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      selector = arg;
+    }
+  }
+
+  bool matched = false;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  rstlab::Rng rng(7);
+  for (const rstlab::check::CheckedMachine& entry :
+       rstlab::check::AllCheckedMachines()) {
+    if (selector != "all" && selector != entry.name) continue;
+    matched = true;
+    const rstlab::check::Analysis analysis =
+        rstlab::check::Analyze(entry.spec, entry.options);
+    errors += analysis.diagnostics.num_errors();
+    warnings += analysis.diagnostics.num_warnings();
+    std::cout << entry.name << ": "
+              << (analysis.clean() ? "ok" : "FAIL") << "  [static r<="
+              << analysis.resources.scan_bound.ToString() << " s<="
+              << analysis.resources.total_internal_cells.ToString()
+              << " t=" << entry.spec.num_external_tapes << "]";
+    if (entry.options.declared.has_value()) {
+      std::cout << "  declared " << entry.options.declared->name;
+    }
+    std::cout << "\n";
+    const std::string report = analysis.diagnostics.ToString();
+    if (!report.empty()) std::cout << report;
+
+    // Runtime certificate hook over the sample inputs.
+    auto tm = rstlab::machine::TuringMachine::Create(entry.spec);
+    if (!tm.ok()) {
+      std::cout << "  executor rejects spec: " << tm.status() << "\n";
+      ++errors;
+      continue;
+    }
+    for (const std::string& input : entry.sample_inputs) {
+      for (std::size_t i = 0; i < runs; ++i) {
+        const rstlab::machine::RunResult run =
+            tm.value().RunRandomized(input, rng, 10000);
+        const rstlab::Status certified =
+            rstlab::check::CheckCostsAgainstCertificate(
+                run.costs, analysis.resources);
+        if (!certified.ok()) {
+          std::cout << "  run on \"" << input << "\": " << certified
+                    << "\n";
+          ++errors;
+        }
+      }
+    }
+  }
+  for (const rstlab::check::CheckedListMachine& entry :
+       rstlab::check::AllCheckedListMachines()) {
+    if (selector != "all" && selector != entry.name) continue;
+    matched = true;
+    const rstlab::check::Diagnostics diag =
+        rstlab::check::CheckListMachine(*entry.program, entry.options);
+    errors += diag.num_errors();
+    warnings += diag.num_warnings();
+    std::cout << entry.name << ": " << (diag.clean() ? "ok" : "FAIL");
+    if (entry.options.declared.has_value()) {
+      std::cout << "  declared " << entry.options.declared->name;
+    }
+    std::cout << "\n";
+    const std::string report = diag.ToString();
+    if (!report.empty()) std::cout << report;
+  }
+  if (!matched) {
+    std::cerr << "unknown machine \"" << selector << "\"\n";
+    return 2;
+  }
+  std::cout << errors << " error(s), " << warnings << " warning(s)\n";
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,5 +306,6 @@ int main(int argc, char** argv) {
   if (command == "fingerprint") return Fingerprint(args);
   if (command == "sort") return Sort(args);
   if (command == "xpath") return XPath(args);
+  if (command == "check") return Check(args);
   return Usage();
 }
