@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Per-subsystem line-coverage report over an instrumented build tree
+# (gcc --coverage), plus the src/conform coverage gate.
+#
+# Usage: scripts/coverage_report.sh BUILD_DIR [OUTPUT_FILE]
+#
+# Requires gcovr. Prints one line per src/ subsystem and the overall
+# total; writes the same table (plus per-file detail) to OUTPUT_FILE
+# (default BUILD_DIR/coverage.txt). Exits 1 if src/conform line
+# coverage is below the gate (85% — the conformance harness is itself
+# test infrastructure, so untested oracle code is silent non-coverage
+# of everything it was meant to check).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:?usage: coverage_report.sh BUILD_DIR [OUTPUT_FILE]}"
+out_file="${2:-${build_dir}/coverage.txt}"
+gate_subsystem="src/conform"
+gate_percent=85
+
+line_coverage() {
+  # gcovr txt-summary line: "lines: 93.4% (557 out of 596)"
+  gcovr --root . --object-directory "${build_dir}" \
+        --filter "$1/" --txt-summary 2>/dev/null |
+    sed -n 's/^lines: \([0-9.]*\)%.*/\1/p'
+}
+
+{
+  echo "subsystem line-coverage (build: ${build_dir})"
+  echo "--------------------------------------------"
+  for dir in src/*/; do
+    sub="${dir%/}"
+    pct="$(line_coverage "${sub}")"
+    printf '%-18s %6s%%\n' "${sub#src/}" "${pct:-n/a}"
+  done
+  total="$(line_coverage src)"
+  echo "--------------------------------------------"
+  printf '%-18s %6s%%\n' "total(src)" "${total:-n/a}"
+} | tee "${out_file}"
+
+# Per-file detail for the artifact, then the gate.
+gcovr --root . --object-directory "${build_dir}" --filter 'src/' \
+      >> "${out_file}" 2>/dev/null || true
+
+echo
+echo "gate: ${gate_subsystem} >= ${gate_percent}% lines"
+gcovr --root . --object-directory "${build_dir}" \
+      --filter "${gate_subsystem}/" \
+      --fail-under-line "${gate_percent}" --txt-summary

@@ -1,0 +1,65 @@
+#include "conform/case_id.h"
+
+#include <cstdlib>
+
+#include "parallel/seed_sequence.h"
+
+namespace rstlab::conform {
+
+namespace {
+
+/// FNV-1a over the suite name; the folding constant that keeps suites'
+/// Rng streams decorrelated at equal (seed, index).
+std::uint64_t Fnv1a64(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Parses a full decimal u64; false on empty or non-digit input.
+bool ParseU64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string CaseId::ToString() const {
+  return suite + ":" + std::to_string(seed) + ":" + std::to_string(index);
+}
+
+Result<CaseId> CaseId::Parse(const std::string& text) {
+  const std::size_t first = text.find(':');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : text.find(':', first + 1);
+  if (first == std::string::npos || second == std::string::npos ||
+      first == 0) {
+    return Status::InvalidArgument("replay triple must be suite:seed:index, got \"" +
+                                   text + "\"");
+  }
+  CaseId id;
+  id.suite = text.substr(0, first);
+  if (!ParseU64(text.substr(first + 1, second - first - 1), &id.seed) ||
+      !ParseU64(text.substr(second + 1), &id.index)) {
+    return Status::InvalidArgument(
+        "replay triple has non-numeric seed/index: \"" + text + "\"");
+  }
+  return id;
+}
+
+std::uint64_t CaseRngSeed(const CaseId& id) {
+  const parallel::SeedSequence sequence(id.seed ^ Fnv1a64(id.suite));
+  return sequence.SeedForTrial(id.index);
+}
+
+}  // namespace rstlab::conform

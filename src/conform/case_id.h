@@ -1,0 +1,41 @@
+#ifndef RSTLAB_CONFORM_CASE_ID_H_
+#define RSTLAB_CONFORM_CASE_ID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace rstlab::conform {
+
+/// The replayable identity of one conformance case: which suite ran it
+/// and the `(seed, index)` pair its randomness was derived from. Every
+/// failure the harness reports carries one of these, rendered as
+/// `suite:seed:index`, and `rstlab conform --replay=TRIPLE` (or a
+/// checked-in `tests/corpus/*.case` line) re-executes exactly that
+/// case — the generators draw from an Rng fully determined by the
+/// triple, so replay is bit-exact across machines and thread counts.
+struct CaseId {
+  std::string suite;
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;
+
+  /// Renders the canonical `suite:seed:index` form.
+  std::string ToString() const;
+
+  /// Parses the canonical form. Fails on anything else — a missing
+  /// field, a non-numeric seed/index, or trailing garbage.
+  static Result<CaseId> Parse(const std::string& text);
+
+  bool operator==(const CaseId& other) const = default;
+};
+
+/// The 64-bit Rng seed of a case: the SeedSequence-derived per-index
+/// stream of `seed`, decorrelated across suites by folding an FNV-1a
+/// hash of the suite name into the sequence seed. Two suites replaying
+/// the same `(seed, index)` therefore see independent randomness.
+std::uint64_t CaseRngSeed(const CaseId& id);
+
+}  // namespace rstlab::conform
+
+#endif  // RSTLAB_CONFORM_CASE_ID_H_

@@ -1,0 +1,232 @@
+#include "conform/gen.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "machine/machine_builder.h"
+#include "permutation/phi.h"
+#include "problems/generators.h"
+#include "util/bitstring.h"
+
+namespace rstlab::conform {
+
+namespace {
+
+/// A random 0/1 string of `length` characters.
+std::string RandomBits(Rng& rng, std::size_t length) {
+  std::string bits;
+  bits.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    bits.push_back(rng.Bernoulli(0.5) ? '1' : '0');
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::string TapeOp::ToString() const {
+  switch (kind) {
+    case Kind::kWrite:
+      return std::string("W(") + symbol + ")";
+    case Kind::kMoveLeft:
+      return "L";
+    case Kind::kMoveRight:
+      return "R";
+    case Kind::kSeek:
+      return "S(" + std::to_string(target) + ")";
+    case Kind::kReset:
+      return "T(\"" + content + "\")";
+  }
+  return "?";
+}
+
+std::string TapeOpsToString(const std::vector<TapeOp>& ops) {
+  std::string out;
+  for (const TapeOp& op : ops) {
+    if (!out.empty()) out.push_back(' ');
+    out += op.ToString();
+  }
+  return out;
+}
+
+std::size_t TapeOpsCellSpan(const std::vector<TapeOp>& ops) {
+  std::size_t head = 0;
+  std::size_t max_cell = 0;
+  for (const TapeOp& op : ops) {
+    switch (op.kind) {
+      case TapeOp::Kind::kWrite:
+        break;
+      case TapeOp::Kind::kMoveLeft:
+        if (head > 0) --head;
+        break;
+      case TapeOp::Kind::kMoveRight:
+        ++head;
+        break;
+      case TapeOp::Kind::kSeek:
+        head = op.target;
+        break;
+      case TapeOp::Kind::kReset:
+        head = 0;
+        max_cell = std::max(max_cell,
+                            op.content.empty() ? std::size_t{0}
+                                               : op.content.size() - 1);
+        break;
+    }
+    max_cell = std::max(max_cell, head);
+  }
+  return max_cell + 1;
+}
+
+Gen<std::vector<TapeOp>> GenTapeOps() {
+  return Gen<std::vector<TapeOp>>([](Rng& rng, std::size_t size) {
+    const std::size_t count = static_cast<std::size_t>(
+        rng.UniformInRange(1, 4 + 2 * size));
+    std::vector<TapeOp> ops;
+    ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      TapeOp op;
+      switch (rng.UniformBelow(8)) {
+        case 0:
+        case 1:
+          op.kind = TapeOp::Kind::kWrite;
+          op.symbol = static_cast<char>('a' + rng.UniformBelow(4));
+          break;
+        case 2:
+          op.kind = TapeOp::Kind::kMoveLeft;
+          break;
+        case 3:
+        case 4:
+        case 5:
+          // Right-biased so sequences wander off cell 0 and back.
+          op.kind = TapeOp::Kind::kMoveRight;
+          break;
+        case 6:
+          op.kind = TapeOp::Kind::kSeek;
+          op.target = static_cast<std::size_t>(
+              rng.UniformBelow(size + 8));
+          break;
+        default:
+          op.kind = TapeOp::Kind::kReset;
+          op.content = RandomBits(rng, rng.UniformBelow(size + 4));
+          break;
+      }
+      ops.push_back(std::move(op));
+    }
+    return ops;
+  });
+}
+
+Gen<problems::Instance> GenInstance() {
+  return Gen<problems::Instance>([](Rng& rng, std::size_t size) {
+    const std::size_t m = static_cast<std::size_t>(
+        rng.UniformInRange(1, 2 + size / 2));
+    const std::size_t n = static_cast<std::size_t>(
+        rng.UniformInRange(1, 2 + size / 2));
+    switch (rng.UniformBelow(6)) {
+      case 0:
+        return problems::EqualMultisets(m, n, rng);
+      case 1:
+        return problems::EqualSets(std::min(m, std::size_t{1} << std::min(
+                                                n, std::size_t{16})),
+                                   n, rng);
+      case 2:
+        return problems::PerturbedMultisets(
+            m, n, 1 + rng.UniformBelow(m), rng);
+      case 3:
+        return problems::SortedPair(m, n, rng);
+      case 4:
+        return problems::MisorderedPair(m, n, rng);
+      default: {
+        // Fully independent lists: the unstructured end of the space.
+        problems::Instance instance;
+        for (std::size_t i = 0; i < m; ++i) {
+          instance.first.push_back(BitString::Random(n, rng));
+          instance.second.push_back(BitString::Random(n, rng));
+        }
+        return instance;
+      }
+    }
+  });
+}
+
+Gen<permutation::Permutation> GenPermutation() {
+  return Gen<permutation::Permutation>([](Rng& rng, std::size_t size) {
+    const std::size_t m = static_cast<std::size_t>(
+        rng.UniformInRange(1, 2 + size));
+    return permutation::RandomPermutation(m, rng);
+  });
+}
+
+namespace {
+
+/// Grows a random element subtree under `node`.
+void GrowXml(query::XmlNode* node, Rng& rng, std::size_t depth,
+             std::size_t size) {
+  static const char* kNames[] = {"set", "value", "string", "item", "row"};
+  const std::size_t fanout = rng.UniformBelow(1 + std::min(size, std::size_t{4}));
+  for (std::size_t i = 0; i < fanout; ++i) {
+    query::XmlNode* child = node->AddChild(
+        kNames[rng.UniformBelow(std::size(kNames))]);
+    if (depth > 0 && rng.Bernoulli(0.6)) {
+      GrowXml(child, rng, depth - 1, size);
+    } else {
+      child->text = RandomBits(rng, rng.UniformBelow(6));
+    }
+  }
+}
+
+}  // namespace
+
+Gen<query::XmlDocument> GenXmlDocument() {
+  return Gen<query::XmlDocument>([](Rng& rng, std::size_t size) {
+    auto root = std::make_unique<query::XmlNode>();
+    root->name = "root";
+    GrowXml(root.get(), rng, /*depth=*/3, size);
+    if (root->children.empty()) root->text = RandomBits(rng, 3);
+    return root;
+  });
+}
+
+Gen<machine::MachineSpec> GenMachineSpec() {
+  return Gen<machine::MachineSpec>([](Rng& rng, std::size_t size) {
+    // States encode (layer, row): state = layer * rows + row. Every
+    // action jumps to layer + 1, so runs halt after `layers` steps and
+    // the static analyzer's longest-path bounds are finite — the
+    // differential suites need termination to be structural, never a
+    // step-budget race.
+    const std::size_t rows = 1 + rng.UniformBelow(3);
+    const std::size_t layers =
+        2 + rng.UniformBelow(2 + std::min(size, std::size_t{8}));
+    machine::MachineBuilder builder(/*external=*/1, /*internal=*/0);
+    builder.SetStart(0);
+    const int final_base = static_cast<int>(layers * rows);
+    for (std::size_t row = 0; row < rows; ++row) {
+      builder.AddFinal(final_base + static_cast<int>(row),
+                       /*accepting=*/rng.Bernoulli(0.5));
+    }
+    const std::string alphabet = "01_";
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+      for (std::size_t row = 0; row < rows; ++row) {
+        const int state = static_cast<int>(layer * rows + row);
+        for (const char read : alphabet) {
+          const std::size_t next_row = rng.UniformBelow(rows);
+          const int next =
+              layer + 1 == layers
+                  ? final_base + static_cast<int>(next_row)
+                  : static_cast<int>((layer + 1) * rows + next_row);
+          const char write =
+              alphabet[rng.UniformBelow(alphabet.size())];
+          const machine::Move move =
+              rng.Bernoulli(0.25) ? machine::Move::kLeft
+              : rng.Bernoulli(0.2) ? machine::Move::kStay
+                                   : machine::Move::kRight;
+          builder.On(state, std::string(1, read))
+              .Go(next, std::string(1, write), {move});
+        }
+      }
+    }
+    return builder.Build();
+  });
+}
+
+}  // namespace rstlab::conform

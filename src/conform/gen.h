@@ -1,0 +1,146 @@
+#ifndef RSTLAB_CONFORM_GEN_H_
+#define RSTLAB_CONFORM_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/turing_machine.h"
+#include "permutation/sortedness.h"
+#include "problems/instance.h"
+#include "query/xml.h"
+#include "util/random.h"
+
+namespace rstlab::conform {
+
+/// A sized random generator: a pure function of `(rng, size)` where
+/// `size` scales how large the produced value may get. Every suite's
+/// instance space is a `Gen<T>`; because the only randomness source is
+/// the `Rng` derived from a case's replay triple, a generated value is
+/// reproducible from `(suite, seed, index)` alone.
+template <typename T>
+class Gen {
+ public:
+  using Fn = std::function<T(Rng&, std::size_t)>;
+
+  explicit Gen(Fn fn) : fn_(std::move(fn)) {}
+
+  T operator()(Rng& rng, std::size_t size) const { return fn_(rng, size); }
+
+  /// A generator producing `f(value)` for this generator's values.
+  template <typename F>
+  auto Map(F f) const -> Gen<decltype(f(std::declval<T>()))> {
+    using U = decltype(f(std::declval<T>()));
+    Fn fn = fn_;
+    return Gen<U>([fn, f](Rng& rng, std::size_t size) -> U {
+      return f(fn(rng, size));
+    });
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// A generator that always yields `value`.
+template <typename T>
+Gen<T> GenConst(T value) {
+  return Gen<T>([value](Rng&, std::size_t) { return value; });
+}
+
+/// Uniform choice between alternatives, re-drawn per call.
+template <typename T>
+Gen<T> GenOneOf(std::vector<Gen<T>> alternatives) {
+  return Gen<T>([alternatives](Rng& rng, std::size_t size) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.UniformBelow(alternatives.size()));
+    return alternatives[pick](rng, size);
+  });
+}
+
+/// A vector of `count_lo..count_hi` values of `element` (inclusive).
+template <typename T>
+Gen<std::vector<T>> GenVectorOf(Gen<T> element, std::size_t count_lo,
+                                std::size_t count_hi) {
+  return Gen<std::vector<T>>(
+      [element, count_lo, count_hi](Rng& rng, std::size_t size) {
+        const std::size_t count = static_cast<std::size_t>(
+            rng.UniformInRange(count_lo, count_hi));
+        std::vector<T> values;
+        values.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          values.push_back(element(rng, size));
+        }
+        return values;
+      });
+}
+
+// ---------------------------------------------------------------------
+// Concrete instance spaces. All are shaped so a `size` in the low tens
+// keeps single-case cost at microseconds-to-milliseconds — `--cases=500`
+// must stay a sub-minute CI step on every suite.
+// ---------------------------------------------------------------------
+
+/// One operation of a tape op sequence (the tape-backend suite's
+/// instance alphabet). Targets and contents are kept small so shrunk
+/// counterexamples naturally confine themselves to a few cells.
+struct TapeOp {
+  enum class Kind : std::uint8_t {
+    kWrite,      // write `symbol` under the head
+    kMoveLeft,   // one cell left (blocked and free at cell 0)
+    kMoveRight,  // one cell right
+    kSeek,       // absolute seek to `target`
+    kReset,      // replace content with `content`, rewind
+  };
+
+  Kind kind = Kind::kMoveRight;
+  char symbol = 'a';        // kWrite
+  std::size_t target = 0;   // kSeek
+  std::string content;      // kReset
+
+  /// Compact rendering, e.g. "W(x)", "L", "R", "S(12)", "T(\"0101\")".
+  std::string ToString() const;
+
+  bool operator==(const TapeOp& other) const = default;
+};
+
+/// Renders an op sequence as a single line, e.g. "R R W(x) S(0) L".
+std::string TapeOpsToString(const std::vector<TapeOp>& ops);
+
+/// The highest cell index any op can touch: 1 + max over the sequence of
+/// seek targets, reset lengths and net right-moves. The shrinker reports
+/// this as the counterexample's cell footprint.
+std::size_t TapeOpsCellSpan(const std::vector<TapeOp>& ops);
+
+/// Random tape op sequences of up to `4 + 2 * size` ops; seeks stay
+/// within [0, size + 8), resets within length < size + 4.
+Gen<std::vector<TapeOp>> GenTapeOps();
+
+/// Random problem instances: a mix of the structured workload
+/// generators (equal/perturbed multisets, sorted/misordered pairs,
+/// equal sets) and fully independent random lists, with
+/// m in [1, 2 + size/2] and n in [1, 2 + size/2].
+Gen<problems::Instance> GenInstance();
+
+/// A uniformly random permutation of {0, ..., m-1} with
+/// m in [1, 2 + size].
+Gen<permutation::Permutation> GenPermutation();
+
+/// Random XML documents: element trees of depth <= 3 over a small name
+/// alphabet with digit-string leaf texts — the shape the paper's
+/// Theorem 12/13 encodings produce, plus arbitrary nesting.
+Gen<query::XmlDocument> GenXmlDocument();
+
+/// Random *terminating* deterministic Turing machines with one external
+/// tape over {0,1,_}: states encode (layer, row) pairs and every
+/// transition strictly increases the layer, so any run halts within
+/// `layers` steps regardless of the input. Suitable for differential
+/// execution (certificate and simulation oracles) where a run budget
+/// must never be the failure mode.
+Gen<machine::MachineSpec> GenMachineSpec();
+
+}  // namespace rstlab::conform
+
+#endif  // RSTLAB_CONFORM_GEN_H_

@@ -1,0 +1,61 @@
+#ifndef RSTLAB_CONFORM_HARNESS_H_
+#define RSTLAB_CONFORM_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conform/case_id.h"
+#include "conform/oracle.h"
+#include "util/status.h"
+
+namespace rstlab::conform {
+
+/// One failed case inside a suite run, fully replayable.
+struct CaseFailure {
+  CaseId id;
+  std::string failure;
+  std::string counterexample;
+  std::size_t shrink_attempts = 0;
+};
+
+/// The outcome of running one suite for `cases` indices under `seed`.
+struct SuiteReport {
+  std::string suite;
+  std::uint64_t seed = 0;
+  std::uint64_t cases = 0;
+  std::vector<CaseFailure> failures;
+
+  bool passed() const { return failures.empty(); }
+
+  /// Deterministic human-readable rendering: one status line, then one
+  /// block per failure with its replay triple. Byte-identical across
+  /// runs at equal (suite, seed, cases).
+  std::string ToString() const;
+};
+
+/// Runs cases `0..cases-1` of `suite`; failures are shrunk by the
+/// suite before they land in the report.
+SuiteReport RunSuite(const Suite& suite, std::uint64_t seed,
+                     std::uint64_t cases);
+
+/// Replays exactly one case. Fails (NotFound) on an unknown suite name.
+Result<CaseOutcome> ReplayCase(const CaseId& id);
+
+/// Parses one corpus file: `#`-comment and blank lines skipped, every
+/// other line a replay triple.
+Result<std::vector<CaseId>> LoadCorpusFile(const std::string& path);
+
+/// Loads every `*.case` file under `dir` in lexicographic filename
+/// order (deterministic corpus replay order). A missing directory is
+/// an empty corpus, not an error.
+Result<std::vector<CaseId>> LoadCorpusDir(const std::string& dir);
+
+/// The per-suite case count for property tests: `RSTLAB_TEST_CASES`
+/// when set to a positive integer, else `fallback`. Sanitizer CI jobs
+/// dial this down instead of timing out.
+std::size_t EnvTestCases(std::size_t fallback);
+
+}  // namespace rstlab::conform
+
+#endif  // RSTLAB_CONFORM_HARNESS_H_

@@ -1,0 +1,70 @@
+#ifndef RSTLAB_CONFORM_ORACLE_H_
+#define RSTLAB_CONFORM_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conform/case_id.h"
+
+namespace rstlab::conform {
+
+/// The result of one conformance case. When a differential check
+/// disagrees, the suite shrinks the instance before reporting, so
+/// `counterexample` is already minimal with respect to the suite's
+/// shrink moves and `failure` describes the disagreement *on the shrunk
+/// instance* — the report a human debugs from, not the raw random blob.
+struct CaseOutcome {
+  bool passed = true;
+  /// First observable disagreement, e.g.
+  /// "reversals: model=0 mem=1" (empty when passed).
+  std::string failure;
+  /// Minimal failing instance, rendered by the suite.
+  std::string counterexample;
+  /// Shrink descent cost (candidate re-executions).
+  std::size_t shrink_attempts = 0;
+};
+
+/// One differential oracle: a named family of cases, each a pure
+/// function of its replay triple. Implementations generate an instance
+/// from the triple's Rng, execute every implementation pair that must
+/// agree, and on disagreement delta-debug the instance to a minimal
+/// counterexample.
+class Suite {
+ public:
+  virtual ~Suite() = default;
+
+  /// Stable suite name — the first field of the replay triple.
+  virtual const char* name() const = 0;
+
+  /// One line for `rstlab conform` listings.
+  virtual const char* description() const = 0;
+
+  /// Runs case `(seed, index)`. Deterministic: two calls with equal
+  /// arguments return byte-identical outcomes on any machine.
+  virtual CaseOutcome RunCase(std::uint64_t seed,
+                              std::uint64_t index) const = 0;
+};
+
+/// Self-test fault injection: when enabled, every suite deliberately
+/// perturbs exactly one observed value per differential check (the
+/// model charges a phantom reversal, the parallel tally flips a bit,
+/// the reference decider negates its verdict, ...), so each oracle's
+/// detection, shrinking and reporting machinery runs against a known
+/// bug. A smoke detector is only trusted once it has seen smoke:
+/// `conform_test` and `rstlab conform --selftest` assert that every
+/// suite reports at least one shrunk, replayable failure under
+/// injection. Process-global; never enabled outside self-tests.
+void SetFaultInjection(bool enabled);
+bool FaultInjectionEnabled();
+
+/// The registry: every shipped oracle, in fixed report order. Pointers
+/// are owned by the registry and live for the process.
+const std::vector<const Suite*>& AllSuites();
+
+/// The suite named `name`, or nullptr.
+const Suite* FindSuite(const std::string& name);
+
+}  // namespace rstlab::conform
+
+#endif  // RSTLAB_CONFORM_ORACLE_H_

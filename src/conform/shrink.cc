@@ -1,0 +1,20 @@
+#include "conform/shrink.h"
+
+namespace rstlab::conform {
+
+std::vector<std::pair<std::size_t, std::size_t>> RemovalSpans(
+    std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  if (n == 0) return spans;
+  // Halving chunk sizes: n/2, n/4, ..., 1. Single elements appear
+  // exactly once (the final pass), so the candidate count is O(n log n).
+  for (std::size_t chunk = n - n / 2; chunk >= 1; chunk /= 2) {
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      spans.emplace_back(begin, std::min(chunk, n - begin));
+    }
+    if (chunk == 1) break;
+  }
+  return spans;
+}
+
+}  // namespace rstlab::conform

@@ -1,0 +1,81 @@
+#ifndef RSTLAB_CONFORM_SHRINK_H_
+#define RSTLAB_CONFORM_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rstlab::conform {
+
+/// Bookkeeping of one shrink descent, surfaced in failure reports so a
+/// reader can tell a one-step minimization from a long search.
+struct ShrinkStats {
+  std::size_t attempts = 0;      // candidate re-executions
+  std::size_t improvements = 0;  // candidates that still failed
+};
+
+/// Greedy delta debugging: starting from a failing value, repeatedly
+/// replace it with the first candidate (in the order `candidates`
+/// yields them — callers put the most aggressive reductions first) that
+/// still fails, until no candidate fails or `max_attempts` checks have
+/// run. The result is 1-minimal with respect to the candidate moves
+/// whenever the budget is not exhausted.
+///
+/// `still_fails` must be a pure function of its argument — the suites
+/// guarantee this by re-running the full differential check, which only
+/// reads the candidate and freshly constructed subjects.
+template <typename T>
+T GreedyShrink(T failing,
+               const std::function<bool(const T&)>& still_fails,
+               const std::function<std::vector<T>(const T&)>& candidates,
+               std::size_t max_attempts, ShrinkStats* stats = nullptr) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  bool improved = true;
+  while (improved && s.attempts < max_attempts) {
+    improved = false;
+    for (T& candidate : candidates(failing)) {
+      if (s.attempts >= max_attempts) break;
+      ++s.attempts;
+      if (still_fails(candidate)) {
+        failing = std::move(candidate);
+        ++s.improvements;
+        improved = true;
+        break;  // restart from the smaller failing value
+      }
+    }
+  }
+  return failing;
+}
+
+/// The spans ddmin removes from a length-`n` sequence, most aggressive
+/// first: halves, then quarters, ... down to single elements. Each span
+/// is a `(begin, length)` pair with length >= 1.
+std::vector<std::pair<std::size_t, std::size_t>> RemovalSpans(
+    std::size_t n);
+
+/// Sequence-removal candidates for vector-shaped instances: `sequence`
+/// with each `RemovalSpans` span deleted. Combined with `GreedyShrink`
+/// this is the classic ddmin descent.
+template <typename T>
+std::vector<std::vector<T>> SequenceRemovalCandidates(
+    const std::vector<T>& sequence) {
+  std::vector<std::vector<T>> out;
+  for (const auto& [begin, length] : RemovalSpans(sequence.size())) {
+    std::vector<T> candidate;
+    candidate.reserve(sequence.size() - length);
+    candidate.insert(candidate.end(), sequence.begin(),
+                     sequence.begin() + static_cast<std::ptrdiff_t>(begin));
+    candidate.insert(candidate.end(),
+                     sequence.begin() +
+                         static_cast<std::ptrdiff_t>(begin + length),
+                     sequence.end());
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+}  // namespace rstlab::conform
+
+#endif  // RSTLAB_CONFORM_SHRINK_H_

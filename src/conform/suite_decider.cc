@@ -1,0 +1,188 @@
+// The decider oracle: Corollary 7's merge-sort deciders must compute
+// the *same predicate* as the in-memory reference deciders — for all
+// three problems, on every instance, on both storage backends — and
+// the two backend runs must bill identical (r, s) costs, since the
+// paper's cost model never looks at where cells live.
+
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "conform/case_id.h"
+#include "conform/gen.h"
+#include "conform/shrink.h"
+#include "conform/suites.h"
+#include "extmem/storage.h"
+#include "problems/instance.h"
+#include "problems/reference.h"
+#include "sorting/deciders.h"
+#include "stmodel/st_context.h"
+#include "tape/resource_meter.h"
+#include "util/random.h"
+
+namespace rstlab::conform {
+
+namespace {
+
+const problems::Problem kProblems[] = {
+    problems::Problem::kSetEquality,
+    problems::Problem::kMultisetEquality,
+    problems::Problem::kCheckSort,
+};
+
+extmem::StorageOptions FileOptions() {
+  extmem::StorageOptions options;
+  options.backend = extmem::BackendKind::kFile;
+  options.block_size = 64;
+  options.cache_blocks = 4;
+  options.readahead_blocks = 2;
+  options.dir = (std::filesystem::temp_directory_path() /
+                 "rstlab-conform-tapes").string();
+  return options;
+}
+
+/// One decider run; fills verdict and the metered report.
+Result<bool> RunDecider(problems::Problem problem,
+                        const std::string& encoded,
+                        const extmem::StorageOptions& options,
+                        tape::ResourceReport* report) {
+  stmodel::StContext ctx(sorting::kDeciderTapes, options);
+  ctx.LoadInput(encoded);
+  Result<bool> verdict = sorting::DecideOnTapes(problem, ctx);
+  if (verdict.ok()) *report = ctx.Report();
+  return verdict;
+}
+
+/// "" when all deciders agree with the reference on `instance`.
+std::string CheckDeciderCase(const problems::Instance& instance) {
+  const std::string encoded = instance.Encode();
+  for (const problems::Problem problem : kProblems) {
+    // Self-test fault: negate the reference verdict — equivalent to a
+    // decider that computes the complement predicate.
+    const bool expected =
+        problems::RefDecide(problem, instance) != FaultInjectionEnabled();
+
+    tape::ResourceReport mem_report;
+    Result<bool> mem_verdict = RunDecider(
+        problem, encoded, extmem::StorageOptions{}, &mem_report);
+    if (!mem_verdict.ok()) {
+      return std::string(problems::ProblemName(problem)) +
+             " mem decider failed: " + mem_verdict.status().ToString();
+    }
+    if (mem_verdict.value() != expected) {
+      return std::string(problems::ProblemName(problem)) +
+             ": reference=" + (expected ? "yes" : "no") +
+             " tape(mem)=" + (mem_verdict.value() ? "yes" : "no");
+    }
+
+    tape::ResourceReport file_report;
+    Result<bool> file_verdict =
+        RunDecider(problem, encoded, FileOptions(), &file_report);
+    if (!file_verdict.ok()) {
+      return std::string(problems::ProblemName(problem)) +
+             " file decider failed: " + file_verdict.status().ToString();
+    }
+    if (file_verdict.value() != expected) {
+      return std::string(problems::ProblemName(problem)) +
+             ": reference=" + (expected ? "yes" : "no") +
+             " tape(file)=" + (file_verdict.value() ? "yes" : "no");
+    }
+
+    // Backend-independent metering: same scans, same reversals, same
+    // internal bill.
+    if (mem_report.scan_bound != file_report.scan_bound ||
+        mem_report.reversals_per_tape != file_report.reversals_per_tape ||
+        mem_report.internal_space != file_report.internal_space ||
+        mem_report.external_space != file_report.external_space) {
+      return std::string(problems::ProblemName(problem)) +
+             ": cost bill differs across backends: mem=[" +
+             mem_report.ToString() + "] file=[" + file_report.ToString() +
+             "]";
+    }
+  }
+  return "";
+}
+
+/// Shrink moves: drop a pair (from both lists, keeping the instance
+/// well-formed), drop the last bit column, zero out one value.
+std::vector<problems::Instance> DeciderCandidates(
+    const problems::Instance& current) {
+  std::vector<problems::Instance> out;
+  for (std::size_t k = 0; k < current.m() && current.m() > 1; ++k) {
+    problems::Instance smaller = current;
+    smaller.first.erase(smaller.first.begin() +
+                        static_cast<std::ptrdiff_t>(k));
+    smaller.second.erase(smaller.second.begin() +
+                         static_cast<std::ptrdiff_t>(k));
+    out.push_back(std::move(smaller));
+  }
+  if (!current.first.empty() && current.first[0].size() > 1) {
+    problems::Instance narrower = current;
+    const std::size_t n = current.first[0].size() - 1;
+    for (auto* list : {&narrower.first, &narrower.second}) {
+      for (BitString& value : *list) {
+        BitString truncated(n);
+        for (std::size_t b = 0; b < n && b < value.size(); ++b) {
+          truncated.set_bit(b, value.bit(b));
+        }
+        value = truncated;
+      }
+    }
+    out.push_back(std::move(narrower));
+  }
+  for (std::size_t k = 0; k < current.m(); ++k) {
+    if (current.second[k] == BitString(current.second[k].size())) continue;
+    problems::Instance zeroed = current;
+    zeroed.second[k] = BitString(current.second[k].size());
+    out.push_back(std::move(zeroed));
+  }
+  return out;
+}
+
+class DeciderSuite final : public Suite {
+ public:
+  const char* name() const override { return "deciders"; }
+  const char* description() const override {
+    return "reference deciders vs merge-sort tape deciders on both "
+           "backends";
+  }
+
+  CaseOutcome RunCase(std::uint64_t seed,
+                      std::uint64_t index) const override {
+    Rng rng(CaseRngSeed(CaseId{name(), seed, index}));
+    problems::Instance instance = GenInstance()(rng, 4 + index % 12);
+
+    CaseOutcome outcome;
+    std::string failure = CheckDeciderCase(instance);
+    if (failure.empty()) return outcome;
+
+    const std::function<bool(const problems::Instance&)> still_fails =
+        [](const problems::Instance& candidate) {
+          return !CheckDeciderCase(candidate).empty();
+        };
+    const std::function<std::vector<problems::Instance>(
+        const problems::Instance&)>
+        candidates = &DeciderCandidates;
+    ShrinkStats stats;
+    instance = GreedyShrink(std::move(instance), still_fails, candidates,
+                            /*max_attempts=*/400, &stats);
+
+    outcome.passed = false;
+    outcome.failure = CheckDeciderCase(instance);
+    outcome.counterexample =
+        instance.Encode() + "  (m=" + std::to_string(instance.m()) +
+        ", N=" + std::to_string(instance.N()) + ")";
+    outcome.shrink_attempts = stats.attempts;
+    return outcome;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Suite> MakeDeciderSuite() {
+  return std::make_unique<DeciderSuite>();
+}
+
+}  // namespace rstlab::conform

@@ -1,0 +1,374 @@
+// Machine-level oracles.
+//
+// tm-nlm: Lemma 16 operationalized — for any machine, input and choice
+// sequence, the list-machine run produced by `SimulateTmAsNlm` must
+// agree with the Turing machine run on halting, acceptance and the
+// per-tape reversal counts. This is the invariant that lets Lemma 18
+// transfer acceptance *probabilities*: it must hold per choice
+// sequence, not just on average.
+//
+// certificate: the static analyzer's resource certificate (RST015
+// contract) — `check::Analyze`'s per-tape reversal bounds and internal
+// cell bounds are upper bounds over *every* run, so no measured
+// `RunCosts` may ever exceed them, on shipped machines or on freshly
+// generated random ones.
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/analyzer.h"
+#include "check/registry.h"
+#include "conform/case_id.h"
+#include "conform/gen.h"
+#include "conform/shrink.h"
+#include "conform/suites.h"
+#include "listmachine/simulation.h"
+#include "machine/machine_builder.h"
+#include "machine/turing_machine.h"
+#include "util/random.h"
+
+namespace rstlab::conform {
+
+namespace {
+
+constexpr std::size_t kMaxSteps = 20000;
+
+/// The zoo machines paired with the input-field count their tape-0
+/// encoding expects (fields are joined as v_1# ... v_k#).
+struct PoolEntry {
+  const char* name;
+  machine::MachineSpec (*make)();
+  std::size_t fields;
+};
+
+const PoolEntry kZooPool[] = {
+    {"zoo.first-symbol-one", &machine::zoo::FirstSymbolOne, 1},
+    {"zoo.even-ones", &machine::zoo::EvenOnes, 1},
+    {"zoo.fair-coin", &machine::zoo::FairCoin, 1},
+    {"zoo.guess-first-bit", &machine::zoo::GuessFirstBit, 1},
+    {"zoo.two-field-equality", &machine::zoo::TwoFieldEquality, 2},
+    {"zoo.palindrome", &machine::zoo::Palindrome, 1},
+    {"zoo.balanced-zeros-ones", &machine::zoo::BalancedZerosOnes, 1},
+};
+
+struct TmNlmCase {
+  std::string machine_name;
+  machine::MachineSpec spec;
+  std::vector<std::string> fields;
+  std::vector<std::uint64_t> choices;
+};
+
+std::string JoinFields(const std::vector<std::string>& fields) {
+  std::string input;
+  for (const std::string& field : fields) {
+    input += field;
+    input += '#';
+  }
+  return input;
+}
+
+std::string RenderTmNlmCase(const TmNlmCase& c) {
+  std::string out = c.machine_name + " input=\"" + JoinFields(c.fields) +
+                    "\" choices=[";
+  for (std::size_t i = 0; i < c.choices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(c.choices[i]);
+  }
+  return out + "]";
+}
+
+/// "" when TM and simulated NLM agree on this case.
+std::string CheckTmNlmCase(const TmNlmCase& c) {
+  Result<machine::TuringMachine> tm =
+      machine::TuringMachine::Create(c.spec);
+  if (!tm.ok()) {
+    return "executor rejects spec: " + tm.status().ToString();
+  }
+  const machine::RunResult tm_run =
+      tm.value().RunWithChoices(JoinFields(c.fields), c.choices,
+                                kMaxSteps);
+  Result<listmachine::SimulationResult> sim = listmachine::SimulateTmAsNlm(
+      tm.value(), c.fields, c.choices, kMaxSteps);
+  if (!sim.ok()) {
+    return "simulation failed: " + sim.status().ToString();
+  }
+  const listmachine::SimulationResult& s = sim.value();
+  if (s.tm_halted != tm_run.halted) {
+    return "halted: tm=" + std::to_string(tm_run.halted) +
+           " sim=" + std::to_string(s.tm_halted);
+  }
+  if (!tm_run.halted) return "";  // both hit the budget; nothing to compare
+  if (s.tm_accepted != tm_run.accepted) {
+    return "tm accepted: direct=" + std::to_string(tm_run.accepted) +
+           " via-sim=" + std::to_string(s.tm_accepted);
+  }
+  // Self-test fault: negate the simulated list machine's verdict — the
+  // exact disagreement Lemma 16 forbids.
+  const bool nlm_accepted = s.run.accepted != FaultInjectionEnabled();
+  if (nlm_accepted != tm_run.accepted) {
+    return "acceptance: tm=" + std::to_string(tm_run.accepted) +
+           " nlm=" + std::to_string(nlm_accepted);
+  }
+  if (s.run.reversals.size() != tm_run.costs.external_reversals.size()) {
+    return "reversal arity: tm=" +
+           std::to_string(tm_run.costs.external_reversals.size()) +
+           " nlm=" + std::to_string(s.run.reversals.size());
+  }
+  for (std::size_t i = 0; i < s.run.reversals.size(); ++i) {
+    if (s.run.reversals[i] != tm_run.costs.external_reversals[i]) {
+      return "reversals on tape " + std::to_string(i) +
+             ": tm=" + std::to_string(tm_run.costs.external_reversals[i]) +
+             " nlm=" + std::to_string(s.run.reversals[i]);
+    }
+  }
+  return "";
+}
+
+class TmNlmSuite final : public Suite {
+ public:
+  const char* name() const override { return "tm-nlm"; }
+  const char* description() const override {
+    return "TM vs simulated NLM: acceptance and reversal agreement "
+           "(Lemma 16)";
+  }
+
+  CaseOutcome RunCase(std::uint64_t seed,
+                      std::uint64_t index) const override {
+    Rng rng(CaseRngSeed(CaseId{name(), seed, index}));
+    TmNlmCase c;
+    // Mostly zoo machines (hand-written heads that turn mid-content),
+    // sometimes a random layered machine.
+    if (rng.Bernoulli(0.25)) {
+      c.machine_name = "random-layered";
+      c.spec = GenMachineSpec()(rng, 4 + index % 8);
+      c.fields.push_back(RandomField(rng, 1 + rng.UniformBelow(7)));
+    } else {
+      const PoolEntry& entry =
+          kZooPool[rng.UniformBelow(std::size(kZooPool))];
+      c.machine_name = entry.name;
+      c.spec = entry.make();
+      for (std::size_t f = 0; f < entry.fields; ++f) {
+        c.fields.push_back(RandomField(rng, 1 + rng.UniformBelow(7)));
+      }
+      // Equal fields half the time so equality/palindrome machines
+      // exercise their accepting paths too.
+      if (entry.fields == 2 && rng.Bernoulli(0.5)) {
+        c.fields[1] = c.fields[0];
+      }
+    }
+    c.choices.resize(64);
+    for (std::uint64_t& choice : c.choices) {
+      choice = rng.UniformBelow(4);
+    }
+
+    CaseOutcome outcome;
+    std::string failure = CheckTmNlmCase(c);
+    if (failure.empty()) return outcome;
+
+    const std::function<bool(const TmNlmCase&)> still_fails =
+        [](const TmNlmCase& candidate) {
+          return !CheckTmNlmCase(candidate).empty();
+        };
+    const std::function<std::vector<TmNlmCase>(const TmNlmCase&)>
+        candidates = [](const TmNlmCase& current) {
+          std::vector<TmNlmCase> out;
+          // Shorten each field (drop last bit, keeping fields
+          // non-empty so the instance stays in the generated space and
+          // the failure cannot morph into an encoding error), then
+          // drop choices.
+          for (std::size_t f = 0; f < current.fields.size(); ++f) {
+            if (current.fields[f].size() <= 1) continue;
+            TmNlmCase shorter = current;
+            shorter.fields[f].pop_back();
+            out.push_back(std::move(shorter));
+          }
+          if (current.choices.size() > 1) {
+            TmNlmCase fewer = current;
+            fewer.choices.resize(current.choices.size() / 2);
+            out.push_back(std::move(fewer));
+          }
+          return out;
+        };
+    ShrinkStats stats;
+    const TmNlmCase shrunk = GreedyShrink(
+        std::move(c), still_fails, candidates, /*max_attempts=*/500,
+        &stats);
+
+    outcome.passed = false;
+    outcome.failure = CheckTmNlmCase(shrunk);
+    outcome.counterexample = RenderTmNlmCase(shrunk);
+    outcome.shrink_attempts = stats.attempts;
+    return outcome;
+  }
+
+ private:
+  static std::string RandomField(Rng& rng, std::size_t length) {
+    std::string field;
+    for (std::size_t i = 0; i < length; ++i) {
+      field.push_back(rng.Bernoulli(0.5) ? '1' : '0');
+    }
+    return field;
+  }
+};
+
+// ---------------------------------------------------------------------
+
+struct CertificateCase {
+  std::string machine_name;
+  machine::MachineSpec spec;
+  check::AnalyzeOptions options;
+  std::string input;
+  std::uint64_t run_seed = 0;
+  std::size_t runs = 4;
+};
+
+std::string RenderCertificateCase(const CertificateCase& c) {
+  return c.machine_name + " input=\"" + c.input +
+         "\" run_seed=" + std::to_string(c.run_seed) +
+         " runs=" + std::to_string(c.runs);
+}
+
+/// "" when every measured run stays inside the static certificate.
+std::string CheckCertificateCase(const CertificateCase& c) {
+  const check::Analysis analysis = check::Analyze(c.spec, c.options);
+  Result<machine::TuringMachine> tm =
+      machine::TuringMachine::Create(c.spec);
+  if (!tm.ok()) {
+    return "executor rejects spec: " + tm.status().ToString();
+  }
+  Rng rng(c.run_seed);
+  for (std::size_t i = 0; i < c.runs; ++i) {
+    const machine::RunResult run =
+        tm.value().RunRandomized(c.input, rng, kMaxSteps);
+    const Status certified = check::CheckCostsAgainstCertificate(
+        run.costs, analysis.resources);
+    if (!certified.ok()) {
+      return "run " + std::to_string(i) + ": " + certified.ToString();
+    }
+    // Internal consistency of the executor's own bill: the measured
+    // scan bound is defined as 1 + sum of external reversals.
+    std::uint64_t total = 1;
+    for (const std::uint64_t rev : run.costs.external_reversals) {
+      total += rev;
+    }
+    // Self-test fault: claim one extra scan, breaking Definition 1's
+    // r = 1 + sum(reversals) identity the executor must maintain.
+    const std::uint64_t scan_bound =
+        run.costs.scan_bound + (FaultInjectionEnabled() ? 1 : 0);
+    if (scan_bound != total) {
+      return "run " + std::to_string(i) + ": scan_bound=" +
+             std::to_string(scan_bound) +
+             " != 1 + sum(reversals)=" + std::to_string(total);
+    }
+  }
+  return "";
+}
+
+class CertificateSuite final : public Suite {
+ public:
+  const char* name() const override { return "certificate"; }
+  const char* description() const override {
+    return "static Analyze certificate dominates measured RunCosts "
+           "(RST015)";
+  }
+
+  CaseOutcome RunCase(std::uint64_t seed,
+                      std::uint64_t index) const override {
+    Rng rng(CaseRngSeed(CaseId{name(), seed, index}));
+    CertificateCase c;
+    c.run_seed = rng.Next64();
+    c.runs = 4;
+
+    // Half the cases probe the shipped registry (sample inputs plus a
+    // mutation of one), half probe fresh random machines.
+    const std::vector<check::CheckedMachine> registry =
+        check::AllCheckedMachines();
+    if (!registry.empty() && rng.Bernoulli(0.5)) {
+      const check::CheckedMachine& entry =
+          registry[rng.UniformBelow(registry.size())];
+      c.machine_name = "registry." + entry.name;
+      c.spec = entry.spec;
+      c.options = entry.options;
+      if (!entry.sample_inputs.empty()) {
+        c.input = entry.sample_inputs[rng.UniformBelow(
+            entry.sample_inputs.size())];
+        MutateInput(&c.input, rng);
+      }
+    } else {
+      c.machine_name = "random-layered";
+      c.spec = GenMachineSpec()(rng, 4 + index % 8);
+      const std::size_t length = rng.UniformBelow(10);
+      for (std::size_t i = 0; i < length; ++i) {
+        c.input.push_back(rng.Bernoulli(0.5) ? '1' : '0');
+      }
+    }
+
+    CaseOutcome outcome;
+    std::string failure = CheckCertificateCase(c);
+    if (failure.empty()) return outcome;
+
+    const std::function<bool(const CertificateCase&)> still_fails =
+        [](const CertificateCase& candidate) {
+          return !CheckCertificateCase(candidate).empty();
+        };
+    const std::function<std::vector<CertificateCase>(
+        const CertificateCase&)>
+        candidates = [](const CertificateCase& current) {
+          std::vector<CertificateCase> out;
+          if (!current.input.empty()) {
+            CertificateCase halved = current;
+            halved.input.resize(current.input.size() / 2);
+            out.push_back(std::move(halved));
+            CertificateCase shorter = current;
+            shorter.input.pop_back();
+            out.push_back(std::move(shorter));
+          }
+          if (current.runs > 1) {
+            CertificateCase fewer = current;
+            fewer.runs = 1;
+            out.push_back(std::move(fewer));
+          }
+          return out;
+        };
+    ShrinkStats stats;
+    const CertificateCase shrunk = GreedyShrink(
+        std::move(c), still_fails, candidates, /*max_attempts=*/300,
+        &stats);
+
+    outcome.passed = false;
+    outcome.failure = CheckCertificateCase(shrunk);
+    outcome.counterexample = RenderCertificateCase(shrunk);
+    outcome.shrink_attempts = stats.attempts;
+    return outcome;
+  }
+
+ private:
+  /// Flips one 0/1 character or truncates — stays near the sample's
+  /// format while probing inputs the author did not hand-pick.
+  static void MutateInput(std::string* input, Rng& rng) {
+    if (input->empty() || rng.Bernoulli(0.3)) return;
+    const std::size_t at = rng.UniformBelow(input->size());
+    char& c = (*input)[at];
+    if (c == '0') {
+      c = '1';
+    } else if (c == '1') {
+      c = '0';
+    } else if (rng.Bernoulli(0.5)) {
+      input->resize(at);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Suite> MakeTmNlmSuite() {
+  return std::make_unique<TmNlmSuite>();
+}
+
+std::unique_ptr<Suite> MakeCertificateSuite() {
+  return std::make_unique<CertificateSuite>();
+}
+
+}  // namespace rstlab::conform

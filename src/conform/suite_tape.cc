@@ -1,0 +1,277 @@
+// The tape-backend oracle: a reference model of Definition 1 head
+// semantics checked against `tape::Tape` on the in-memory and the file
+// storage backend, op by op. The model is deliberately tiny (a string,
+// a head, a direction and a counter) so that when the real tape and the
+// model disagree, the model is the one a reviewer can verify by eye
+// against the paper.
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "conform/case_id.h"
+#include "conform/gen.h"
+#include "conform/shrink.h"
+#include "conform/suites.h"
+#include "extmem/storage.h"
+#include "tape/tape.h"
+#include "util/random.h"
+
+namespace rstlab::conform {
+
+namespace {
+
+/// Reference semantics: one-sided tape, head starts at cell 0 moving
+/// right, a reversal is a direction change of the *actual* trajectory —
+/// a left move blocked at cell 0 is a no-op and charges nothing.
+struct ModelTape {
+  std::string cells;
+  std::size_t head = 0;
+  int direction = +1;
+  std::uint64_t reversals = 0;
+  std::size_t used = 0;
+
+  explicit ModelTape(std::string content)
+      : cells(std::move(content)), used(cells.size()) {}
+
+  char Read() const {
+    return head < cells.size() ? cells[head] : tape::kBlank;
+  }
+  void Write(char symbol) {
+    if (head >= cells.size()) cells.resize(head + 1, tape::kBlank);
+    cells[head] = symbol;
+    used = std::max(used, head + 1);
+  }
+  void Turn(int d) {
+    if (d != direction) {
+      ++reversals;
+      direction = d;
+    }
+  }
+  void MoveRight() {
+    Turn(+1);
+    ++head;
+    used = std::max(used, head + 1);
+  }
+  void MoveLeft() {
+    if (head == 0) {
+      // Blocked moves are free (PR 2 fix). Under self-test fault
+      // injection the model charges the pre-fix phantom reversal, so
+      // the oracle must rediscover that very bug and shrink it.
+      if (FaultInjectionEnabled()) Turn(-1);
+      return;
+    }
+    Turn(-1);
+    --head;
+  }
+  void Seek(std::size_t position) {
+    while (head < position) MoveRight();
+    while (head > position) MoveLeft();
+  }
+  void Reset(std::string content) {
+    cells = std::move(content);
+    used = cells.size();
+    head = 0;
+    direction = +1;
+    reversals = 0;
+  }
+  /// Visited-but-unwritten cells read back as blanks, exactly like the
+  /// storage layer materialises them.
+  std::string Contents() const {
+    std::string out = cells.substr(0, std::min(used, cells.size()));
+    out.resize(used, tape::kBlank);
+    return out;
+  }
+};
+
+void ApplyToModel(ModelTape& model, const TapeOp& op) {
+  switch (op.kind) {
+    case TapeOp::Kind::kWrite:
+      model.Write(op.symbol);
+      break;
+    case TapeOp::Kind::kMoveLeft:
+      model.MoveLeft();
+      break;
+    case TapeOp::Kind::kMoveRight:
+      model.MoveRight();
+      break;
+    case TapeOp::Kind::kSeek:
+      model.Seek(op.target);
+      break;
+    case TapeOp::Kind::kReset:
+      model.Reset(op.content);
+      break;
+  }
+}
+
+void ApplyToTape(tape::Tape& t, const TapeOp& op) {
+  switch (op.kind) {
+    case TapeOp::Kind::kWrite:
+      t.Write(op.symbol);
+      break;
+    case TapeOp::Kind::kMoveLeft:
+      t.MoveLeft();
+      break;
+    case TapeOp::Kind::kMoveRight:
+      t.MoveRight();
+      break;
+    case TapeOp::Kind::kSeek:
+      t.Seek(op.target);
+      break;
+    case TapeOp::Kind::kReset:
+      t.Reset(op.content);
+      break;
+  }
+}
+
+/// A file-backed tape with tiny geometry (16-cell blocks, 4-block
+/// cache) so short sequences already cross blocks and evict.
+tape::Tape MakeFileTape() {
+  extmem::StorageOptions options;
+  options.backend = extmem::BackendKind::kFile;
+  options.block_size = 16;
+  options.cache_blocks = 4;
+  options.readahead_blocks = 2;
+  options.dir = (std::filesystem::temp_directory_path() /
+                 "rstlab-conform-tapes").string();
+  Result<std::unique_ptr<extmem::TapeStorage>> storage =
+      extmem::CreateStorage(options);
+  if (!storage.ok()) {
+    // Fall back to memory (CreateStorage already warned); the mem-vs-
+    // model half of the oracle still runs.
+    return tape::Tape();
+  }
+  return tape::Tape(std::move(storage).value());
+}
+
+/// Replays `ops` on the model and both backends. Returns the first
+/// disagreement ("" = conformant).
+std::string CheckTapeOps(const std::vector<TapeOp>& ops) {
+  ModelTape model{std::string()};
+  tape::Tape mem;
+  tape::Tape file = MakeFileTape();
+
+  const auto mismatch = [](std::size_t step, const TapeOp& op,
+                           const std::string& what, auto model_value,
+                           auto mem_value, auto file_value) {
+    return "step " + std::to_string(step) + " (" + op.ToString() +
+           "): " + what + ": model=" + std::to_string(model_value) +
+           " mem=" + std::to_string(mem_value) +
+           " file=" + std::to_string(file_value);
+  };
+
+  for (std::size_t step = 0; step < ops.size(); ++step) {
+    const TapeOp& op = ops[step];
+    ApplyToModel(model, op);
+    ApplyToTape(mem, op);
+    ApplyToTape(file, op);
+
+    if (model.Read() != mem.Read() || model.Read() != file.Read()) {
+      return mismatch(step, op, "symbol under head", model.Read(),
+                      mem.Read(), file.Read());
+    }
+    if (model.head != mem.head() || model.head != file.head()) {
+      return mismatch(step, op, "head", model.head, mem.head(),
+                      file.head());
+    }
+    const int mem_dir = static_cast<int>(mem.direction());
+    const int file_dir = static_cast<int>(file.direction());
+    if (model.direction != mem_dir || model.direction != file_dir) {
+      return mismatch(step, op, "direction", model.direction, mem_dir,
+                      file_dir);
+    }
+    if (model.reversals != mem.reversals() ||
+        model.reversals != file.reversals()) {
+      return mismatch(step, op, "reversals", model.reversals,
+                      mem.reversals(), file.reversals());
+    }
+    if (model.used != mem.cells_used() ||
+        model.used != file.cells_used()) {
+      return mismatch(step, op, "cells used", model.used,
+                      mem.cells_used(), file.cells_used());
+    }
+  }
+  if (model.Contents() != mem.contents() ||
+      model.Contents() != file.contents()) {
+    return "final contents: model=\"" + model.Contents() + "\" mem=\"" +
+           mem.contents() + "\" file=\"" + file.contents() + "\"";
+  }
+  return "";
+}
+
+/// Per-op simplifications tried after sequence removal: shrink seek
+/// targets and reset contents toward zero.
+std::vector<std::vector<TapeOp>> SimplifyOpCandidates(
+    const std::vector<TapeOp>& ops) {
+  std::vector<std::vector<TapeOp>> out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const TapeOp& op = ops[i];
+    if (op.kind == TapeOp::Kind::kSeek && op.target > 0) {
+      std::vector<TapeOp> candidate = ops;
+      candidate[i].target = op.target / 2;
+      out.push_back(std::move(candidate));
+    }
+    if (op.kind == TapeOp::Kind::kReset && !op.content.empty()) {
+      std::vector<TapeOp> candidate = ops;
+      candidate[i].content.resize(op.content.size() / 2);
+      out.push_back(std::move(candidate));
+    }
+  }
+  return out;
+}
+
+class TapeBackendSuite final : public Suite {
+ public:
+  const char* name() const override { return "tape-backend"; }
+  const char* description() const override {
+    return "reference head model vs tape::Tape on mem and file storage";
+  }
+
+  CaseOutcome RunCase(std::uint64_t seed,
+                      std::uint64_t index) const override {
+    Rng rng(CaseRngSeed(CaseId{name(), seed, index}));
+    const std::size_t size = 4 + index % 24;  // growing op budgets
+    std::vector<TapeOp> ops = GenTapeOps()(rng, size);
+
+    CaseOutcome outcome;
+    std::string failure = CheckTapeOps(ops);
+    if (failure.empty()) return outcome;
+
+    const std::function<bool(const std::vector<TapeOp>&)> still_fails =
+        [](const std::vector<TapeOp>& candidate) {
+          return !CheckTapeOps(candidate).empty();
+        };
+    const std::function<std::vector<std::vector<TapeOp>>(
+        const std::vector<TapeOp>&)>
+        candidates = [](const std::vector<TapeOp>& current) {
+          std::vector<std::vector<TapeOp>> all =
+              SequenceRemovalCandidates(current);
+          for (auto& simplified : SimplifyOpCandidates(current)) {
+            all.push_back(std::move(simplified));
+          }
+          return all;
+        };
+    ShrinkStats stats;
+    ops = GreedyShrink(std::move(ops), still_fails, candidates,
+                       /*max_attempts=*/2000, &stats);
+
+    outcome.passed = false;
+    outcome.failure = CheckTapeOps(ops);
+    outcome.counterexample =
+        TapeOpsToString(ops) + "  (" + std::to_string(ops.size()) +
+        " ops, " + std::to_string(TapeOpsCellSpan(ops)) + " cells)";
+    outcome.shrink_attempts = stats.attempts;
+    return outcome;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Suite> MakeTapeBackendSuite() {
+  return std::make_unique<TapeBackendSuite>();
+}
+
+}  // namespace rstlab::conform

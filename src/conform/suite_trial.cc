@@ -1,0 +1,160 @@
+// The trial-tally oracle: the TrialRunner reproducibility contract —
+// chunk layout depends only on the trial count, chunk tallies merge in
+// ascending order — promises bit-identical tallies for any thread
+// count, including non-associative double sums. This suite runs the
+// same seeded workload on a 1-thread and an N-thread runner and
+// compares every tally field exactly.
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "conform/case_id.h"
+#include "conform/shrink.h"
+#include "conform/suites.h"
+#include "parallel/seed_sequence.h"
+#include "parallel/trial_runner.h"
+#include "util/random.h"
+
+namespace rstlab::conform {
+
+namespace {
+
+/// A tally with both order-sensitive (double sum) and order-insensitive
+/// (xor, count) components. Any scheduling leak shows up in `sum`
+/// first; `xor_hash` catches dropped or duplicated trials.
+struct MixedTally {
+  double sum = 0.0;
+  std::uint64_t xor_hash = 0;
+  std::uint64_t count = 0;
+
+  void Merge(const MixedTally& other) {
+    sum += other.sum;
+    xor_hash ^= other.xor_hash;
+    count += other.count;
+  }
+};
+
+struct TrialCase {
+  std::uint64_t trials = 1;
+  std::uint64_t workload_seed = 0;
+  std::size_t threads = 2;
+  std::size_t draws = 1;  // rng draws per trial
+};
+
+MixedTally RunWorkload(const TrialCase& c, std::size_t threads) {
+  parallel::TrialRunner runner(threads);
+  const parallel::SeedSequence seeds(c.workload_seed);
+  return runner.RunSeeded<MixedTally>(
+      c.trials, seeds,
+      [&c](std::uint64_t trial, Rng& rng, MixedTally& tally) {
+        for (std::size_t d = 0; d < c.draws; ++d) {
+          const std::uint64_t word = rng.Next64();
+          // 1/(x+1) sums are famously non-associative in floating
+          // point; equal tallies across thread counts mean the merge
+          // order really is fixed.
+          tally.sum += 1.0 / (1.0 + static_cast<double>(word >> 40));
+          tally.xor_hash ^= word + trial;
+        }
+        tally.count += 1;
+      });
+}
+
+/// "" when the two runners agree bit for bit.
+std::string CheckTrialCase(const TrialCase& c) {
+  const MixedTally serial = RunWorkload(c, 1);
+  MixedTally parallel_run = RunWorkload(c, c.threads);
+  // Self-test fault: a single flipped tally bit — the smallest
+  // scheduling leak the oracle promises to catch.
+  if (FaultInjectionEnabled()) parallel_run.xor_hash ^= 1;
+  // Exact comparison is the point: the contract is bit-identity, not
+  // tolerance.
+  if (serial.sum != parallel_run.sum) {
+    return "double sum: 1-thread=" + std::to_string(serial.sum) + " " +
+           std::to_string(c.threads) +
+           "-thread=" + std::to_string(parallel_run.sum);
+  }
+  if (serial.xor_hash != parallel_run.xor_hash) {
+    return "xor hash: 1-thread=" + std::to_string(serial.xor_hash) +
+           " vs " + std::to_string(parallel_run.xor_hash);
+  }
+  if (serial.count != parallel_run.count) {
+    return "trial count: 1-thread=" + std::to_string(serial.count) +
+           " vs " + std::to_string(parallel_run.count);
+  }
+  return "";
+}
+
+std::string RenderTrialCase(const TrialCase& c) {
+  return "trials=" + std::to_string(c.trials) +
+         " threads=" + std::to_string(c.threads) +
+         " draws=" + std::to_string(c.draws) +
+         " workload_seed=" + std::to_string(c.workload_seed);
+}
+
+class TrialTallySuite final : public Suite {
+ public:
+  const char* name() const override { return "trial-tally"; }
+  const char* description() const override {
+    return "1-thread vs N-thread TrialRunner tally bit-identity";
+  }
+
+  CaseOutcome RunCase(std::uint64_t seed,
+                      std::uint64_t index) const override {
+    Rng rng(CaseRngSeed(CaseId{name(), seed, index}));
+    TrialCase c;
+    c.trials = 1 + rng.UniformBelow(64 + 8 * (index % 16));
+    c.workload_seed = rng.Next64();
+    c.threads = static_cast<std::size_t>(rng.UniformInRange(2, 8));
+    c.draws = static_cast<std::size_t>(rng.UniformInRange(1, 4));
+
+    CaseOutcome outcome;
+    std::string failure = CheckTrialCase(c);
+    if (failure.empty()) return outcome;
+
+    // Shrink the trial count (halving, then decrement) and the draw
+    // count; threads and seed stay fixed — they name the failure, the
+    // trial count is its size.
+    const std::function<bool(const TrialCase&)> still_fails =
+        [](const TrialCase& candidate) {
+          return !CheckTrialCase(candidate).empty();
+        };
+    const std::function<std::vector<TrialCase>(const TrialCase&)>
+        candidates = [](const TrialCase& current) {
+          std::vector<TrialCase> out;
+          if (current.trials > 1) {
+            TrialCase half = current;
+            half.trials = current.trials / 2;
+            out.push_back(half);
+            TrialCase less = current;
+            less.trials = current.trials - 1;
+            out.push_back(less);
+          }
+          if (current.draws > 1) {
+            TrialCase fewer = current;
+            fewer.draws = current.draws - 1;
+            out.push_back(fewer);
+          }
+          return out;
+        };
+    ShrinkStats stats;
+    const TrialCase shrunk = GreedyShrink(
+        c, still_fails, candidates, /*max_attempts=*/200, &stats);
+
+    outcome.passed = false;
+    outcome.failure = CheckTrialCase(shrunk);
+    outcome.counterexample = RenderTrialCase(shrunk);
+    outcome.shrink_attempts = stats.attempts;
+    return outcome;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Suite> MakeTrialTallySuite() {
+  return std::make_unique<TrialTallySuite>();
+}
+
+}  // namespace rstlab::conform

@@ -1,0 +1,49 @@
+#ifndef RSTLAB_CONFORM_SUITES_H_
+#define RSTLAB_CONFORM_SUITES_H_
+
+#include <memory>
+
+#include "conform/oracle.h"
+
+namespace rstlab::conform {
+
+/// Factories for the shipped differential oracles. `AllSuites()` owns
+/// one instance of each; the factories exist so tests can construct a
+/// suite in isolation.
+
+/// Model vs mem-Tape vs file-Tape: random op sequences replayed on a
+/// 20-line reference head/reversal model (Definition 1 semantics) and
+/// on `tape::Tape` over both storage backends; every observable —
+/// symbol under head, head position, direction, rev(rho), cells used —
+/// must agree after every op, and final contents must match.
+std::unique_ptr<Suite> MakeTapeBackendSuite();
+
+/// 1-thread vs N-thread `TrialRunner`: the merged tally (including a
+/// non-associative double sum) must be bit-identical for any thread
+/// count at fixed chunking.
+std::unique_ptr<Suite> MakeTrialTallySuite();
+
+/// TM vs NLM (Lemma 16): for random machines, inputs and choice
+/// sequences, the simulated list machine must agree with the Turing
+/// machine on halting, acceptance and per-tape reversal counts.
+std::unique_ptr<Suite> MakeTmNlmSuite();
+
+/// Static certificate vs measured run (RST015): `check::Analyze`'s
+/// per-tape reversal and internal-cell bounds must dominate the
+/// measured `RunCosts` of every random run, over the shipped machine
+/// registry and freshly generated random machines.
+std::unique_ptr<Suite> MakeCertificateSuite();
+
+/// Reference deciders vs `sorting/deciders` on SET-EQUALITY,
+/// MULTISET-EQUALITY and CHECK-SORT, on both storage backends; the two
+/// tape runs must also bill identical (r, s) costs.
+std::unique_ptr<Suite> MakeDeciderSuite();
+
+/// XML serializer vs parser: serialize-parse-serialize must be the
+/// identity on generated documents (the encoding side of the
+/// Theorem 12/13 pipelines).
+std::unique_ptr<Suite> MakeXmlRoundTripSuite();
+
+}  // namespace rstlab::conform
+
+#endif  // RSTLAB_CONFORM_SUITES_H_

@@ -1,5 +1,6 @@
 #include "problems/short_reduction.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <string>
@@ -24,13 +25,23 @@ ShortReduction::ShortReduction(const CheckPhi& problem_shape)
     : m_(problem_shape.m()),
       n_(problem_shape.n()),
       phi_(problem_shape.phi()) {
-  assert(m_ >= 2 && std::has_single_bit(m_));
-  block_bits_ = static_cast<std::size_t>(std::bit_width(m_) - 1);
-  blocks_per_value_ = (n_ + block_bits_ - 1) / block_bits_;
+  assert(m_ >= 1 && std::has_single_bit(m_));
+  // m = 1 has log2 m = 0 bits of line index; clamp the block width to
+  // one bit so the degenerate single-line shape still cuts values into
+  // well-formed records.
+  block_bits_ =
+      m_ >= 2 ? static_cast<std::size_t>(std::bit_width(m_) - 1) : 1;
+  blocks_per_value_ =
+      std::max<std::size_t>(1, (n_ + block_bits_ - 1) / block_bits_);
   index_bits_ = stmodel::BitsFor(blocks_per_value_ - 1);
 }
 
 Instance ShortReduction::Reduce(const Instance& instance) const {
+  // f(empty) = empty: a zero-pair instance is (trivially) a "yes" of
+  // every problem on both sides of the reduction.
+  if (instance.first.empty() && instance.second.empty()) {
+    return Instance{};
+  }
   assert(instance.m() == m_);
   Instance out;
   out.first.reserve(m_ * blocks_per_value_);

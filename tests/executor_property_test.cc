@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "conform/harness.h"
 #include "listmachine/analysis.h"
 #include "listmachine/list_machine.h"
 #include "listmachine/machines.h"
@@ -15,6 +16,9 @@
 
 namespace rstlab::listmachine {
 namespace {
+
+/// Per-test trial count: RSTLAB_TEST_CASES when set, else 20.
+const int kTrials = static_cast<int>(conform::EnvTestCases(20));
 
 /// A machine whose transition table is filled with seeded random
 /// movements and state successors. States 0..num_states-1 are interior;
@@ -79,7 +83,7 @@ class ExecutorPropertyTest
 
 TEST_P(ExecutorPropertyTest, InvariantsHoldOnRandomPrograms) {
   Rng rng(GetParam() * 7919);
-  for (int trial = 0; trial < 20; ++trial) {
+  for (int trial = 0; trial < kTrials; ++trial) {
     // Random programs reverse direction almost every step, and each
     // reversal lets trace strings embed all current reads — growth is
     // exponential in the reversal count (exactly what Lemma 30's
@@ -161,7 +165,7 @@ TEST(ExecutorPropertyTest, ReversalAccountingMatchesDirectionChanges) {
   // Cross-check reversal counters against a recomputation from the
   // recorded step directions.
   Rng rng(4242);
-  for (int trial = 0; trial < 20; ++trial) {
+  for (int trial = 0; trial < kTrials; ++trial) {
     const std::size_t t = 2;
     RandomProgram program(rng.Next64(), t, 3, 10);
     ListMachineExecutor exec(&program);

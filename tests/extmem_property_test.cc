@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "conform/harness.h"
 #include "extmem/file_storage.h"
 #include "extmem/storage.h"
 #include "problems/generators.h"
@@ -104,9 +105,11 @@ void RunDifferentialSequence(std::uint64_t seed, std::size_t num_ops) {
 }
 
 TEST(ExtmemDifferentialTest, RandomOpSequencesMatchAcrossBackends) {
+  // Op-sequence length is tunable via RSTLAB_TEST_CASES (see README).
+  const std::size_t num_ops = conform::EnvTestCases(600);
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
-    RunDifferentialSequence(seed, 600);
+    RunDifferentialSequence(seed, num_ops);
   }
 }
 

@@ -317,6 +317,40 @@ TEST(FileStorageTest, PersistentStorageReopens) {
   std::remove(path.c_str());
 }
 
+TEST(FileStorageTest, ReopenAfterCleanCloseRoundTripsModifications) {
+  // Three storage lifetimes over one file: create + explicit Flush,
+  // reopen + mutate + extend, reopen + verify. A clean close must
+  // round-trip not just the original content but modifications made in
+  // a later lifetime, including growth past the original size.
+  const std::string path = TempPath("filestorage_reopen_rt.rstape");
+  FileStorage::FileOptions options = SmallFileOptions();
+  options.delete_on_close = false;
+  {
+    auto storage = FileStorage::Create(path, options);
+    ASSERT_TRUE(storage.ok()) << storage.status();
+    storage.value()->Assign("0101");
+    ASSERT_TRUE(storage.value()->Flush().ok());
+  }
+  {
+    auto reopened = FileStorage::Open(path, options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    std::unique_ptr<FileStorage> fs = std::move(reopened).value();
+    ASSERT_EQ(fs->ReadRange(0, fs->size()), "0101");
+    fs->WriteCell(0, '1');
+    fs->Reserve(6);
+    fs->WriteCell(5, 'x');
+  }  // destructor flushes
+  {
+    auto reopened = FileStorage::Open(path, options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    std::unique_ptr<FileStorage> fs = std::move(reopened).value();
+    EXPECT_EQ(fs->size(), 6u);
+    EXPECT_EQ(fs->ReadRange(0, 6),
+              std::string("1101") + kBlankCell + "x");
+  }
+  std::remove(path.c_str());
+}
+
 TEST(FileStorageTest, LruEvictionPreservesContentLargerThanCache) {
   // 4-block cache over a tape spanning 64 blocks: every cell still
   // reads back what was written, through eviction and write-back.

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "conform/harness.h"
 #include "fingerprint/fingerprint.h"
 #include "problems/instance.h"
 #include "problems/reference.h"
@@ -33,11 +34,17 @@ std::string RandomBytes(Rng& rng, std::size_t max_len,
   return out;
 }
 
+/// Per-test trial count: RSTLAB_TEST_CASES when set, else `fallback`.
+int Trials(int fallback) {
+  return static_cast<int>(
+      conform::EnvTestCases(static_cast<std::size_t>(fallback)));
+}
+
 class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzTest, InstanceParseNeverCrashes) {
   Rng rng(GetParam());
-  for (int trial = 0; trial < 300; ++trial) {
+  for (int trial = 0; trial < Trials(300); ++trial) {
     const std::string text = RandomBytes(rng, 64, "01#x< >/");
     Result<problems::Instance> parsed = problems::Instance::Parse(text);
     if (parsed.ok()) {
@@ -49,7 +56,7 @@ TEST_P(FuzzTest, InstanceParseNeverCrashes) {
 
 TEST_P(FuzzTest, XmlParseNeverCrashes) {
   Rng rng(GetParam() + 100);
-  for (int trial = 0; trial < 300; ++trial) {
+  for (int trial = 0; trial < Trials(300); ++trial) {
     const std::string text = RandomBytes(rng, 96, "01<>/abinstceq ");
     Result<query::XmlDocument> parsed = query::ParseXml(text);
     if (parsed.ok()) {
@@ -82,7 +89,7 @@ std::vector<std::string> LenientFields(const std::string& text) {
 
 TEST_P(FuzzTest, TapeDecidersErrorOrAgreeWithOracle) {
   Rng rng(GetParam() + 200);
-  for (int trial = 0; trial < 100; ++trial) {
+  for (int trial = 0; trial < Trials(100); ++trial) {
     const std::string text = RandomBytes(rng, 48, "01#");
     const std::vector<std::string> fields = LenientFields(text);
     stmodel::StContext ctx(sorting::kDeciderTapes);
@@ -109,7 +116,7 @@ TEST_P(FuzzTest, TapeDecidersErrorOrAgreeWithOracle) {
 
 TEST_P(FuzzTest, FingerprintTapeErrorOrSound) {
   Rng rng(GetParam() + 300);
-  for (int trial = 0; trial < 100; ++trial) {
+  for (int trial = 0; trial < Trials(100); ++trial) {
     const std::string text = RandomBytes(rng, 48, "01#");
     Result<problems::Instance> parsed = problems::Instance::Parse(text);
     stmodel::StContext ctx(1);
@@ -127,7 +134,7 @@ TEST_P(FuzzTest, FingerprintTapeErrorOrSound) {
 
 TEST_P(FuzzTest, MergeSortMatchesStdSortOnArbitraryFields) {
   Rng rng(GetParam() + 400);
-  for (int trial = 0; trial < 60; ++trial) {
+  for (int trial = 0; trial < Trials(60); ++trial) {
     // Fields over a wider alphabet (the sorter is generic), including
     // empty fields.
     std::vector<std::string> fields;
@@ -153,7 +160,7 @@ TEST_P(FuzzTest, MergeSortMatchesStdSortOnArbitraryFields) {
 
 TEST_P(FuzzTest, StreamingXmlExtractorNeverCrashes) {
   Rng rng(GetParam() + 500);
-  for (int trial = 0; trial < 200; ++trial) {
+  for (int trial = 0; trial < Trials(200); ++trial) {
     const std::string text =
         RandomBytes(rng, 96, "01<>/seting12m ");
     stmodel::StContext ctx(query::kStreamingXmlTapes);

@@ -96,6 +96,44 @@ TEST(CertifiedSortTest, EmptyAndSingleton) {
   EXPECT_EQ(one.sorted->size(), 1u);
 }
 
+TEST(CertifiedSortTest, AllEqualMultiset) {
+  // Degenerate key distribution: every field identical. Any
+  // arrangement is correctly sorted and multiset-equal, so a correct
+  // subroutine must always be accepted, and even a permanently faulty
+  // one can never push a *wrong* answer through the certificate — a
+  // swap corruption is invisible (and harmless), a value corruption
+  // changes the multiset and must be caught.
+  Rng rng(11);
+  const std::vector<std::string> fields(17, "1010");
+  LasVegasOutcome outcome = CertifiedSort(fields, CorrectSorter(), rng);
+  ASSERT_TRUE(outcome.sorted.has_value());
+  EXPECT_EQ(*outcome.sorted, fields);
+
+  SortSubroutine faulty = FaultySorter(1.0, 5);
+  for (int t = 0; t < 50; ++t) {
+    LasVegasOutcome o = CertifiedSort(fields, faulty, rng);
+    if (o.sorted.has_value()) {
+      EXPECT_EQ(*o.sorted, fields);
+    }
+  }
+}
+
+TEST(CheckSortViaSortingTest, AllEqualMultisetIsSorted) {
+  // First list = second list = m copies of one value: a "yes" of
+  // CHECK-SORT with maximally non-distinct keys.
+  problems::Instance inst;
+  for (int i = 0; i < 8; ++i) {
+    inst.first.push_back(BitString::FromString("0110"));
+    inst.second.push_back(BitString::FromString("0110"));
+  }
+  ASSERT_TRUE(problems::RefCheckSort(inst));
+  stmodel::StContext ctx(kDeciderTapes);
+  ctx.LoadInput(inst.Encode());
+  Result<bool> decided = CheckSortViaSorting(ctx);
+  ASSERT_TRUE(decided.ok()) << decided.status();
+  EXPECT_TRUE(decided.value());
+}
+
 class CheckSortViaSortingTest
     : public ::testing::TestWithParam<std::uint64_t> {};
 

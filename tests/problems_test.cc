@@ -280,5 +280,35 @@ TEST(ShortReductionTest, SecondHalfOfReductionIsSorted) {
       std::is_sorted(reduced.second.begin(), reduced.second.end()));
 }
 
+TEST(ShortReductionTest, EmptyInstanceReducesToEmptyYesInstance) {
+  // f(empty) = empty, which both reference deciders call "yes" —
+  // the reduction preserves the (trivial) answer at the bottom edge.
+  CheckPhi problem(2, 4, permutation::BitReversalPermutation(2));
+  ShortReduction reduction(problem);
+  const Instance reduced = reduction.Reduce(Instance{});
+  EXPECT_EQ(reduced.m(), 0u);
+  EXPECT_TRUE(RefMultisetEquality(reduced));
+  EXPECT_TRUE(RefSetEquality(reduced));
+  EXPECT_TRUE(RefCheckSort(reduced));
+}
+
+TEST(ShortReductionTest, SingleElementInstancePreservesTheAnswer) {
+  // m = 1: the line index degenerates to zero bits (clamped to one),
+  // phi is the identity on {0}, and the answer is v_0 == v'_0.
+  Rng rng(7);
+  CheckPhi problem(1, 4, permutation::Identity(1));
+  ShortReduction reduction(problem);
+  const Instance yes = problem.RandomYesInstance(rng);
+  EXPECT_TRUE(problem.Decide(yes));
+  EXPECT_TRUE(RefMultisetEquality(reduction.Reduce(yes)));
+  EXPECT_TRUE(RefSetEquality(reduction.Reduce(yes)));
+  EXPECT_TRUE(RefCheckSort(reduction.Reduce(yes)));
+  const Instance no = problem.RandomNoInstance(rng);
+  EXPECT_FALSE(problem.Decide(no));
+  EXPECT_FALSE(RefMultisetEquality(reduction.Reduce(no)));
+  EXPECT_FALSE(RefSetEquality(reduction.Reduce(no)));
+  EXPECT_FALSE(RefCheckSort(reduction.Reduce(no)));
+}
+
 }  // namespace
 }  // namespace rstlab::problems

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "check/registry.h"
+#include "conform/harness.h"
+#include "conform/oracle.h"
 #include "core/rstlab.h"
 #include "extmem/storage.h"
 #include "machine/turing_machine.h"
@@ -49,6 +51,13 @@ int Usage() {
          " every shipped\n"
       << "                                          paper/zoo machine;"
          " exit 1 on errors\n"
+      << "  rstlab conform [suite|all] [--seed=S] [--cases=K]\n"
+      << "                 [--replay=suite:seed:index] [--corpus=DIR]"
+         " [--selftest]\n"
+      << "                                          differential"
+         " conformance oracles;\n"
+      << "                                          failures are shrunk"
+         " and replayable\n"
       << "common flags (any command):\n"
       << "  --tape-backend=<mem|file>               mem (default) keeps"
          " tapes in RAM;\n"
@@ -292,6 +301,146 @@ int Check(const std::vector<std::string>& args) {
   return errors == 0 ? 0 : 1;
 }
 
+// Runs the differential conformance harness: every named suite for K
+// cases under one seed, after replaying the checked-in corpus (when a
+// --corpus directory is given) and/or one explicit --replay triple.
+// Output is deterministic — two invocations at equal flags are
+// byte-identical — so CI can diff it. Exit 1 on any failure.
+int Conform(const std::vector<std::string>& args) {
+  std::string selector = "all";
+  std::uint64_t seed = 1;
+  std::uint64_t cases = 100;
+  std::string replay;
+  std::string corpus;
+  bool selftest = false;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--cases=", 0) == 0) {
+      cases = std::strtoull(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replay = arg.substr(9);
+    } else if (arg.rfind("--corpus=", 0) == 0) {
+      corpus = arg.substr(9);
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown conform flag " << arg << "\n";
+      return 2;
+    } else {
+      selector = arg;
+    }
+  }
+
+  using rstlab::conform::CaseId;
+  using rstlab::conform::CaseOutcome;
+
+  std::size_t failures = 0;
+
+  // One explicit replay: run just that case, report, and stop.
+  if (!replay.empty()) {
+    rstlab::Result<CaseId> id = CaseId::Parse(replay);
+    if (!id.ok()) {
+      std::cerr << "error: " << id.status() << "\n";
+      return 2;
+    }
+    rstlab::Result<CaseOutcome> outcome =
+        rstlab::conform::ReplayCase(id.value());
+    if (!outcome.ok()) {
+      std::cerr << "error: " << outcome.status() << "\n";
+      return 2;
+    }
+    std::cout << id.value().ToString() << ": "
+              << (outcome.value().passed ? "ok" : "FAIL") << "\n";
+    if (!outcome.value().passed) {
+      std::cout << "  " << outcome.value().failure << "\n"
+                << "  counterexample: " << outcome.value().counterexample
+                << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Corpus replay first: every counterexample the harness ever found
+  // stays a permanent regression test.
+  if (!corpus.empty()) {
+    rstlab::Result<std::vector<CaseId>> ids =
+        rstlab::conform::LoadCorpusDir(corpus);
+    if (!ids.ok()) {
+      std::cerr << "error: " << ids.status() << "\n";
+      return 2;
+    }
+    for (const CaseId& id : ids.value()) {
+      if (selector != "all" && selector != id.suite) continue;
+      rstlab::Result<CaseOutcome> outcome =
+          rstlab::conform::ReplayCase(id);
+      if (!outcome.ok()) {
+        std::cerr << "error: " << outcome.status() << "\n";
+        return 2;
+      }
+      std::cout << "corpus " << id.ToString() << ": "
+                << (outcome.value().passed ? "ok" : "FAIL") << "\n";
+      if (!outcome.value().passed) {
+        std::cout << "  " << outcome.value().failure << "\n"
+                  << "  counterexample: "
+                  << outcome.value().counterexample << "\n";
+        ++failures;
+      }
+    }
+  }
+
+  // Self-test: inject a known fault into every oracle and demand each
+  // suite reports at least one shrunk, replayable failure. A suite
+  // that stays green while its subject is broken is the real failure.
+  if (selftest) {
+    rstlab::conform::SetFaultInjection(true);
+    std::size_t blind_suites = 0;
+    bool matched = false;
+    for (const rstlab::conform::Suite* suite :
+         rstlab::conform::AllSuites()) {
+      if (selector != "all" && selector != suite->name()) continue;
+      matched = true;
+      const rstlab::conform::SuiteReport report =
+          rstlab::conform::RunSuite(*suite, seed, cases);
+      std::cout << suite->name() << ": injected fault "
+                << (report.passed() ? "NOT DETECTED" : "detected") << " ("
+                << report.failures.size() << "/" << cases
+                << " cases failed)\n";
+      if (report.passed()) ++blind_suites;
+    }
+    rstlab::conform::SetFaultInjection(false);
+    if (!matched) {
+      std::cerr << "unknown conformance suite \"" << selector << "\"\n";
+      return 2;
+    }
+    std::cout << blind_suites << " blind suite(s)\n";
+    return blind_suites == 0 ? 0 : 1;
+  }
+
+  bool matched = false;
+  for (const rstlab::conform::Suite* suite :
+       rstlab::conform::AllSuites()) {
+    if (selector != "all" && selector != suite->name()) continue;
+    matched = true;
+    const rstlab::conform::SuiteReport report =
+        rstlab::conform::RunSuite(*suite, seed, cases);
+    std::cout << report.ToString();
+    failures += report.failures.size();
+  }
+  if (!matched) {
+    std::cerr << "unknown conformance suite \"" << selector
+              << "\"; available:\n";
+    for (const rstlab::conform::Suite* suite :
+         rstlab::conform::AllSuites()) {
+      std::cerr << "  " << suite->name() << "  -  "
+                << suite->description() << "\n";
+    }
+    return 2;
+  }
+  std::cout << failures << " failing case(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -307,5 +456,6 @@ int main(int argc, char** argv) {
   if (command == "sort") return Sort(args);
   if (command == "xpath") return XPath(args);
   if (command == "check") return Check(args);
+  if (command == "conform") return Conform(args);
   return Usage();
 }
