@@ -5,7 +5,16 @@
 // The table reports measured scans vs input size and the least-squares
 // fit scans ~= a*log2(N) + b; the paper predicts a positive constant
 // slope (tightness of the Theorem 6 lower bound at r = Theta(log N)).
+//
+// The E3d/E3e tables measure the parallel k-way external sort: thread
+// scaling at a fixed reversal budget (the measured (r, s) and the
+// output checksum must be identical at every thread count), and the
+// single-thread loser-tree k-way merge against the binary-cascade seed
+// sort. E3d's field count scales via RSTLAB_SORT_BENCH_FIELDS — the
+// GB-scale runs in EXPERIMENTS.md set it to tens of millions.
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include <benchmark/benchmark.h>
@@ -15,9 +24,13 @@
 #include "obs/flags.h"
 #include "obs/ring_sink.h"
 #include "obs/timeline.h"
+#include "parallel/bench_recorder.h"
 #include "problems/generators.h"
 #include "problems/reference.h"
 #include "sorting/deciders.h"
+#include "sorting/merge_sort.h"
+#include "sorting/parallel_sort.h"
+#include "sorting/sort_config.h"
 #include "stmodel/st_context.h"
 #include "util/random.h"
 
@@ -27,6 +40,199 @@ using rstlab::Rng;
 using rstlab::core::FitLog2;
 using rstlab::core::FormatDouble;
 using rstlab::core::Table;
+using rstlab::parallel::BenchRecorder;
+using rstlab::parallel::Checksum64;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::size_t EnvFields(std::size_t fallback) {
+  const char* value = std::getenv("RSTLAB_SORT_BENCH_FIELDS");
+  if (value == nullptr || *value == '\0') return fallback;
+  const std::size_t parsed = std::strtoull(value, nullptr, 10);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// `m` random '#'-terminated 0/1 fields of length `n` in one string.
+std::string RandomFields(std::size_t m, std::size_t n, Rng& rng) {
+  std::string out;
+  out.reserve(m * (n + 1));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t b = 0; b < n; ++b) {
+      out.push_back(rng.Bernoulli(0.5) ? '1' : '0');
+    }
+    out.push_back('#');
+  }
+  return out;
+}
+
+/// Order-sensitive FNV-1a over the sorted tape content, so bit-identity
+/// across thread counts is visible in the JSON rows.
+std::uint64_t ContentChecksum(rstlab::stmodel::StContext& ctx,
+                              std::size_t index) {
+  rstlab::tape::Tape& t = ctx.tape(index);
+  std::uint64_t h = 1469598103934665603ull;
+  const std::size_t cells = t.cells_used();
+  t.Seek(0);
+  std::size_t read = 0;
+  while (read < cells) {
+    const std::string chunk =
+        t.ReadForward(std::min<std::size_t>(1 << 20, cells - read));
+    read += chunk.size();
+    for (const char c : chunk) {
+      if (c == '_') break;
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// E3d: thread scaling of the parallel k-way sort at a fixed reversal
+/// budget. The serial seed sort (binary cascade) is the baseline; the
+/// k=16 rows must agree with each other in scans, int.bits and output
+/// checksum at every thread count — only the wall time may move.
+void RunParallelSortTable(BenchRecorder& recorder) {
+  const std::size_t m = EnvFields(1u << 17);
+  const std::size_t n = 16;
+  Table table("E3d: parallel k-way sort, m=" + std::to_string(m) +
+                  " n=" + std::to_string(n) + " (k=16)",
+              {"config", "threads", "sec", "speedup", "scans", "int.bits",
+               "checksum"});
+  Rng rng(0xE3D);
+  const std::string input = RandomFields(m, n, rng);
+
+  double seed_wall = 0.0;
+  {
+    rstlab::stmodel::StContext ctx(3);
+    ctx.LoadInput(input);
+    const auto start = std::chrono::steady_clock::now();
+    if (rstlab::Status s = rstlab::sorting::SortFieldsOnTapes(ctx, 0, 1, 2);
+        !s.ok()) {
+      std::cerr << "E3d seed sort: " << s << "\n";
+      return;
+    }
+    seed_wall = Seconds(start);
+    const auto report = ctx.Report();
+    const std::uint64_t checksum = ContentChecksum(ctx, 0);
+    table.AddRow({"seed binary cascade", "1", FormatDouble(seed_wall),
+                  "1.0", std::to_string(report.scan_bound),
+                  std::to_string(report.internal_space),
+                  std::to_string(checksum % 100000)});
+    recorder.Record("E3d_seed_sort_m" + std::to_string(m), /*trials=*/m,
+                    seed_wall,
+                    Checksum64({checksum, report.scan_bound,
+                                report.internal_space}));
+  }
+
+  std::uint64_t base_scans = 0;
+  std::uint64_t base_checksum = 0;
+  std::size_t base_bits = 0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    rstlab::sorting::SortConfig config;
+    config.fanout = 16;
+    config.threads = threads;
+    config.run_length = 4096;
+    rstlab::stmodel::StContext ctx(1);
+    ctx.LoadInput(input);
+    const auto start = std::chrono::steady_clock::now();
+    if (rstlab::Status s =
+            rstlab::sorting::ParallelSortFieldsOnTape(ctx, 0, config);
+        !s.ok()) {
+      std::cerr << "E3d parallel sort: " << s << "\n";
+      return;
+    }
+    const double wall = Seconds(start);
+    const auto report = ctx.Report();
+    const std::uint64_t checksum = ContentChecksum(ctx, 0);
+    if (threads == 1) {
+      base_scans = report.scan_bound;
+      base_bits = report.internal_space;
+      base_checksum = checksum;
+    } else if (report.scan_bound != base_scans ||
+               report.internal_space != base_bits ||
+               checksum != base_checksum) {
+      std::cout << "  WARNING: thread count changed the measured run at "
+                << threads << " threads\n";
+    }
+    table.AddRow({"k-way loser tree", std::to_string(threads),
+                  FormatDouble(wall), FormatDouble(seed_wall / wall),
+                  std::to_string(report.scan_bound),
+                  std::to_string(report.internal_space),
+                  std::to_string(checksum % 100000)});
+    recorder.Record(
+        "E3d_parallel_sort_t" + std::to_string(threads) + "_m" +
+            std::to_string(m),
+        /*trials=*/m, wall,
+        Checksum64({checksum, report.scan_bound, report.internal_space}));
+  }
+  table.Print(std::cout);
+  std::cout << "  (scans, int.bits and checksum are thread-count "
+               "invariant: the (r, s) certificate is fixed while wall "
+               "time scales)\n\n";
+}
+
+/// E3e: the loser-tree k-way merge against the binary cascade at one
+/// thread — the single-thread algorithmic win, isolated from thread
+/// scaling. Fanout sweep at fixed m.
+void RunLoserTreeTable(BenchRecorder& recorder) {
+  const std::size_t m = 1u << 15;
+  const std::size_t n = 16;
+  Table table("E3e: 1-thread merge engine, m=" + std::to_string(m),
+              {"engine", "fanout", "sec", "scans", "passes"});
+  Rng rng(0xE3E);
+  const std::string input = RandomFields(m, n, rng);
+  {
+    rstlab::stmodel::StContext ctx(3);
+    ctx.LoadInput(input);
+    rstlab::sorting::SortStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    if (rstlab::Status s =
+            rstlab::sorting::SortFieldsOnTapes(ctx, 0, 1, 2, &stats);
+        !s.ok()) {
+      std::cerr << "E3e seed sort: " << s << "\n";
+      return;
+    }
+    const double wall = Seconds(start);
+    table.AddRow({"binary cascade", "2", FormatDouble(wall),
+                  std::to_string(ctx.Report().scan_bound),
+                  std::to_string(stats.passes)});
+    recorder.Record("E3e_binary_cascade_m" + std::to_string(m),
+                    /*trials=*/m, wall,
+                    Checksum64({ctx.Report().scan_bound, stats.passes}));
+  }
+  for (const std::size_t fanout : {2u, 4u, 8u, 16u}) {
+    rstlab::sorting::SortConfig config;
+    config.fanout = fanout;
+    config.threads = 1;
+    config.run_length = 1024;
+    rstlab::stmodel::StContext ctx(1);
+    ctx.LoadInput(input);
+    rstlab::sorting::ParallelSortStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    if (rstlab::Status s = rstlab::sorting::ParallelSortFieldsOnTape(
+            ctx, 0, config, &stats);
+        !s.ok()) {
+      std::cerr << "E3e parallel sort: " << s << "\n";
+      return;
+    }
+    const double wall = Seconds(start);
+    table.AddRow({"loser tree", std::to_string(fanout), FormatDouble(wall),
+                  std::to_string(ctx.Report().scan_bound),
+                  std::to_string(stats.merge_passes)});
+    recorder.Record(
+        "E3e_loser_tree_k" + std::to_string(fanout) + "_m" +
+            std::to_string(m),
+        /*trials=*/m, wall,
+        Checksum64({ctx.Report().scan_bound, stats.merge_passes}));
+  }
+  table.Print(std::cout);
+  std::cout << "  (higher fanout buys fewer passes and fewer scans; the "
+               "loser tree keeps each pass at log2(k) compares per "
+               "field)\n\n";
+}
 
 void RunScalingTable(rstlab::problems::Problem problem,
                      const char* title) {
@@ -111,6 +317,10 @@ int main(int argc, char** argv) {
       rstlab::extmem::ParseBackendFlags(&argc, argv);
   storage.metrics = obs.metrics();
   rstlab::extmem::SetProcessStorageOptions(storage);
+  rstlab::sorting::SetProcessSortConfig(
+      rstlab::sorting::ParseSortFlags(&argc, argv));
+  BenchRecorder recorder("bench_checksort", /*threads=*/8);
+  recorder.set_metrics(obs.metrics());
   RunScalingTable(rstlab::problems::Problem::kCheckSort,
                   "E3a: CHECK-SORT in ST(O(log N), O(n + log N), 5)");
   RunScalingTable(
@@ -118,8 +328,13 @@ int main(int argc, char** argv) {
       "E3b: MULTISET-EQUALITY in ST(O(log N), O(n + log N), 5)");
   RunScalingTable(rstlab::problems::Problem::kSetEquality,
                   "E3c: SET-EQUALITY in ST(O(log N), O(n + log N), 5)");
+  RunParallelSortTable(recorder);
+  RunLoserTreeTable(recorder);
   RunTracedExemplar(obs);
   obs.Finish(std::cout);
+  if (auto written = recorder.Write(); !written.ok()) {
+    std::cerr << "bench_checksort: " << written.status() << "\n";
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,96 @@
+#include "check/sort_certificate.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/diagnostics.h"
+
+namespace rstlab::check {
+
+namespace {
+
+/// Bits needed to store values in [0, n], mirroring the stmodel counter
+/// convention (kept local so the check layer stays free of stmodel).
+std::size_t BitsFor(std::size_t n) {
+  std::size_t bits = 1;
+  while ((n >>= 1) != 0) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+std::string SortCertificate::ToString() const {
+  std::ostringstream os;
+  os << "m=" << num_fields << " k=" << fanout << " L=" << run_length
+     << " P=" << merge_passes << " r<=" << max_scan_bound
+     << " s<=" << max_internal_bits;
+  return os.str();
+}
+
+SortCertificate CertifyKWaySort(std::size_t num_fields,
+                                std::size_t max_field_len,
+                                std::size_t input_size, std::size_t fanout,
+                                std::size_t run_length) {
+  SortCertificate cert;
+  cert.num_fields = num_fields;
+  cert.fanout = std::max<std::size_t>(2, fanout);
+  cert.run_length = std::max<std::size_t>(1, run_length);
+
+  std::size_t runs =
+      (num_fields + cert.run_length - 1) / cert.run_length;
+  for (std::size_t r = runs; r > 1; r = (r + cert.fanout - 1) / cert.fanout) {
+    ++cert.merge_passes;
+  }
+
+  if (num_fields <= 1) {
+    // Degenerate inputs return before charging anything: only the
+    // counting scan touches the source tape.
+    cert.max_scan_bound = 3;
+    cert.max_internal_bits = 0;
+    return cert;
+  }
+
+  // Scan bound: the baseline scan, at most 6 source-tape reversals
+  // (three rewind-and-stream passes: count, run formation, writeback at
+  // 2 reversals each), plus the canonical scratch bill 4*k*P + 2 that
+  // the sort charges through StContext::ChargeScratch.
+  cert.max_scan_bound =
+      1 + 6 +
+      4 * static_cast<std::uint64_t>(cert.fanout) * cert.merge_passes + 2;
+
+  // Internal bits: the persistent counter block (k + 3 counters wide
+  // enough for N), plus the larger of the two phase allocations — the
+  // formation run buffer (run_length records) and the merge's k record
+  // buffers with two position counters per way. One bit per buffered
+  // 0/1 character, the seed sort's convention. The trailing slack
+  // absorbs rounding, never an asymptotic term.
+  const std::size_t ctr = BitsFor(std::max<std::size_t>(1, input_size));
+  const std::size_t record = std::max<std::size_t>(1, max_field_len);
+  const std::size_t formation_bits = cert.run_length * record;
+  const std::size_t merge_bits =
+      cert.fanout * record + 2 * cert.fanout * ctr;
+  cert.max_internal_bits = (cert.fanout + 3) * ctr +
+                           std::max(formation_bits, merge_bits) + 64;
+  return cert;
+}
+
+Status CheckSortCostsAgainstCertificate(const tape::ResourceReport& report,
+                                        const SortCertificate& cert) {
+  if (report.scan_bound > cert.max_scan_bound) {
+    std::ostringstream os;
+    os << CodeName(Code::kCertificateViolated) << ": sort run performed "
+       << report.scan_bound << " scans but the certificate ("
+       << cert.ToString() << ") allows " << cert.max_scan_bound;
+    return Status::ResourceExhausted(os.str());
+  }
+  if (report.internal_space > cert.max_internal_bits) {
+    std::ostringstream os;
+    os << CodeName(Code::kCertificateViolated) << ": sort run used "
+       << report.internal_space << " internal bits but the certificate ("
+       << cert.ToString() << ") allows " << cert.max_internal_bits;
+    return Status::ResourceExhausted(os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace rstlab::check

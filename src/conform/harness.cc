@@ -30,6 +30,7 @@ const std::vector<const Suite*>& AllSuites() {
     owned->push_back(MakeTmNlmSuite());
     owned->push_back(MakeCertificateSuite());
     owned->push_back(MakeDeciderSuite());
+    owned->push_back(MakeSortSuite());
     owned->push_back(MakeXmlRoundTripSuite());
     auto* views = new std::vector<const Suite*>();
     for (const auto& suite : *owned) views->push_back(suite.get());

@@ -39,6 +39,12 @@ std::unique_ptr<Suite> MakeCertificateSuite();
 /// tape runs must also bill identical (r, s) costs.
 std::unique_ptr<Suite> MakeDeciderSuite();
 
+/// 1-thread vs N-thread vs file-backend parallel k-way sort: the sorted
+/// tape and the measured (r, s) bill must be bit-identical at every
+/// thread count and on both backends, and a sort failed mid-flight must
+/// leave no spill files in the tape directory.
+std::unique_ptr<Suite> MakeSortSuite();
+
 /// XML serializer vs parser: serialize-parse-serialize must be the
 /// identity on generated documents (the encoding side of the
 /// Theorem 12/13 pipelines).

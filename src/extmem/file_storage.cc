@@ -115,6 +115,21 @@ std::string FileStorage::ReadRange(std::size_t pos, std::size_t count) {
   return out;
 }
 
+void FileStorage::WriteRange(std::size_t pos, std::string_view data) {
+  if (data.empty()) return;
+  if (pos + data.size() > length_) length_ = pos + data.size();
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const std::size_t index = pos + written;
+    char* block = BlockFor(index, /*for_write=*/true);
+    const std::size_t offset = index & cell_mask_;
+    const std::size_t chunk =
+        std::min(data.size() - written, file_->block_size() - offset);
+    std::copy_n(data.data() + written, chunk, block + offset);
+    written += chunk;
+  }
+}
+
 Status FileStorage::Flush() {
   ForgetCurrent();
   RSTLAB_RETURN_IF_ERROR(cache_.FlushDirty());

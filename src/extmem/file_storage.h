@@ -79,6 +79,7 @@ class FileStorage final : public TapeStorage {
 
   void Assign(std::string content) override;
   std::string ReadRange(std::size_t pos, std::size_t count) override;
+  void WriteRange(std::size_t pos, std::string_view data) override;
   void SetDirectionHint(int direction) override {
     cache_.SetDirectionHint(direction);
   }

@@ -12,6 +12,8 @@ void IoStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.Add("extmem.readahead_blocks", readahead_blocks);
   registry.Add("extmem.readahead_hits", readahead_hits);
   registry.Add("extmem.evictions", evictions);
+  registry.Add("extmem.prefetch_issued", prefetch_issued);
+  registry.Add("extmem.prefetch_hits", prefetch_hits);
 }
 
 std::string IoStats::ToString() const {

@@ -28,6 +28,13 @@ struct IoStats {
   std::uint64_t readahead_hits = 0;
   /// Cache entries evicted to make room.
   std::uint64_t evictions = 0;
+  /// Double-buffered range prefetches issued above the block layer (the
+  /// sort's run readers fill their standby buffer while the active one
+  /// drains; one count per standby fill).
+  std::uint64_t prefetch_issued = 0;
+  /// Standby buffers that were ready when the active buffer drained —
+  /// reads the merge never stalled on.
+  std::uint64_t prefetch_hits = 0;
 
   IoStats& operator+=(const IoStats& other) {
     block_reads += other.block_reads;
@@ -37,6 +44,8 @@ struct IoStats {
     readahead_blocks += other.readahead_blocks;
     readahead_hits += other.readahead_hits;
     evictions += other.evictions;
+    prefetch_issued += other.prefetch_issued;
+    prefetch_hits += other.prefetch_hits;
     return *this;
   }
 
@@ -51,6 +60,8 @@ struct IoStats {
     delta.readahead_blocks = readahead_blocks - earlier.readahead_blocks;
     delta.readahead_hits = readahead_hits - earlier.readahead_hits;
     delta.evictions = evictions - earlier.evictions;
+    delta.prefetch_issued = prefetch_issued - earlier.prefetch_issued;
+    delta.prefetch_hits = prefetch_hits - earlier.prefetch_hits;
     return delta;
   }
 

@@ -13,6 +13,12 @@
 
 namespace rstlab::extmem {
 
+void TapeStorage::WriteRange(std::size_t pos, std::string_view data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    WriteCell(pos + i, data[i]);
+  }
+}
+
 void MemStorage::Grow(std::size_t cells) {
   length_ = cells;
   if (cells > cells_.size()) {
@@ -32,6 +38,12 @@ void MemStorage::Assign(std::string content) {
 std::string MemStorage::ReadRange(std::size_t pos, std::size_t count) {
   if (pos >= length_) return std::string();
   return cells_.substr(pos, std::min(count, length_ - pos));
+}
+
+void MemStorage::WriteRange(std::size_t pos, std::string_view data) {
+  if (data.empty()) return;
+  EnsureLength(pos + data.size());
+  std::memcpy(cells_.data() + pos, data.data(), data.size());
 }
 
 const char* BackendName(BackendKind kind) {
@@ -124,6 +136,8 @@ StorageOptions DefaultStorageOptions() {
   }
   options.block_size = EnvSize("RSTLAB_BLOCK_SIZE", options.block_size);
   options.cache_blocks = EnvSize("RSTLAB_CACHE_BLOCKS", options.cache_blocks);
+  options.readahead_blocks =
+      EnvSize("RSTLAB_READAHEAD_BLOCKS", options.readahead_blocks);
   if (const char* dir = std::getenv("RSTLAB_TAPE_DIR")) {
     if (*dir != '\0') options.dir = dir;
   }
@@ -156,6 +170,16 @@ StorageOptions ParseBackendFlags(int* argc, char** argv) {
         std::fprintf(stderr, "rstlab extmem: ignoring %s\n", arg);
       } else {
         options.cache_blocks = static_cast<std::size_t>(parsed);
+      }
+      continue;
+    }
+    if (std::strncmp(arg, "--readahead-blocks=", 19) == 0) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(arg + 19, &end, 10);
+      if (end == arg + 19 || parsed == 0) {
+        std::fprintf(stderr, "rstlab extmem: ignoring %s\n", arg);
+      } else {
+        options.readahead_blocks = static_cast<std::size_t>(parsed);
       }
       continue;
     }

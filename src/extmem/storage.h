@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "extmem/io_stats.h"
 #include "obs/metrics.h"
@@ -52,6 +53,13 @@ class TapeStorage {
 
   /// The `count` cells starting at `pos`, clamped to `size()`.
   virtual std::string ReadRange(std::size_t pos, std::size_t count) = 0;
+
+  /// Overwrites the `data.size()` cells starting at `pos`, growing the
+  /// logical length to at least `pos + data.size()`. The bulk dual of
+  /// `ReadRange`: backends override it to move whole blocks at a time
+  /// (the default loops over WriteCell), which is what keeps the sort's
+  /// run writers off the per-cell virtual path.
+  virtual void WriteRange(std::size_t pos, std::string_view data);
 
   /// Hints the head's current scan direction (+1 right, -1 left) so a
   /// caching backend can prefetch ahead of the head. No-op by default.
@@ -107,6 +115,7 @@ class MemStorage final : public TapeStorage {
   void Reserve(std::size_t cells) override { EnsureLength(cells); }
   void Assign(std::string content) override;
   std::string ReadRange(std::size_t pos, std::size_t count) override;
+  void WriteRange(std::size_t pos, std::string_view data) override;
   const char* backend_name() const override { return "mem"; }
 
  private:
@@ -135,7 +144,8 @@ struct StorageOptions {
   /// is block_size * cache_blocks; experiments run out-of-core when a
   /// tape's content exceeds it.
   std::size_t cache_blocks = 64;
-  /// Blocks prefetched ahead of the head on sequential scans.
+  /// Blocks prefetched ahead of the head on sequential scans. The knob
+  /// behind `--readahead-blocks` / `RSTLAB_READAHEAD_BLOCKS`.
   std::size_t readahead_blocks = 4;
   /// Directory for backing files ("" = system temp dir + "rstlab-tapes").
   std::string dir;
@@ -153,8 +163,9 @@ Result<std::unique_ptr<TapeStorage>> CreateStorage(
 
 /// Process-default options: the override installed by
 /// `SetProcessStorageOptions` if any, else `RSTLAB_TAPE_BACKEND`
-/// (mem|file), `RSTLAB_CACHE_BLOCKS`, `RSTLAB_BLOCK_SIZE` and
-/// `RSTLAB_TAPE_DIR` read from the environment. `stmodel::StContext`'s
+/// (mem|file), `RSTLAB_CACHE_BLOCKS`, `RSTLAB_BLOCK_SIZE`,
+/// `RSTLAB_READAHEAD_BLOCKS` and `RSTLAB_TAPE_DIR` read from the
+/// environment. `stmodel::StContext`'s
 /// plain constructor uses this, which is how CI forces the whole test
 /// suite through the file backend without touching each test.
 StorageOptions DefaultStorageOptions();
@@ -165,7 +176,8 @@ StorageOptions DefaultStorageOptions();
 /// Any `options.metrics` registry must outlive the contexts.
 void SetProcessStorageOptions(const StorageOptions& options);
 
-/// Extracts `--tape-backend={mem,file}` and `--cache-blocks=K` from
+/// Extracts `--tape-backend={mem,file}`, `--cache-blocks=K` and
+/// `--readahead-blocks=K` from
 /// argv (removing them, like `obs::ParseObsFlags`), starting from
 /// `DefaultStorageOptions()` so flags override environment overrides
 /// defaults. Unrecognized values keep the default and warn on stderr.

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "sorting/merge_sort.h"
+#include "sorting/parallel_sort.h"
 #include "stmodel/internal_arena.h"
 #include "stmodel/tape_io.h"
 #include "tape/tape.h"
@@ -73,18 +74,20 @@ Result<bool> DecideOnTapes(problems::Problem problem,
   switch (problem) {
     case problems::Problem::kCheckSort: {
       // Sort the first list; the instance is a "yes" iff the sorted
-      // first list equals the second list verbatim.
-      RSTLAB_RETURN_IF_ERROR(SortFieldsOnTapes(ctx, 1, 3, 4));
+      // first list equals the second list verbatim. SortForDecider
+      // routes to the parallel k-way sort when the process sort config
+      // selects it, else to the serial seed sort.
+      RSTLAB_RETURN_IF_ERROR(SortForDecider(ctx, 1, 3, 4));
       return SequencesEqual(ctx, 1, 2, m);
     }
     case problems::Problem::kMultisetEquality: {
-      RSTLAB_RETURN_IF_ERROR(SortFieldsOnTapes(ctx, 1, 3, 4));
-      RSTLAB_RETURN_IF_ERROR(SortFieldsOnTapes(ctx, 2, 3, 4));
+      RSTLAB_RETURN_IF_ERROR(SortForDecider(ctx, 1, 3, 4));
+      RSTLAB_RETURN_IF_ERROR(SortForDecider(ctx, 2, 3, 4));
       return SequencesEqual(ctx, 1, 2, m);
     }
     case problems::Problem::kSetEquality: {
-      RSTLAB_RETURN_IF_ERROR(SortFieldsOnTapes(ctx, 1, 3, 4));
-      RSTLAB_RETURN_IF_ERROR(SortFieldsOnTapes(ctx, 2, 3, 4));
+      RSTLAB_RETURN_IF_ERROR(SortForDecider(ctx, 1, 3, 4));
+      RSTLAB_RETURN_IF_ERROR(SortForDecider(ctx, 2, 3, 4));
       return SortedSetsEqual(ctx, 1, 2, m);
     }
   }
@@ -99,8 +102,8 @@ Result<bool> DecideDisjointOnTapes(stmodel::StContext& ctx) {
   if (!m_result.ok()) return m_result.status();
   const std::size_t m = m_result.value();
   if (m == 0) return true;
-  RSTLAB_RETURN_IF_ERROR(SortFieldsOnTapes(ctx, 1, 3, 4));
-  RSTLAB_RETURN_IF_ERROR(SortFieldsOnTapes(ctx, 2, 3, 4));
+  RSTLAB_RETURN_IF_ERROR(SortForDecider(ctx, 1, 3, 4));
+  RSTLAB_RETURN_IF_ERROR(SortForDecider(ctx, 2, 3, 4));
 
   // Merge scan over the sorted halves: disjoint iff no value coincides.
   ctx.tape(1).Seek(0);
@@ -125,7 +128,7 @@ Status SortInputToTape(stmodel::StContext& ctx) {
   tape::Tape& in = ctx.tape(0);
   stmodel::Rewind(in);
   while (!stmodel::AtEnd(in)) stmodel::CopyField(in, ctx.tape(1));
-  return SortFieldsOnTapes(ctx, 1, 3, 4);
+  return SortForDecider(ctx, 1, 3, 4);
 }
 
 }  // namespace rstlab::sorting

@@ -1,0 +1,71 @@
+#include "sorting/loser_tree.h"
+
+#include <cassert>
+
+namespace rstlab::sorting {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+LoserTree::LoserTree(std::size_t ways)
+    : ways_(RoundUpPow2(ways == 0 ? 1 : ways)) {
+  // Padding to a power of two keeps the leaf->node mapping a shift;
+  // padding slots stay exhausted forever and lose every match.
+  values_.assign(ways_, nullptr);
+  losers_.assign(ways_, 0);
+}
+
+void LoserTree::SetInitial(std::size_t slot, const std::string* value) {
+  assert(slot < ways_);
+  values_[slot] = value;
+}
+
+bool LoserTree::Beats(std::size_t a, std::size_t b) const {
+  const std::string* va = values_[a];
+  const std::string* vb = values_[b];
+  if (va == nullptr) return false;  // exhausted loses to everything
+  if (vb == nullptr) return true;
+  const int cmp = va->compare(*vb);
+  return cmp < 0 || (cmp == 0 && a < b);
+}
+
+void LoserTree::Build() {
+  // Bottom-up tournament: leaf i lives at implicit node ways_ + i;
+  // internal node n stores the loser of its subtree's final, and the
+  // winner bubbles to the parent.
+  std::vector<std::size_t> winners(2 * ways_);
+  for (std::size_t i = 0; i < ways_; ++i) winners[ways_ + i] = i;
+  for (std::size_t node = ways_ - 1; node >= 1; --node) {
+    const std::size_t a = winners[2 * node];
+    const std::size_t b = winners[2 * node + 1];
+    const bool a_wins = Beats(a, b);
+    winners[node] = a_wins ? a : b;
+    losers_[node] = a_wins ? b : a;
+  }
+  winner_ = ways_ == 1 ? 0 : winners[1];
+  winner_value_ = values_[winner_];
+}
+
+void LoserTree::Replace(std::size_t slot, const std::string* value) {
+  assert(slot < ways_);
+  values_[slot] = value;
+  std::size_t current = slot;
+  for (std::size_t node = (ways_ + slot) / 2; node >= 1; node /= 2) {
+    if (Beats(losers_[node], current)) {
+      const std::size_t beaten = current;
+      current = losers_[node];
+      losers_[node] = beaten;
+    }
+  }
+  winner_ = current;
+  winner_value_ = values_[winner_];
+}
+
+}  // namespace rstlab::sorting

@@ -1,0 +1,64 @@
+#ifndef RSTLAB_SORTING_SORT_CONFIG_H_
+#define RSTLAB_SORTING_SORT_CONFIG_H_
+
+#include <cstddef>
+
+namespace rstlab::sorting {
+
+/// Configuration of the parallel k-way external merge sort — the knob
+/// set behind `--sort-threads` / `--merge-fanout` and their environment
+/// fallbacks (`RSTLAB_SORT_THREADS`, `RSTLAB_MERGE_FANOUT`,
+/// `RSTLAB_RUN_LENGTH`).
+///
+/// Everything that shapes the *algorithm* (fanout, run_length,
+/// merge_width) is thread-count-independent, so the sorted output, the
+/// run/slice structure and the measured (r, s) bill are bit-identical
+/// at every thread count; `threads` only decides how many workers chew
+/// on the deterministic task list.
+struct SortConfig {
+  /// Worker threads for run formation and merging (1 = everything runs
+  /// inline on the calling thread).
+  std::size_t threads = 1;
+  /// Merge fanout k (runs merged per group). 0 keeps the serial
+  /// binary-cascade seed path (`SortFieldsOnTapes`); >= 2 selects the
+  /// parallel k-way sort.
+  std::size_t fanout = 0;
+  /// Fields per formation run. Constant with respect to N, which is
+  /// what keeps the internal-memory bill at O(1) in N (Corollary 7
+  /// shape); the pass count is then ceil(log_fanout(m / run_length)).
+  std::size_t run_length = 1024;
+  /// Number of slices the merge work is split into by binary-search
+  /// splitting once fewer than this many groups remain. Constant and
+  /// thread-count-independent so the slice structure is deterministic.
+  std::size_t merge_width = 8;
+  /// Test hook: fail (Status) after run formation, before merging —
+  /// exercises the temp-tape cleanup-on-error path. Never set by flag
+  /// or environment parsing.
+  bool inject_failure_before_merge = false;
+};
+
+/// True iff `config` selects the parallel k-way path (fanout >= 2).
+bool UsesParallelPath(const SortConfig& config);
+
+/// Process-default config: the override installed by
+/// `SetProcessSortConfig` if any, else RSTLAB_SORT_THREADS /
+/// RSTLAB_MERGE_FANOUT / RSTLAB_RUN_LENGTH read from the environment,
+/// else the serial seed path. `sorting::SortForDecider` consults this,
+/// which is how CI pushes the whole decider suite through the parallel
+/// sort without touching each test.
+SortConfig DefaultSortConfig();
+
+/// Installs `config` as the process default handed out by
+/// `DefaultSortConfig()`.
+void SetProcessSortConfig(const SortConfig& config);
+
+/// Extracts `--sort-threads=T`, `--merge-fanout=K` and `--run-length=L`
+/// from argv (removing them, like `extmem::ParseBackendFlags`),
+/// starting from `DefaultSortConfig()` so flags override environment
+/// overrides defaults. Unrecognized values keep the default and warn on
+/// stderr.
+SortConfig ParseSortFlags(int* argc, char** argv);
+
+}  // namespace rstlab::sorting
+
+#endif  // RSTLAB_SORTING_SORT_CONFIG_H_

@@ -11,7 +11,7 @@ StContext::StContext(std::size_t num_external_tapes)
 
 StContext::StContext(std::size_t num_external_tapes,
                      const extmem::StorageOptions& options)
-    : backend_(options.backend) {
+    : backend_(options.backend), options_(options) {
   assert(num_external_tapes >= 1);
   tapes_.reserve(num_external_tapes);
   for (std::size_t i = 0; i < num_external_tapes; ++i) {
@@ -52,6 +52,18 @@ void StContext::LoadInput(std::string content) {
   tapes_[0].Reset(std::move(content));
   for (std::size_t i = 1; i < tapes_.size(); ++i) tapes_[i].Reset("");
   arena_.Reset();
+  scratch_reversals_ = 0;
+  scratch_cells_ = 0;
+  scratch_io_ = extmem::IoStats{};
+}
+
+void StContext::ChargeScratch(std::uint64_t reversals, std::size_t cells) {
+  scratch_reversals_ += reversals;
+  scratch_cells_ += cells;
+}
+
+void StContext::ChargeScratchIo(const extmem::IoStats& io) {
+  scratch_io_ += io;
 }
 
 void StContext::AttachTrace(obs::TraceSink* sink) {
@@ -77,6 +89,7 @@ void StContext::FlushTrace() {
 extmem::IoStats StContext::IoStatsTotal() const {
   extmem::IoStats total;
   for (const auto& t : tapes_) total += t.io_stats();
+  total += scratch_io_;
   return total;
 }
 
@@ -84,7 +97,11 @@ tape::ResourceReport StContext::Report() const {
   std::vector<const tape::Tape*> ptrs;
   ptrs.reserve(tapes_.size());
   for (const auto& t : tapes_) ptrs.push_back(&t);
-  return tape::MeasureTapes(ptrs, arena_.high_water_bits());
+  tape::ResourceReport report =
+      tape::MeasureTapes(ptrs, arena_.high_water_bits());
+  report.scan_bound += scratch_reversals_;
+  report.external_space += scratch_cells_;
+  return report;
 }
 
 }  // namespace rstlab::stmodel

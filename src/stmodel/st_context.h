@@ -68,6 +68,27 @@ class StContext {
   /// The backend the tapes actually run on.
   extmem::BackendKind backend() const { return backend_; }
 
+  /// The options this context's tapes were created from — the recipe an
+  /// algorithm uses to create matching scratch storage (the parallel
+  /// sort's spill lanes live on the same backend as the tapes).
+  const extmem::StorageOptions& storage_options() const { return options_; }
+
+  /// Bills scratch-device usage that does not live on the context's own
+  /// tapes: `reversals` extra head-direction changes and `cells` extra
+  /// external cells, folded into `Report()` (scan_bound and
+  /// external_space respectively). The parallel sort charges the
+  /// canonical temp-tape machine's bill here — a deterministic formula,
+  /// so the measured (r, s) stays backend- and thread-count-independent.
+  /// Reset by `LoadInput`.
+  void ChargeScratch(std::uint64_t reversals, std::size_t cells);
+
+  /// Folds scratch-device block I/O into `IoStatsTotal()` (observability
+  /// only; not part of the model's (r, s, t)).
+  void ChargeScratchIo(const extmem::IoStats& io);
+
+  /// Scratch reversals charged so far (diagnostics).
+  std::uint64_t scratch_reversals() const { return scratch_reversals_; }
+
   /// Sum of the tapes' block-level I/O counters (all zero on the
   /// in-memory backend).
   extmem::IoStats IoStatsTotal() const;
@@ -87,6 +108,10 @@ class StContext {
   InternalArena arena_;
   std::size_t input_size_ = 0;
   extmem::BackendKind backend_ = extmem::BackendKind::kMem;
+  extmem::StorageOptions options_;
+  std::uint64_t scratch_reversals_ = 0;
+  std::size_t scratch_cells_ = 0;
+  extmem::IoStats scratch_io_;
   obs::TraceSink* trace_ = nullptr;
 };
 

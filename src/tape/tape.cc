@@ -132,4 +132,22 @@ void Tape::Seek(std::size_t position) {
   while (head_ > position) MoveLeft();
 }
 
+std::string Tape::ReadForward(std::size_t count) {
+  if (count == 0) return std::string();
+  RecordDirection(Direction::kRight);
+  std::string out = storage_->ReadRange(head_, count);
+  out.resize(count, kBlank);
+  head_ += count;
+  storage_->Reserve(head_ + 1);
+  return out;
+}
+
+void Tape::WriteForward(std::string_view data) {
+  if (data.empty()) return;
+  RecordDirection(Direction::kRight);
+  storage_->WriteRange(head_, data);
+  head_ += data.size();
+  storage_->Reserve(head_ + 1);
+}
+
 }  // namespace rstlab::tape

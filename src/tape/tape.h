@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "extmem/io_stats.h"
 #include "extmem/storage.h"
@@ -114,6 +115,19 @@ class Tape {
   /// Moves the head to absolute cell `position`, metering the direction
   /// changes this incurs (at most 2). This is the model's "random access".
   void Seek(std::size_t position);
+
+  /// Reads the `count` cells starting at the head while moving the head
+  /// `count` cells to the right — exactly equivalent to `count`
+  /// Read()+MoveRight() pairs (same final head position, same tape
+  /// growth, at most one metered direction change, cells past the
+  /// content read blank) but one bulk storage call, which keeps the
+  /// per-cell virtual dispatch off the sort's scan paths.
+  std::string ReadForward(std::size_t count);
+
+  /// Writes `data` rightwards from the head, leaving the head one past
+  /// the last written cell — equivalent to data.size() Write()+
+  /// MoveRight() pairs, as one bulk storage call.
+  void WriteForward(std::string_view data);
 
   /// Current head position.
   std::size_t head() const { return head_; }

@@ -18,6 +18,13 @@
 // environment variables): with the file backend, tapes live in
 // checksummed block files on disk and only K blocks per tape stay in
 // RAM, so deciders run on inputs larger than memory.
+// --readahead-blocks=K tunes the file backend's sequential prefetch.
+//
+// The sorting commands additionally honor --sort-threads=T,
+// --merge-fanout=K and --run-length=L (RSTLAB_SORT_THREADS /
+// RSTLAB_MERGE_FANOUT / RSTLAB_RUN_LENGTH): fanout >= 2 routes every
+// decider sort through the parallel k-way external merge sort, whose
+// measured (r, s) bill is identical at every thread count.
 
 #include <fstream>
 #include <iostream>
@@ -31,6 +38,8 @@
 #include "core/rstlab.h"
 #include "extmem/storage.h"
 #include "machine/turing_machine.h"
+#include "sorting/parallel_sort.h"
+#include "sorting/sort_config.h"
 
 namespace {
 
@@ -64,7 +73,17 @@ int Usage() {
       << "                                          file runs them"
          " out-of-core\n"
       << "  --cache-blocks=<K>                      per-tape cache"
-         " budget (file backend)\n";
+         " budget (file backend)\n"
+      << "  --readahead-blocks=<K>                  blocks prefetched"
+         " ahead on scans\n"
+      << "  --sort-threads=<T>                      worker threads for"
+         " the k-way sort\n"
+      << "  --merge-fanout=<K>                      runs merged per"
+         " group (>=2 enables\n"
+      << "                                          the parallel k-way"
+         " sort path)\n"
+      << "  --run-length=<L>                        fields per formation"
+         " run\n";
   return 2;
 }
 
@@ -177,8 +196,7 @@ int Sort(const std::vector<std::string>& args) {
   rstlab::stmodel::StContext ctx(3);
   ctx.LoadInput(ReadInput(source));
   rstlab::sorting::SortStats stats;
-  rstlab::Status status =
-      rstlab::sorting::SortFieldsOnTapes(ctx, 0, 1, 2, &stats);
+  rstlab::Status status = rstlab::sorting::SortForDecider(ctx, 0, 1, 2, &stats);
   if (!status.ok()) {
     std::cerr << "error: " << status << "\n";
     return 1;
@@ -446,6 +464,8 @@ int Conform(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   rstlab::extmem::SetProcessStorageOptions(
       rstlab::extmem::ParseBackendFlags(&argc, argv));
+  rstlab::sorting::SetProcessSortConfig(
+      rstlab::sorting::ParseSortFlags(&argc, argv));
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return Usage();
   const std::string command = args[0];
