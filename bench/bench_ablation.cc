@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
+#include "fingerprint/batch.h"
 #include "fingerprint/fingerprint.h"
 #include "fingerprint/prime.h"
 #include "extmem/storage.h"
@@ -33,6 +34,7 @@
 #include "stmodel/st_context.h"
 #include "util/bitstring.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -40,6 +42,9 @@ using rstlab::BitString;
 using rstlab::Rng;
 using rstlab::core::FormatDouble;
 using rstlab::core::Table;
+using rstlab::fingerprint::BatchFingerprintEngine;
+using rstlab::fingerprint::BatchTally;
+using rstlab::fingerprint::FingerprintParamBatch;
 using rstlab::fingerprint::FingerprintParams;
 using rstlab::parallel::BenchRecorder;
 using rstlab::parallel::Checksum64;
@@ -101,15 +106,23 @@ void RunModulusAblation(TrialRunner& runner, BenchRecorder& recorder) {
     const std::uint64_t trials = 400;
     const SeedSequence seeds(0xAB1000 + choice_index++);
     const auto start = std::chrono::steady_clock::now();
+    // Each trial evaluates an 8-lane batch of independent parameter
+    // draws at the chosen k in one pass over the instance values.
+    const std::uint64_t lanes = 8;
     const FoolTally tally = runner.RunSeeded<FoolTally>(
         trials, seeds, [&](std::uint64_t, Rng& rng, FoolTally& local) {
           rstlab::problems::Instance inst =
               rstlab::problems::PerturbedMultisets(m, n, 1, rng);
-          auto params = ParamsWithK(choice.k, rng);
-          if (!params.ok()) return;
-          ++local.attempted;
-          local.fooled += rstlab::fingerprint::AcceptsWithParams(
-              inst, params.value());
+          FingerprintParamBatch batch;
+          for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+            auto params = ParamsWithK(choice.k, rng);
+            if (!params.ok()) continue;
+            batch.PushLane(params.value());
+          }
+          const BatchFingerprintEngine engine(batch);
+          const BatchTally outcome = engine.Evaluate(inst);
+          local.attempted += batch.lanes();
+          local.fooled += outcome.accepted_count();
         });
     recorder.Record("A1.k=" + std::to_string(choice.k), trials,
                     SecondsSince(start),
@@ -164,17 +177,25 @@ void RunFixedPrimeAdversary(TrialRunner& runner,
   const A2Tally tally = runner.RunSeeded<A2Tally>(
       trials, seeds, [&](std::uint64_t, Rng& rng, A2Tally& local) {
         rstlab::problems::Instance inst = adversarial(rng);
-        // Fixed p1, random p2 and x.
+        // Both policies ride one 2-lane batch: lane 0 fixes p1, lane 1
+        // samples the paper's random p1 — a single pass over the values
+        // evaluates the adversary against both.
         FingerprintParams fixed;
         fixed.k = fixed_p1;
         fixed.p1 = fixed_p1;
         fixed.p2 = fixed_p2;
         fixed.x = rng.UniformInRange(1, fixed.p2 - 1);
-        local.fooled_fixed +=
-            rstlab::fingerprint::AcceptsWithParams(inst, fixed);
-        // The paper's random p1.
-        local.fooled_random +=
-            rstlab::fingerprint::TestMultisetEquality(inst, rng).accepted;
+        FingerprintParamBatch batch;
+        batch.PushLane(fixed);
+        auto random_params =
+            rstlab::fingerprint::SampleFingerprintParams(inst.m(), n, rng);
+        if (random_params.ok()) batch.PushLane(random_params.value());
+        const BatchTally outcome =
+            BatchFingerprintEngine(batch).Evaluate(inst);
+        local.fooled_fixed += outcome.lane_accepted[0];
+        if (batch.lanes() > 1) {
+          local.fooled_random += outcome.lane_accepted[1];
+        }
       });
   recorder.Record("A2", trials, SecondsSince(start),
                   Checksum64({tally.fooled_fixed, tally.fooled_random}));
@@ -217,10 +238,14 @@ void RunFixedXAblation(TrialRunner& runner, BenchRecorder& recorder) {
         if (!params.ok()) return;
         FingerprintParams with_fixed_x = params.value();
         with_fixed_x.x = 1;  // degenerate: counts elements only
-        local.fooled_fixed_x +=
-            rstlab::fingerprint::AcceptsWithParams(inst, with_fixed_x);
-        local.fooled_random_x +=
-            rstlab::fingerprint::AcceptsWithParams(inst, params.value());
+        // Both x policies share one 2-lane batch evaluation.
+        FingerprintParamBatch batch;
+        batch.PushLane(with_fixed_x);
+        batch.PushLane(params.value());
+        const BatchTally outcome =
+            BatchFingerprintEngine(batch).Evaluate(inst);
+        local.fooled_fixed_x += outcome.lane_accepted[0];
+        local.fooled_random_x += outcome.lane_accepted[1];
       });
   recorder.Record(
       "A3", trials, SecondsSince(start),
@@ -292,11 +317,15 @@ int main(int argc, char** argv) {
   rstlab::extmem::SetProcessStorageOptions(storage);
   const std::size_t threads =
       rstlab::parallel::ParseThreadsFlag(&argc, argv);
+  const rstlab::simd::SimdLevel simd_level =
+      rstlab::simd::ParseSimdFlag(&argc, argv);
   TrialRunner runner(threads);
   runner.set_trace(obs.sink());
   BenchRecorder recorder("bench_ablation", threads);
   recorder.set_metrics(obs.metrics());
-  std::cout << "trial engine: threads=" << threads << "\n\n";
+  std::cout << "trial engine: threads=" << threads
+            << " simd=" << rstlab::simd::SimdLevelName(simd_level)
+            << "\n\n";
   RunModulusAblation(runner, recorder);
   RunFixedPrimeAdversary(runner, recorder);
   RunFixedXAblation(runner, recorder);

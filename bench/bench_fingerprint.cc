@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
+#include "fingerprint/batch.h"
 #include "fingerprint/fingerprint.h"
 #include "extmem/storage.h"
 #include "obs/flags.h"
@@ -33,6 +34,7 @@
 #include "util/bitstring.h"
 #include "stmodel/st_context.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -54,12 +56,14 @@ double SecondsSince(
 void RunErrorTable(TrialRunner& runner, BenchRecorder& recorder) {
   Table table("E1: Theorem 8(a) fingerprint tester, one-sided error",
               {"m", "n", "N", "scans", "int.bits", "falseneg",
-               "falsepos", "paper"});
+               "falsepos", "falsepos(x8)", "paper"});
   struct E1Tally {
     std::uint64_t equal_trials = 0;
     std::uint64_t unequal_trials = 0;
     std::uint64_t false_neg = 0;
     std::uint64_t false_pos = 0;
+    std::uint64_t amplified_false_neg = 0;
+    std::uint64_t amplified_false_pos = 0;
     std::uint64_t scans = 0;          // max over trials
     std::uint64_t internal_bits = 0;  // max over trials
     std::uint64_t input_size = 0;     // max over trials
@@ -68,6 +72,8 @@ void RunErrorTable(TrialRunner& runner, BenchRecorder& recorder) {
       unequal_trials += o.unequal_trials;
       false_neg += o.false_neg;
       false_pos += o.false_pos;
+      amplified_false_neg += o.amplified_false_neg;
+      amplified_false_pos += o.amplified_false_pos;
       scans = std::max(scans, o.scans);
       internal_bits = std::max(internal_bits, o.internal_bits);
       input_size = std::max(input_size, o.input_size);
@@ -89,12 +95,22 @@ void RunErrorTable(TrialRunner& runner, BenchRecorder& recorder) {
           auto outcome =
               rstlab::fingerprint::TestMultisetEqualityOnTapes(ctx, rng);
           if (!outcome.ok()) return;
+          // 8-lane amplified batch on the same instance: one pass over
+          // the values evaluates 8 independent parameter choices.
+          auto amplified = rstlab::fingerprint::TestMultisetEqualityAmplified(
+              inst, 8, rng);
           if (equal) {
             ++local.equal_trials;
             if (!outcome.value().accepted) ++local.false_neg;
+            if (amplified.ok() && !amplified.value().accepted) {
+              ++local.amplified_false_neg;
+            }
           } else {
             ++local.unequal_trials;
             if (outcome.value().accepted) ++local.false_pos;
+            if (amplified.ok() && amplified.value().accepted) {
+              ++local.amplified_false_pos;
+            }
           }
           local.scans = std::max(local.scans, ctx.Report().scan_bound);
           local.internal_bits = std::max<std::uint64_t>(
@@ -107,7 +123,8 @@ void RunErrorTable(TrialRunner& runner, BenchRecorder& recorder) {
         "E1.m=" + std::to_string(m), trials, wall,
         Checksum64({tally.false_neg, tally.false_pos, tally.scans,
                     tally.internal_bits, tally.equal_trials,
-                    tally.unequal_trials}));
+                    tally.unequal_trials, tally.amplified_false_neg,
+                    tally.amplified_false_pos}));
     // Rates over the trials that actually ran on each side, not a
     // hard-coded constant.
     const double fn_rate =
@@ -120,11 +137,17 @@ void RunErrorTable(TrialRunner& runner, BenchRecorder& recorder) {
             ? 0.0
             : static_cast<double>(tally.false_pos) /
                   static_cast<double>(tally.unequal_trials);
+    const double amp_fp_rate =
+        tally.unequal_trials == 0
+            ? 0.0
+            : static_cast<double>(tally.amplified_false_pos) /
+                  static_cast<double>(tally.unequal_trials);
     table.AddRow({std::to_string(m), std::to_string(n),
                   std::to_string(tally.input_size),
                   std::to_string(tally.scans),
                   std::to_string(tally.internal_bits),
                   FormatDouble(fn_rate), FormatDouble(fp_rate),
+                  FormatDouble(amp_fp_rate),
                   "fn=0, fp<=0.5, r=2, s=O(logN)"});
   }
   table.Print(std::cout);
@@ -140,9 +163,12 @@ void RunClaim1Table(TrialRunner& runner, BenchRecorder& recorder) {
     rstlab::problems::Instance inst =
         rstlab::problems::PerturbedMultisets(m, n, m / 2, rng);
     const auto start = std::chrono::steady_clock::now();
+    // The batched estimator draws 8 primes per group and evaluates all
+    // residues in one pass over the values; the tally is bit-identical
+    // at any --threads and --simd setting.
     const rstlab::fingerprint::Claim1Estimate estimate =
-        rstlab::fingerprint::EstimateClaim1CollisionRate(
-            inst, trials, /*seed=*/77 * m, runner);
+        rstlab::fingerprint::EstimateClaim1CollisionRateBatched(
+            inst, trials, /*seed=*/77 * m, runner, /*lanes=*/8);
     const double wall = SecondsSince(start);
     recorder.Record("E2.m=" + std::to_string(m), trials, wall,
                     Checksum64({estimate.trials, estimate.collisions}));
@@ -198,6 +224,73 @@ void RunExactProbabilityTable(TrialRunner& runner,
   std::cout << "  the exact worst case sits far below the bound: the"
                " analysis charges p1/(p2-1) <= 1/3 for the polynomial"
                " zero event, while actual zero counts are tiny\n\n";
+}
+
+// E1c: roofline-style microbench of the batched fingerprint engine on
+// the A1 workload (m=32, n=24, 8 parameter lanes), single thread. The
+// scalar path is the lane-major reference schedule (one Barrett
+// PowMod per lane per value — exactly AcceptsWithParams in a loop);
+// lanes4/lanes8 run the value-major one-pass Shoup kernels. All three
+// must produce bit-identical sums; the table reports lane-value
+// throughput and the speedup over scalar.
+void RunRooflineTable(BenchRecorder& recorder) {
+  Table table("E1c: batched engine roofline (A1 workload, 1 thread,"
+              " 8 lanes)",
+              {"path", "vectorized", "lane-values/s", "speedup",
+               "sums checksum"});
+  const std::size_t m = 32;
+  const std::size_t n = 24;
+  const std::size_t lanes = 8;
+  Rng rng(0xE1C);
+  const rstlab::problems::Instance inst =
+      rstlab::problems::EqualMultisets(m, n, rng);
+  auto batch =
+      rstlab::fingerprint::SampleFingerprintParamBatch(m, n, lanes, rng);
+  if (!batch.ok()) {
+    std::cerr << "warning: E1c skipped: " << batch.status() << "\n";
+    return;
+  }
+  const rstlab::simd::SimdLevel levels[] = {
+      rstlab::simd::SimdLevel::kScalar, rstlab::simd::SimdLevel::kLanes4,
+      rstlab::simd::SimdLevel::kLanes8};
+  const std::uint64_t reps = 3000;
+  const std::uint64_t lane_values = 2 * m * lanes;  // per Evaluate
+  double scalar_rate = 0.0;
+  std::uint64_t reference_checksum = 0;
+  for (const rstlab::simd::SimdLevel level : levels) {
+    const rstlab::fingerprint::BatchFingerprintEngine engine(batch.value(),
+                                                             level);
+    // Warm-up pass also supplies the checksummed tally.
+    rstlab::fingerprint::BatchTally tally = engine.Evaluate(inst);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      benchmark::DoNotOptimize(engine.Evaluate(inst));
+    }
+    const double wall = SecondsSince(start);
+    std::uint64_t checksum = 0;
+    for (std::size_t lane = 0; lane < tally.sum_first.size(); ++lane) {
+      checksum = Checksum64(
+          {checksum, tally.sum_first[lane], tally.sum_second[lane]});
+    }
+    if (level == rstlab::simd::SimdLevel::kScalar) {
+      reference_checksum = checksum;
+    }
+    const double rate =
+        static_cast<double>(reps * lane_values) / wall;
+    if (level == rstlab::simd::SimdLevel::kScalar) scalar_rate = rate;
+    recorder.Record(
+        std::string("E1c.") + rstlab::simd::SimdLevelName(level), reps,
+        wall, checksum);
+    table.AddRow({rstlab::simd::SimdLevelName(level),
+                  engine.vectorized() ? "yes" : "no",
+                  FormatDouble(rate, 0),
+                  FormatDouble(rate / scalar_rate, 2) + "x",
+                  (checksum == reference_checksum ? "== scalar"
+                                                  : "MISMATCH")});
+  }
+  table.Print(std::cout);
+  std::cout << "  same sums on every path; the one-pass Shoup kernels"
+               " amortize the value scan across all 8 prime lanes\n\n";
 }
 
 // With --trace (or --metrics) active, runs one representative
@@ -264,13 +357,18 @@ int main(int argc, char** argv) {
   rstlab::extmem::SetProcessStorageOptions(storage);
   const std::size_t threads =
       rstlab::parallel::ParseThreadsFlag(&argc, argv);
+  const rstlab::simd::SimdLevel simd_level =
+      rstlab::simd::ParseSimdFlag(&argc, argv);
   TrialRunner runner(threads);
   runner.set_trace(obs.sink());
   BenchRecorder recorder("bench_fingerprint", threads);
   recorder.set_metrics(obs.metrics());
-  std::cout << "trial engine: threads=" << threads << "\n\n";
+  std::cout << "trial engine: threads=" << threads
+            << " simd=" << rstlab::simd::SimdLevelName(simd_level)
+            << "\n\n";
   RunErrorTable(runner, recorder);
   RunClaim1Table(runner, recorder);
+  RunRooflineTable(recorder);
   RunExactProbabilityTable(runner, recorder);
   RunTracedExemplar(obs);
   if (auto written = recorder.Write(); written.ok()) {

@@ -77,6 +77,12 @@ std::vector<CheckedMachine> AllCheckedMachines() {
                "01#$AZD"),
        {"", "$", "0$0", "11$11", "10#1$01#1", "1$0", "111$1", "0#$#0"}});
   machines.push_back(
+      {"theorem8a-batch-fingerprint", paper::Theorem8aBatchFingerprint(),
+       Options(core::StClass("ST(2, 0, 1)", ConstScans(2), ConstSpace(0), 1),
+               "01#$AZD"),
+       {"", "$", "0$0", "11$11", "10#1$01#1", "1$0", "111$1", "0#$#0",
+        "11111$", "111$11"}});
+  machines.push_back(
       {"theorem8b-guess-verify", paper::Theorem8bGuessVerify(),
        Options(
            core::NstClass("NST(1, 0, 1)", ConstScans(1), ConstSpace(0), 1),

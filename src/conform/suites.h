@@ -50,6 +50,13 @@ std::unique_ptr<Suite> MakeSortSuite();
 /// Theorem 12/13 pipelines).
 std::unique_ptr<Suite> MakeXmlRoundTripSuite();
 
+/// Scalar vs SIMD fingerprint batches: `BatchFingerprintEngine` sums
+/// and verdicts must be bit-identical at every lane width (scalar /
+/// lanes4 / lanes8), the batched Claim 1 estimator must be
+/// thread-count invariant, and the hardened tape tester must accept
+/// exactly the non-empty `Instance::Parse`-able encodings.
+std::unique_ptr<Suite> MakeFingerprintBatchSuite();
+
 }  // namespace rstlab::conform
 
 #endif  // RSTLAB_CONFORM_SUITES_H_

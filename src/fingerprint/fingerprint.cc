@@ -22,8 +22,9 @@ std::uint64_t CeilLog2(std::uint64_t v) {
   return static_cast<std::uint64_t>(std::bit_width(v - 1));
 }
 
-/// k = m^3 * n * ceil(log2(m^3 * n)); fails when 6k would overflow.
-Result<std::uint64_t> ComputeK(std::size_t m, std::size_t n) {
+}  // namespace
+
+Result<std::uint64_t> ComputeFingerprintK(std::size_t m, std::size_t n) {
   const unsigned __int128 m128 = m == 0 ? 1 : m;
   const unsigned __int128 n128 = n == 0 ? 1 : n;
   const unsigned __int128 mn = m128 * m128 * m128 * n128;
@@ -39,13 +40,14 @@ Result<std::uint64_t> ComputeK(std::size_t m, std::size_t n) {
   return std::max<std::uint64_t>(2, static_cast<std::uint64_t>(k));
 }
 
-/// The longest value length in the instance (the paper's n).
 std::size_t MaxValueBits(const problems::Instance& instance) {
   std::size_t n = 0;
   for (const BitString& v : instance.first) n = std::max(n, v.size());
   for (const BitString& v : instance.second) n = std::max(n, v.size());
   return n;
 }
+
+namespace {
 
 /// Number of x in {1..p2-1} for which the fingerprint accepts under
 /// prime p1 — the inner loop of the exact enumeration, with the fixed
@@ -113,7 +115,7 @@ struct ExactEnumeration {
 Result<ExactEnumeration> PrepareExactEnumeration(
     const problems::Instance& instance, std::uint64_t max_k) {
   Result<std::uint64_t> k_result =
-      ComputeK(instance.m(), MaxValueBits(instance));
+      ComputeFingerprintK(instance.m(), MaxValueBits(instance));
   if (!k_result.ok()) return k_result.status();
   ExactEnumeration prep;
   prep.k = k_result.value();
@@ -135,7 +137,7 @@ Result<FingerprintParams> SampleFingerprintParams(std::size_t m,
                                                   std::size_t n,
                                                   Rng& rng) {
   FingerprintParams params;
-  Result<std::uint64_t> k = ComputeK(m, n);
+  Result<std::uint64_t> k = ComputeFingerprintK(m, n);
   if (!k.ok()) return k.status();
   params.k = k.value();
   Result<std::uint64_t> p1 = RandomPrimeAtMost(params.k, rng);
@@ -169,12 +171,9 @@ bool AcceptsWithParams(const problems::Instance& instance,
 
 FingerprintOutcome TestMultisetEquality(const problems::Instance& instance,
                                         Rng& rng) {
-  std::size_t n = 0;
-  for (const BitString& v : instance.first) n = std::max(n, v.size());
-  for (const BitString& v : instance.second) n = std::max(n, v.size());
   FingerprintOutcome outcome;
   Result<FingerprintParams> params =
-      SampleFingerprintParams(instance.m(), n, rng);
+      SampleFingerprintParams(instance.m(), MaxValueBits(instance), rng);
   // Parameter sampling only fails on astronomically large m*n (beyond
   // what fits in memory). Accepting on failure keeps the one-sided
   // guarantee intact: false accepts are the permitted error direction,
@@ -200,26 +199,39 @@ Result<FingerprintOutcome> TestMultisetEqualityOnTapes(
   stmodel::MeteredUint64 field_len(arena, ctr_bits);
   stmodel::MeteredUint64 max_len(arena, ctr_bits);
 
+  // Each cell is read exactly ONCE into a register (2N + 1 reads for
+  // the whole two-scan run, including the terminal blank probe): the
+  // model charges a scan one visit per cell, so re-reading under a
+  // stationary head would inflate the obs event counts and extmem
+  // cache statistics relative to Definition 1.
   stmodel::Rewind(in);
-  while (!stmodel::AtEnd(in)) {
-    field_len = 0;
-    while (in.Read() != stmodel::kFieldSeparator &&
-           in.Read() != tape::kBlank) {
-      if (in.Read() != '0' && in.Read() != '1') {
-        return Status::InvalidArgument("non-binary character in field");
-      }
+  char cell = in.Read();
+  while (cell != tape::kBlank) {
+    if (cell == stmodel::kFieldSeparator) {
+      max_len = std::max(max_len.get(), field_len.get());
+      field_len = 0;
+      num_fields = num_fields.get() + 1;
+    } else if (cell == '0' || cell == '1') {
       field_len = field_len.get() + 1;
-      in.MoveRight();
-    }
-    if (in.Read() != stmodel::kFieldSeparator) {
-      return Status::InvalidArgument("instance must end with '#'");
+    } else {
+      return Status::InvalidArgument("non-binary character in field");
     }
     in.MoveRight();
-    max_len = std::max(max_len.get(), field_len.get());
-    num_fields = num_fields.get() + 1;
+    cell = in.Read();
+  }
+  if (in.head() < ctx.input_size()) {
+    return Status::InvalidArgument("blank cell inside input");
+  }
+  if (field_len.get() != 0) {
+    return Status::InvalidArgument(
+        "unterminated field: instance must end with '#'");
+  }
+  if (num_fields.get() == 0) {
+    return Status::InvalidArgument("empty input tape");
   }
   if (num_fields.get() % 2 != 0) {
-    return Status::InvalidArgument("instance must have 2m fields");
+    return Status::InvalidArgument(
+        "odd field count: instance must have 2m fields");
   }
   const std::size_t m = static_cast<std::size_t>(num_fields.get() / 2);
   const std::size_t n = static_cast<std::size_t>(max_len.get());
@@ -331,7 +343,7 @@ Result<double> ExactAcceptProbability(const problems::Instance& instance,
 double EstimateClaim1CollisionRate(const problems::Instance& instance,
                                    std::size_t trials, Rng& rng) {
   Result<std::uint64_t> k_result =
-      ComputeK(instance.m(), MaxValueBits(instance));
+      ComputeFingerprintK(instance.m(), MaxValueBits(instance));
   if (!k_result.ok() || trials == 0) return 0.0;
   const PrimePool pool(k_result.value());
 
@@ -349,7 +361,7 @@ Claim1Estimate EstimateClaim1CollisionRate(
     std::uint64_t seed, parallel::TrialRunner& runner) {
   Claim1Estimate estimate;
   Result<std::uint64_t> k_result =
-      ComputeK(instance.m(), MaxValueBits(instance));
+      ComputeFingerprintK(instance.m(), MaxValueBits(instance));
   if (!k_result.ok() || trials == 0) return estimate;
   // Sieve once on the calling thread; workers only read.
   const PrimePool pool(k_result.value());

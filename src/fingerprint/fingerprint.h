@@ -19,6 +19,14 @@ struct FingerprintParams {
   std::uint64_t x = 0;   // uniform in {1,...,p2-1}  (step 4)
 };
 
+/// The paper's k = m^3 * n * ceil(log2(m^3 * n)), clamped to >= 2 so a
+/// prime <= k exists; fails when 6k would overflow the uint64
+/// arithmetic (step 3 needs the Bertrand prime p2 <= 6k).
+Result<std::uint64_t> ComputeFingerprintK(std::size_t m, std::size_t n);
+
+/// The longest value length in the instance (the paper's n).
+std::size_t MaxValueBits(const problems::Instance& instance);
+
 /// Samples fingerprint parameters for m values of n bits. Fails if the
 /// derived k overflows the uint64 arithmetic (m^3 * n * log must stay
 /// below 2^63 / 6).

@@ -131,6 +131,98 @@ MachineSpec Theorem8aFingerprint() {
   return b.Build();
 }
 
+MachineSpec Theorem8aBatchFingerprint() {
+  // Product automaton over both primes: every state carries the residue
+  // pair (d mod 3, d mod 5). Cell-0 markers as in Theorem8aFingerprint:
+  // 'A' = marked '0', 'Z' = marked '1', 'D' = marked '$'.
+  const char B = kBlank;
+  constexpr unsigned kP3 = 3;
+  constexpr unsigned kP5 = 5;
+  StateNames name;
+  MachineBuilder b(1, 0);
+  b.AddFinal(kAccept, true).AddFinal(kReject, false);
+  const int start = name("start");
+  b.SetStart(start);
+
+  const auto fwd = [&name](char section, unsigned d3, unsigned d5) {
+    return name("F" + std::string(1, section) + std::to_string(d3) + "_" +
+                std::to_string(d5));
+  };
+  const auto back = [&name](bool ok, char section, unsigned e3,
+                            unsigned e5) {
+    return name("B" + std::string(1, ok ? 'y' : 'n') + section +
+                std::to_string(e3) + "_" + std::to_string(e5));
+  };
+
+  // Start: mark cell 0. No prime branch — both residues ride along.
+  b.On(start, "0").Go(fwd('v', 0, 0), "A", kRight1);
+  b.On(start, "1").Go(fwd('v', 1, 1), "Z", kRight1);
+  b.On(start, "$").Go(fwd('w', 0, 0), "D", kRight1);
+  b.On(start, std::string(1, B)).Go(kAccept, std::string(1, B), kStay1);
+
+  // Forward scan: accumulate d = digitsum(v) - digitsum(w) mod 3 and
+  // mod 5 simultaneously.
+  for (unsigned d3 = 0; d3 < kP3; ++d3) {
+    for (unsigned d5 = 0; d5 < kP5; ++d5) {
+      const int fv = fwd('v', d3, d5);
+      const int fw = fwd('w', d3, d5);
+      for (char c : {'0', '1'}) {
+        const unsigned digit = static_cast<unsigned>(c - '0');
+        b.On(fv, std::string(1, c))
+            .Go(fwd('v', (d3 + digit) % kP3, (d5 + digit) % kP5),
+                std::string(1, c), kRight1);
+        b.On(fw, std::string(1, c))
+            .Go(fwd('w', (d3 + kP3 - digit) % kP3,
+                    (d5 + kP5 - digit) % kP5),
+                std::string(1, c), kRight1);
+      }
+      b.On(fv, "#").Go(fv, "#", kRight1);
+      b.On(fw, "#").Go(fw, "#", kRight1);
+      b.On(fv, "$").Go(fw, "$", kRight1);
+      // Right end: the single reversal. The forward verdict needs the
+      // difference to vanish modulo BOTH primes.
+      const bool ok = d3 == 0 && d5 == 0;
+      b.On(fv, std::string(1, B))
+          .Go(back(ok, 'w', 0, 0), std::string(1, B), kLeft1);
+      b.On(fw, std::string(1, B))
+          .Go(back(ok, 'w', 0, 0), std::string(1, B), kLeft1);
+    }
+  }
+
+  // Backward verification scan, right to left.
+  for (bool ok : {false, true}) {
+    for (unsigned e3 = 0; e3 < kP3; ++e3) {
+      for (unsigned e5 = 0; e5 < kP5; ++e5) {
+        const int bw = back(ok, 'w', e3, e5);
+        const int bv = back(ok, 'v', e3, e5);
+        for (char c : {'0', '1'}) {
+          const unsigned digit = static_cast<unsigned>(c - '0');
+          b.On(bw, std::string(1, c))
+              .Go(back(ok, 'w', (e3 + kP3 - digit) % kP3,
+                       (e5 + kP5 - digit) % kP5),
+                  std::string(1, c), kLeft1);
+          b.On(bv, std::string(1, c))
+              .Go(back(ok, 'v', (e3 + digit) % kP3, (e5 + digit) % kP5),
+                  std::string(1, c), kLeft1);
+        }
+        b.On(bw, "#").Go(bw, "#", kLeft1);
+        b.On(bv, "#").Go(bv, "#", kLeft1);
+        b.On(bw, "$").Go(bv, "$", kLeft1);
+        for (const auto& [marker, digit] :
+             std::map<char, unsigned>{{'A', 0}, {'Z', 1}, {'D', 0}}) {
+          const bool zero = (e3 + digit) % kP3 == 0 &&
+                            (e5 + digit) % kP5 == 0;
+          const int verdict = (ok && zero) ? kAccept : kReject;
+          const std::string m(1, marker);
+          b.On(bw, m).Go(verdict, m, kStay1);
+          b.On(bv, m).Go(verdict, m, kStay1);
+        }
+      }
+    }
+  }
+  return b.Build();
+}
+
 MachineSpec Theorem8bGuessVerify() {
   // States: 0 = at a field start (the guessing point), 1 = verifying
   // the guessed field, 2 = skipping an unguessed field.

@@ -30,6 +30,17 @@ namespace paper {
 /// the analyzer certifies the reversal bound statically.
 MachineSpec Theorem8aFingerprint();
 
+/// The batched variant of the Theorem 8(a) machine: instead of
+/// branching on a prime choice, it runs the product automaton over
+/// BOTH primes {3, 5}, carrying the residue pair (d mod 3, d mod 5)
+/// through each scan — the machine-level analogue of the batch
+/// engine's multi-prime evaluation, where k-fold amplification costs
+/// one scan instead of k. Same two-scan shape and markers as
+/// `Theorem8aFingerprint`, but deterministic: accepts iff the digit
+/// sum difference vanishes mod 3 AND mod 5 on both the forward and
+/// backward pass. Class ST(2, 0, 1).
+MachineSpec Theorem8aBatchFingerprint();
+
 /// The Theorem 8(b) guess-and-verify machine, scan-level skeleton.
 ///
 /// Input: '#'-separated fields over {0, 1}. The machine guesses, at

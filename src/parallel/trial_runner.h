@@ -1,6 +1,7 @@
 #ifndef RSTLAB_PARALLEL_TRIAL_RUNNER_H_
 #define RSTLAB_PARALLEL_TRIAL_RUNNER_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -86,6 +87,31 @@ class TrialRunner {
                         Rng rng = seeds.RngForTrial(trial);
                         body(trial, rng, tally);
                       });
+  }
+
+  /// Maps [0, trials) in fixed-width groups for batched (SIMD-lane)
+  /// bodies: group g covers trials [g*lanes, min((g+1)*lanes, trials))
+  /// and runs as ONE unit — `body(first_trial, count, rng, tally)` with
+  /// an Rng derived from the group's first trial index. The group
+  /// layout is a pure function of (trials, lanes), so the
+  /// reproducibility contract above carries over verbatim: a batched
+  /// tally is bit-identical at any thread count. It intentionally
+  /// differs from RunSeeded's (one Rng per trial), because a batch
+  /// draws all of its lanes' randomness from one stream; compare
+  /// batched runs only with batched runs of the same lane width.
+  template <typename Tally, typename Body>
+  Tally RunSeededBatches(std::uint64_t trials, std::uint64_t lanes,
+                         const SeedSequence& seeds, Body&& body) {
+    const std::uint64_t width = lanes == 0 ? 1 : lanes;
+    const std::uint64_t groups = (trials + width - 1) / width;
+    return Run<Tally>(
+        groups, [&seeds, &body, trials, width](std::uint64_t group,
+                                               Tally& tally) {
+          const std::uint64_t first = group * width;
+          const std::uint64_t count = std::min(width, trials - first);
+          Rng rng = seeds.RngForTrial(first);
+          body(first, count, rng, tally);
+        });
   }
 
  private:

@@ -1,0 +1,124 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rstlab::simd {
+namespace {
+
+/// Sentinel meaning "no process-wide override installed".
+constexpr int kUnsetLevel = -1;
+
+int& ProcessLevelSlot() {
+  static int slot = kUnsetLevel;
+  return slot;
+}
+
+}  // namespace
+
+std::size_t SimdLanes(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return 1;
+    case SimdLevel::kLanes4:
+      return 4;
+    case SimdLevel::kLanes8:
+      return 8;
+  }
+  return 1;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kLanes4:
+      return "lanes4";
+    case SimdLevel::kLanes8:
+      return "lanes8";
+  }
+  return "scalar";
+}
+
+SimdLevel DetectSimdLevel() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) {
+    return SimdLevel::kLanes8;
+  }
+  return SimdLevel::kScalar;
+#elif defined(__aarch64__)
+  // NEON is part of the aarch64 baseline: two 2x64 vectors per group.
+  return SimdLevel::kLanes4;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ParseSimdLevelName(const std::string& name) {
+  if (name == "off" || name == "scalar" || name == "0" || name == "1") {
+    return SimdLevel::kScalar;
+  }
+  if (name == "4" || name == "lanes4") {
+    return SimdLevel::kLanes4;
+  }
+  if (name == "8" || name == "lanes8") {
+    return SimdLevel::kLanes8;
+  }
+  return DetectSimdLevel();
+}
+
+SimdLevel ResolveSimdLevel() {
+  const char* env = std::getenv("RSTLAB_SIMD");
+  if (env == nullptr || *env == '\0') {
+    return DetectSimdLevel();
+  }
+  return ParseSimdLevelName(env);
+}
+
+SimdLevel ProcessSimdLevel() {
+  const int slot = ProcessLevelSlot();
+  if (slot == kUnsetLevel) {
+    return ResolveSimdLevel();
+  }
+  return static_cast<SimdLevel>(slot);
+}
+
+void SetProcessSimdLevel(SimdLevel level) {
+  ProcessLevelSlot() = static_cast<int>(level);
+}
+
+bool VectorKernelsAvailable() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#elif defined(__aarch64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+SimdLevel ParseSimdFlag(int* argc, char** argv) {
+  std::string requested;
+  bool saw_flag = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--simd=", 7) == 0) {
+      requested = arg + 7;
+      saw_flag = true;
+      continue;  // strip the flag so downstream parsers never see it
+    }
+    argv[out++] = argv[i];
+  }
+  for (int i = out; i < *argc; ++i) {
+    argv[i] = nullptr;
+  }
+  *argc = out;
+
+  const SimdLevel level =
+      saw_flag ? ParseSimdLevelName(requested) : ResolveSimdLevel();
+  SetProcessSimdLevel(level);
+  return level;
+}
+
+}  // namespace rstlab::simd

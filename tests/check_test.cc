@@ -483,6 +483,7 @@ TEST(StaticBoundsTest, MatchHandDerivedZooBounds) {
       {"guess-first-bit", 1},  {"palindrome", 4},
       {"balanced-zeros-ones", 1},
       {"theorem8a-fingerprint", 2},
+      {"theorem8a-batch-fingerprint", 2},
       {"theorem8b-guess-verify", 1},
   };
   const std::vector<CheckedMachine> machines = AllCheckedMachines();

@@ -1,14 +1,24 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "extmem/storage.h"
 #include "fingerprint/barrett.h"
 #include "fingerprint/fingerprint.h"
 #include "fingerprint/prime.h"
 #include "fingerprint/prime_pool.h"
+#include "obs/ring_sink.h"
+#include "obs/trace.h"
 #include "parallel/trial_runner.h"
 #include "problems/generators.h"
 #include "problems/reference.h"
 #include "stmodel/internal_arena.h"
 #include "stmodel/st_context.h"
+#include "tape/tape.h"
 #include "util/random.h"
 
 namespace rstlab::fingerprint {
@@ -275,6 +285,28 @@ TEST(FingerprintTest, OverflowGuard) {
   EXPECT_FALSE(SampleFingerprintParams(1 << 21, 1 << 10, rng).ok());
 }
 
+TEST(FingerprintTest, SampledXReachesEveryValueInDomain) {
+  // ExactAcceptProbability enumerates x over {1..p2-1}; the sampler
+  // must cover the same domain or sampled and exact acceptance
+  // probabilities disagree. Rng::UniformInRange is inclusive on both
+  // ends, so UniformInRange(1, p2 - 1) is exactly that set — pin it.
+  // m = n = 1 gives k = 2 and p2 = 7, small enough that 512 draws hit
+  // all six values with probability 1 - ~6e-36.
+  Rng rng(41);
+  std::set<std::uint64_t> seen;
+  std::uint64_t p2 = 0;
+  for (int draw = 0; draw < 512; ++draw) {
+    Result<FingerprintParams> params = SampleFingerprintParams(1, 1, rng);
+    ASSERT_TRUE(params.ok());
+    p2 = params.value().p2;
+    ASSERT_GE(params.value().x, 1u);
+    ASSERT_LT(params.value().x, p2);
+    seen.insert(params.value().x);
+  }
+  EXPECT_EQ(p2, 7u);  // k = 2 -> smallest Bertrand prime in (6, 12]
+  EXPECT_EQ(seen.size(), p2 - 1);  // every value in {1..p2-1} reached
+}
+
 // Completeness (no false negatives): equal multisets are ALWAYS
 // accepted, for every parameter draw.
 class FingerprintCompletenessTest
@@ -431,6 +463,122 @@ TEST(FingerprintTapeTest, RejectsMalformedInput) {
   EXPECT_FALSE(TestMultisetEqualityOnTapes(ctx, rng).ok());
   ctx.LoadInput("01#1#0#");
   EXPECT_FALSE(TestMultisetEqualityOnTapes(ctx, rng).ok());
+}
+
+TEST(FingerprintTapeTest, MalformedInputsGetNamedStatuses) {
+  stmodel::StContext ctx(1);
+  Rng rng(1);
+  const auto message = [&ctx, &rng](const std::string& input) {
+    ctx.LoadInput(input);
+    const Result<FingerprintOutcome> outcome =
+        TestMultisetEqualityOnTapes(ctx, rng);
+    return outcome.ok() ? std::string("ok") : outcome.status().message();
+  };
+  // Each malformed edge maps to a distinct named InvalidArgument, so a
+  // caller (and the conform differential suite) can pin which scan-1
+  // precondition failed instead of getting a misaligned scan 2.
+  EXPECT_EQ(message(""), "empty input tape");
+  EXPECT_EQ(message("#"), "odd field count: instance must have 2m fields");
+  EXPECT_EQ(message("0#1#0#"),
+            "odd field count: instance must have 2m fields");
+  EXPECT_EQ(message("01#1"),
+            "unterminated field: instance must end with '#'");
+  EXPECT_EQ(message("01#2#"), "non-binary character in field");
+  EXPECT_EQ(message("01#_#"), "blank cell inside input");
+  // Trailing blanks after the final separator are inside the declared
+  // input region, so they are malformed too (the head must cross them).
+  EXPECT_EQ(message("0#0#__"), "blank cell inside input");
+  // The well-formed empty-value instance "##" stays accepted.
+  EXPECT_EQ(message("##"), "ok");
+}
+
+/// TapeStorage decorator counting every cell access. Deliberately NOT a
+/// MemStorage subclass: Tape only takes its zero-virtual-call fast path
+/// for MemStorage, so wrapping keeps every Read on the virtual path
+/// where it can be counted.
+class CountingStorage final : public extmem::TapeStorage {
+ public:
+  explicit CountingStorage(std::string content)
+      : inner_(std::move(content)) {}
+
+  char ReadCell(std::size_t index) override {
+    ++reads;
+    return inner_.ReadCell(index);
+  }
+  void WriteCell(std::size_t index, char symbol) override {
+    ++writes;
+    inner_.WriteCell(index, symbol);
+  }
+  std::size_t size() const override { return inner_.size(); }
+  void Reserve(std::size_t cells) override { inner_.Reserve(cells); }
+  void Assign(std::string content) override {
+    inner_.Assign(std::move(content));
+  }
+  std::string ReadRange(std::size_t pos, std::size_t count) override {
+    return inner_.ReadRange(pos, count);
+  }
+  void WriteRange(std::size_t pos, std::string_view data) override {
+    inner_.WriteRange(pos, data);
+  }
+  const char* backend_name() const override { return "counting"; }
+
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+ private:
+  extmem::MemStorage inner_;
+};
+
+TEST(FingerprintTapeTest, ReadsEachCellExactlyOncePerScan) {
+  Rng rng(17);
+  problems::Instance inst = problems::EqualMultisets(4, 8, rng);
+  const std::string encoded = inst.Encode();
+  const std::uint64_t n = encoded.size();
+
+  stmodel::StContext ctx(1);
+  ctx.LoadInput(encoded);
+  auto storage = std::make_unique<CountingStorage>(encoded);
+  CountingStorage* counter = storage.get();
+  ctx.tape(0) = tape::Tape(std::move(storage));
+
+  Rng run_rng(18);
+  ASSERT_TRUE(TestMultisetEqualityOnTapes(ctx, run_rng).ok());
+  // Scan 1 reads each of the N cells once plus the terminating blank
+  // probe; scan 2 reads each cell once on the way back. Reading any
+  // cell more often would misreport the model's per-scan cost in the
+  // obs trace and the extmem cache statistics.
+  EXPECT_EQ(counter->reads, 2 * n + 1);
+  EXPECT_EQ(counter->writes, 0u);
+}
+
+TEST(FingerprintTapeTest, ObsEventStreamPinsScanEnvelope) {
+  Rng rng(21);
+  problems::Instance inst = problems::EqualMultisets(3, 6, rng);
+  const std::string encoded = inst.Encode();
+  const std::uint64_t n = encoded.size();
+
+  stmodel::StContext ctx(1);
+  ctx.LoadInput(encoded);
+  obs::RingSink ring;
+  ctx.AttachTrace(&ring);
+  Rng run_rng(22);
+  ASSERT_TRUE(TestMultisetEqualityOnTapes(ctx, run_rng).ok());
+  ctx.FlushTrace();
+
+  std::size_t reversal_count = 0;
+  std::vector<obs::TraceEvent> scan_ends;
+  for (const obs::TraceEvent& event : ring.Snapshot()) {
+    if (event.kind == obs::EventKind::kReversal) ++reversal_count;
+    if (event.kind == obs::EventKind::kScanEnd) scan_ends.push_back(event);
+  }
+  // The read-once scan preserves the certified two-scan envelope:
+  // segment 0 covers [0, n] forward, segment 1 covers it backward.
+  EXPECT_EQ(reversal_count, 1u);
+  ASSERT_EQ(scan_ends.size(), 2u);
+  EXPECT_EQ(scan_ends[0].lo, 0u);
+  EXPECT_EQ(scan_ends[0].hi, n);
+  EXPECT_EQ(scan_ends[1].lo, 0u);
+  EXPECT_EQ(scan_ends[1].hi, n);
 }
 
 // ---------------------------------------------------------------------

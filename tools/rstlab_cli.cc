@@ -40,6 +40,7 @@
 #include "machine/turing_machine.h"
 #include "sorting/parallel_sort.h"
 #include "sorting/sort_config.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -83,7 +84,11 @@ int Usage() {
       << "                                          the parallel k-way"
          " sort path)\n"
       << "  --run-length=<L>                        fields per formation"
-         " run\n";
+         " run\n"
+      << "  --simd=<off|4|8|auto>                   lane width for the"
+         " batched\n"
+      << "                                          fingerprint engine"
+         " (RSTLAB_SIMD)\n";
   return 2;
 }
 
@@ -466,6 +471,7 @@ int main(int argc, char** argv) {
       rstlab::extmem::ParseBackendFlags(&argc, argv));
   rstlab::sorting::SetProcessSortConfig(
       rstlab::sorting::ParseSortFlags(&argc, argv));
+  rstlab::simd::ParseSimdFlag(&argc, argv);
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return Usage();
   const std::string command = args[0];
