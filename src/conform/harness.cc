@@ -33,6 +33,7 @@ const std::vector<const Suite*>& AllSuites() {
     owned->push_back(MakeSortSuite());
     owned->push_back(MakeXmlRoundTripSuite());
     owned->push_back(MakeFingerprintBatchSuite());
+    owned->push_back(MakeServeShardSuite());
     auto* views = new std::vector<const Suite*>();
     for (const auto& suite : *owned) views->push_back(suite.get());
     return views;

@@ -45,6 +45,12 @@ std::unique_ptr<Suite> MakeDeciderSuite();
 /// leave no spill files in the tape directory.
 std::unique_ptr<Suite> MakeSortSuite();
 
+/// 1-process vs N-shard `rstlab serve` deployment: a mixed request
+/// workload routed through `ShardRouter` over loopback must answer
+/// byte-identical result frames in both deployments — every response
+/// is a pure function of its request payload.
+std::unique_ptr<Suite> MakeServeShardSuite();
+
 /// XML serializer vs parser: serialize-parse-serialize must be the
 /// identity on generated documents (the encoding side of the
 /// Theorem 12/13 pipelines).

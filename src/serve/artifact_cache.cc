@@ -1,0 +1,53 @@
+#include "serve/artifact_cache.h"
+
+namespace rstlab::serve {
+
+std::uint64_t HashContent(std::string_view content) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (const char c : content) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return hash;
+}
+
+ArtifactCache::ArtifactCache(std::size_t capacity,
+                             obs::MetricsRegistry* metrics)
+    : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics) {}
+
+std::shared_ptr<const void> ArtifactCache::GetOrCreateErased(
+    std::string_view kind, std::uint64_t content_hash,
+    const std::function<std::shared_ptr<const void>()>& factory) {
+  Key key{std::string(kind), content_hash};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    if (metrics_ != nullptr) metrics_->Add("serve.cache.hits");
+    return it->second->value;
+  }
+  ++stats_.misses;
+  if (metrics_ != nullptr) metrics_->Add("serve.cache.misses");
+  std::shared_ptr<const void> value = factory();
+  if (value == nullptr) return nullptr;
+  lru_.push_front(Entry{key, value});
+  index_[std::move(key)] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    if (metrics_ != nullptr) metrics_->Add("serve.cache.evictions");
+  }
+  return value;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace rstlab::serve

@@ -1,0 +1,116 @@
+#ifndef RSTLAB_SERVE_ARTIFACT_CACHE_H_
+#define RSTLAB_SERVE_ARTIFACT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace rstlab::serve {
+
+/// 64-bit FNV-1a over `content` — the content hash the cache keys on.
+/// Stable across platforms and processes, so a sharded deployment's
+/// caches key identically.
+std::uint64_t HashContent(std::string_view content);
+
+/// A content-hash-keyed LRU cache for the expensive per-request
+/// artifacts the experiment service would otherwise rebuild on every
+/// request: sieved prime pools, parsed instances, parsed XML documents,
+/// analyzer certificates.
+///
+/// Keys are (kind, HashContent(content)) — the kind string partitions
+/// the namespace so two artifact types can never collide, and the
+/// content hash means two requests carrying byte-identical payloads
+/// share one artifact regardless of tenant or request id. Values are
+/// type-erased shared_ptrs: readers hold their reference for as long as
+/// they need it, so eviction never invalidates an in-flight request.
+///
+/// Thread safety: every public method is safe to call concurrently. A
+/// factory runs under the cache lock, serializing the first
+/// construction of an artifact so concurrent identical requests build
+/// it exactly once (single-flight); artifacts here are milliseconds to
+/// build, which is far cheaper than building one per concurrent miss.
+///
+/// Hit/miss/eviction totals are published to an optional
+/// `obs::MetricsRegistry` as `serve.cache.hits`, `serve.cache.misses`
+/// and `serve.cache.evictions`.
+class ArtifactCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// A cache holding at most `capacity` artifacts (>= 1), publishing
+  /// counters to `metrics` when non-null (not owned).
+  explicit ArtifactCache(std::size_t capacity,
+                         obs::MetricsRegistry* metrics = nullptr);
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// The artifact for (kind, content), building it via `factory` on
+  /// miss. A null result from `factory` is not cached (failed builds
+  /// retry on the next request).
+  template <typename T>
+  std::shared_ptr<const T> GetOrCreate(
+      std::string_view kind, std::string_view content,
+      const std::function<std::shared_ptr<const T>()>& factory) {
+    std::shared_ptr<const void> erased = GetOrCreateErased(
+        kind, HashContent(content),
+        [&factory]() -> std::shared_ptr<const void> { return factory(); });
+    return std::static_pointer_cast<const T>(erased);
+  }
+
+  /// Type-erased core (exposed for tests).
+  std::shared_ptr<const void> GetOrCreateErased(
+      std::string_view kind, std::uint64_t content_hash,
+      const std::function<std::shared_ptr<const void>()>& factory);
+
+  Stats stats() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    std::string kind;
+    std::uint64_t hash = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return std::hash<std::string>()(key.kind) ^ key.hash;
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const void> value;
+  };
+
+  std::size_t capacity_;
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mutex_;
+  // Most-recently-used at the front; map values point into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  Stats stats_;
+};
+
+}  // namespace rstlab::serve
+
+#endif  // RSTLAB_SERVE_ARTIFACT_CACHE_H_

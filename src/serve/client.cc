@@ -1,0 +1,231 @@
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace rstlab::serve {
+
+namespace {
+
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string ToLower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+const std::string* FindHeader(const ClientResponse& response,
+                              std::string_view name) {
+  for (const auto& [key, value] : response.headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> ClientResponse::Lines() const {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < body.size()) {
+    std::size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    if (end > start) lines.push_back(body.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : fd_(other.fd_), port_(other.port_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status HttpClient::Connect(std::uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Close();
+    return Status::Internal("connect() to 127.0.0.1:" +
+                            std::to_string(port) + " failed");
+  }
+  port_ = port;
+  buffer_.clear();
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  if (!WriteAll(fd_, bytes)) return Status::Internal("send() failed");
+  return Status::OK();
+}
+
+Result<ClientResponse> HttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  char chunk[64 * 1024];
+
+  // Head: up to the blank line.
+  std::size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      return Status::Internal("connection closed mid-response");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  ClientResponse response;
+  std::size_t line_start = head.find("\r\n");
+  const std::string status_line = head.substr(0, line_start);
+  // "HTTP/1.1 200 OK" -> 200.
+  const std::size_t space = status_line.find(' ');
+  if (space == std::string::npos) {
+    return Status::Internal("malformed status line: " + status_line);
+  }
+  response.status = std::atoi(status_line.c_str() + space + 1);
+
+  while (line_start != std::string::npos && line_start + 2 < head.size()) {
+    std::size_t line_end = head.find("\r\n", line_start + 2);
+    const std::string line =
+        head.substr(line_start + 2, line_end == std::string::npos
+                                        ? std::string::npos
+                                        : line_end - line_start - 2);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = ToLower(line.substr(0, colon));
+      std::size_t value_start = colon + 1;
+      while (value_start < line.size() && line[value_start] == ' ') {
+        ++value_start;
+      }
+      response.headers.emplace_back(std::move(name),
+                                    line.substr(value_start));
+    }
+    line_start = line_end;
+  }
+
+  const std::string* transfer = FindHeader(response, "transfer-encoding");
+  if (transfer != nullptr && ToLower(*transfer) == "chunked") {
+    // Chunked body: size line, payload, CRLF, ..., zero chunk.
+    for (;;) {
+      std::size_t size_end;
+      while ((size_end = buffer_.find("\r\n")) == std::string::npos) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+          Close();
+          return Status::Internal("connection closed mid-chunk");
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+      }
+      const std::size_t size =
+          static_cast<std::size_t>(
+              std::strtoull(buffer_.substr(0, size_end).c_str(), nullptr, 16));
+      buffer_.erase(0, size_end + 2);
+      while (buffer_.size() < size + 2) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+          Close();
+          return Status::Internal("connection closed mid-chunk");
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+      }
+      if (size == 0) {
+        buffer_.erase(0, 2);
+        break;
+      }
+      response.body.append(buffer_, 0, size);
+      buffer_.erase(0, size + 2);
+    }
+    return response;
+  }
+
+  const std::string* length = FindHeader(response, "content-length");
+  const std::size_t body_size =
+      length != nullptr
+          ? static_cast<std::size_t>(std::strtoull(length->c_str(), nullptr, 10))
+          : 0;
+  while (buffer_.size() < body_size) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      return Status::Internal("connection closed mid-body");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  response.body = buffer_.substr(0, body_size);
+  buffer_.erase(0, body_size);
+  return response;
+}
+
+Result<ClientResponse> HttpClient::Request(const std::string& method,
+                                           const std::string& target,
+                                           const std::string& body) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) {
+      RSTLAB_RETURN_IF_ERROR(Connect(port_));
+    }
+    std::string request = method + " " + target + " HTTP/1.1\r\n" +
+                          "Host: 127.0.0.1\r\n";
+    if (!body.empty() || method == "POST") {
+      request += "Content-Type: application/json\r\n";
+      request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    request += "\r\n" + body;
+    if (!WriteAll(fd_, request)) {
+      Close();
+      continue;  // stale keep-alive connection; reconnect once
+    }
+    Result<ClientResponse> response = ReadResponse();
+    if (response.ok() || attempt == 1) return response;
+    Close();
+  }
+  return Status::Internal("request failed after reconnect");
+}
+
+}  // namespace rstlab::serve

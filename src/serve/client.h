@@ -1,0 +1,69 @@
+#ifndef RSTLAB_SERVE_CLIENT_H_
+#define RSTLAB_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rstlab::serve {
+
+/// One decoded HTTP response: chunked bodies arrive fully reassembled,
+/// so NDJSON streams can be split on newlines regardless of how the
+/// server chunked them.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lowercased
+  std::string body;
+
+  /// The body split into non-empty NDJSON lines.
+  std::vector<std::string> Lines() const;
+};
+
+/// A minimal blocking HTTP/1.1 client for 127.0.0.1 — the test,
+/// conformance and load-generator counterpart of HttpServer. Reuses one
+/// keep-alive connection across requests; not thread-safe (benches open
+/// one client per worker).
+class HttpClient {
+ public:
+  HttpClient() = default;
+
+  /// Closes the connection if open.
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  /// Connects to 127.0.0.1:`port`.
+  Status Connect(std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request and blocks for the full (possibly chunked)
+  /// response. `body` may be empty for GET. Reconnects once if the
+  /// server closed the kept-alive connection.
+  Result<ClientResponse> Request(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body = "");
+
+  /// Writes raw bytes on the open connection — for protocol-level tests
+  /// (truncated requests, pipelining) that bypass Request().
+  Status SendRaw(const std::string& bytes);
+
+  /// Reads one full response after SendRaw().
+  Result<ClientResponse> ReadResponse();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string buffer_;  // bytes received beyond the last response
+};
+
+}  // namespace rstlab::serve
+
+#endif  // RSTLAB_SERVE_CLIENT_H_

@@ -1,0 +1,223 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace rstlab::serve {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+HttpParseResult Fail(Status error, int http_status) {
+  HttpParseResult result;
+  result.progress = ParseProgress::kError;
+  result.error = std::move(error);
+  result.http_status = http_status;
+  return result;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 422: return "Unprocessable Content";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  if (response.chunked) {
+    out += "Transfer-Encoding: chunked\r\n\r\n";
+  } else {
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n\r\n";
+    out += response.body;
+  }
+  return out;
+}
+
+std::string EncodeChunk(std::string_view payload) {
+  if (payload.empty()) return {};  // an empty chunk would terminate
+  char size_line[32];
+  auto [end, ec] = std::to_chars(size_line, size_line + sizeof(size_line),
+                                 payload.size(), 16);
+  (void)ec;
+  std::string out(size_line, end);
+  out += "\r\n";
+  out += payload;
+  out += "\r\n";
+  return out;
+}
+
+std::string FinalChunk() { return "0\r\n\r\n"; }
+
+int HttpStatusForError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kOutOfRange: return 413;
+    case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kFailedPrecondition: return 503;
+    default: return 500;
+  }
+}
+
+HttpParseResult ParseHttpRequest(std::string_view buffer,
+                                 const HttpLimits& limits) {
+  const std::size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // Even without the terminator we can reject a head that already
+    // overflows the limit — waiting for more bytes cannot fix it.
+    if (buffer.size() > limits.max_head_bytes) {
+      return Fail(Status::InvalidArgument(
+                      "request head exceeds " +
+                      std::to_string(limits.max_head_bytes) + " bytes"),
+                  431);
+    }
+    return HttpParseResult{};  // kNeedMore
+  }
+  if (head_end + 4 > limits.max_head_bytes) {
+    return Fail(Status::InvalidArgument(
+                    "request head exceeds " +
+                    std::to_string(limits.max_head_bytes) + " bytes"),
+                431);
+  }
+
+  const std::string_view head = buffer.substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // Request line: METHOD SP TARGET SP VERSION, single spaces.
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= request_line.size() ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(Status::InvalidArgument("malformed HTTP request line"),
+                400);
+  }
+  HttpRequest request;
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return Fail(Status::InvalidArgument("unsupported HTTP version \"" +
+                                        request.version + "\""),
+                400);
+  }
+
+  // Headers.
+  std::size_t content_length = 0;
+  bool have_content_length = false;
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view line = head.substr(pos, next - pos);
+    pos = next + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(Status::InvalidArgument("malformed header line"), 400);
+    }
+    const std::string_view raw_name = line.substr(0, colon);
+    if (raw_name.find(' ') != std::string_view::npos ||
+        raw_name.find('\t') != std::string_view::npos) {
+      return Fail(Status::InvalidArgument("whitespace in header name"),
+                  400);
+    }
+    std::string name = ToLower(raw_name);
+    const std::string_view value = Trim(line.substr(colon + 1));
+    if (name == "content-length") {
+      std::size_t parsed = 0;
+      const auto [end, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), parsed);
+      if (ec != std::errc{} || end != value.data() + value.size() ||
+          value.empty()) {
+        return Fail(Status::InvalidArgument("bad Content-Length \"" +
+                                            std::string(value) + "\""),
+                    400);
+      }
+      if (have_content_length && parsed != content_length) {
+        return Fail(
+            Status::InvalidArgument("conflicting Content-Length headers"),
+            400);
+      }
+      content_length = parsed;
+      have_content_length = true;
+    }
+    if (name == "transfer-encoding") {
+      return Fail(Status::InvalidArgument(
+                      "Transfer-Encoding not accepted on requests"),
+                  501);
+    }
+    request.headers.emplace_back(std::move(name), std::string(value));
+  }
+
+  if (have_content_length && content_length > limits.max_body_bytes) {
+    return Fail(Status::OutOfRange(
+                    "declared body of " + std::to_string(content_length) +
+                    " bytes exceeds limit of " +
+                    std::to_string(limits.max_body_bytes)),
+                413);
+  }
+
+  const std::size_t body_begin = head_end + 4;
+  if (buffer.size() - body_begin < content_length) {
+    return HttpParseResult{};  // kNeedMore: truncated body so far
+  }
+  request.body = std::string(buffer.substr(body_begin, content_length));
+
+  HttpParseResult result;
+  result.progress = ParseProgress::kDone;
+  result.request = std::move(request);
+  result.consumed = body_begin + content_length;
+  return result;
+}
+
+}  // namespace rstlab::serve

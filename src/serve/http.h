@@ -1,0 +1,101 @@
+#ifndef RSTLAB_SERVE_HTTP_H_
+#define RSTLAB_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rstlab::serve {
+
+/// One parsed HTTP/1.1 request. The parser below fills every field;
+/// header names are lower-cased at parse time so lookups are
+/// case-insensitive per RFC 9110 without per-lookup folding.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // origin-form request target, e.g. "/healthz"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Value of header `name` (lower-case), or nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// One HTTP response to serialize. Content-Length is emitted
+/// automatically from `body` unless `chunked` is set, in which case the
+/// caller streams the body itself via the chunk helpers below.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool chunked = false;
+};
+
+/// Canonical reason phrase for the status codes the server emits
+/// ("Unknown" for anything else).
+const char* HttpReasonPhrase(int status);
+
+/// Serializes status line + headers (+ Content-Length and body, or
+/// Transfer-Encoding: chunked with the body left to the caller).
+std::string SerializeResponse(const HttpResponse& response);
+
+/// One chunk of a chunked response body (size line + payload + CRLF).
+std::string EncodeChunk(std::string_view payload);
+
+/// The terminating zero chunk.
+std::string FinalChunk();
+
+/// Maps a library Status to the HTTP status code the protocol uses:
+/// InvalidArgument -> 400, NotFound -> 404, OutOfRange -> 413,
+/// ResourceExhausted -> 429, FailedPrecondition -> 503, anything else
+/// -> 500. OK maps to 200.
+int HttpStatusForError(const Status& status);
+
+/// Size limits enforced while parsing a request.
+struct HttpLimits {
+  /// Maximum bytes of request line + headers (431 beyond).
+  std::size_t max_head_bytes = 16 * 1024;
+  /// Maximum declared/observed body size (413 beyond).
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+/// Progress of an incremental parse over a receive buffer.
+enum class ParseProgress {
+  kNeedMore,  // buffer holds a prefix of a valid request; read more
+  kDone,      // one full request parsed; `consumed` bytes were used
+  kError,     // protocol error; `error` and `http_status` describe it
+};
+
+/// Outcome of ParseHttpRequest. On kDone, `consumed` is the byte count
+/// of the parsed request, so a buffer holding pipelined requests can be
+/// advanced and re-parsed for the next one.
+struct HttpParseResult {
+  ParseProgress progress = ParseProgress::kNeedMore;
+  HttpRequest request;
+  Status error;
+  int http_status = 400;
+  std::size_t consumed = 0;
+};
+
+/// Parses one request from the front of `buffer`. Never throws; every
+/// malformed input maps to a named InvalidArgument/OutOfRange status
+/// plus the HTTP code to answer with:
+///   * bad request line / header syntax          -> 400
+///   * missing, non-numeric, overlong or
+///     duplicate-mismatched Content-Length       -> 400
+///   * head section beyond limits.max_head_bytes -> 431
+///   * body beyond limits.max_body_bytes         -> 413 (reported as
+///     soon as the declared length exceeds the limit, before the body
+///     arrives)
+/// A body is only expected when Content-Length is present; the server
+/// does not accept Transfer-Encoding on requests (501).
+HttpParseResult ParseHttpRequest(std::string_view buffer,
+                                 const HttpLimits& limits);
+
+}  // namespace rstlab::serve
+
+#endif  // RSTLAB_SERVE_HTTP_H_

@@ -1,0 +1,94 @@
+#ifndef RSTLAB_SERVE_JSON_H_
+#define RSTLAB_SERVE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rstlab::serve {
+
+/// A parsed JSON value — the minimal recursive model the experiment
+/// protocol needs (RFC 8259 syntax; numbers are kept as both double
+/// and, when exactly representable, uint64). The library deliberately
+/// has no external dependencies, so the service carries its own ~200
+/// line parser rather than growing one per caller.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  /// The number as uint64; only meaningful when `is_uint()`.
+  std::uint64_t uint_value() const { return uint_; }
+  bool is_uint() const { return kind_ == Kind::kNumber && has_uint_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+
+  /// Member `key` of an object, or nullptr (also for non-objects).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Object member names in document order (empty for non-objects).
+  const std::vector<std::string>& object_keys() const { return keys_; }
+
+  /// Parses one JSON document (complete, no trailing garbage). Every
+  /// failure is a named InvalidArgument with the byte offset.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::uint64_t uint_ = 0;
+  bool has_uint_ = false;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::string> keys_;
+  std::vector<JsonValue> values_;  // parallel to keys_
+};
+
+/// Escapes `s` for embedding in a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view s);
+
+/// A tiny order-preserving JSON object writer for response bodies and
+/// NDJSON event lines.
+class JsonWriter {
+ public:
+  JsonWriter& Field(std::string_view key, std::string_view value);
+  JsonWriter& Field(std::string_view key, const char* value);
+  JsonWriter& Field(std::string_view key, std::uint64_t value);
+  JsonWriter& Field(std::string_view key, int value);
+  JsonWriter& Field(std::string_view key, bool value);
+  JsonWriter& FieldDouble(std::string_view key, double value);
+  /// Emits `key` with `raw` verbatim (pre-rendered JSON).
+  JsonWriter& FieldRaw(std::string_view key, std::string_view raw);
+
+  /// Renders `{...}`.
+  std::string Build() const;
+
+ private:
+  std::string body_;
+};
+
+}  // namespace rstlab::serve
+
+#endif  // RSTLAB_SERVE_JSON_H_

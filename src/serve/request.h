@@ -1,0 +1,93 @@
+#ifndef RSTLAB_SERVE_REQUEST_H_
+#define RSTLAB_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/artifact_cache.h"
+#include "util/status.h"
+
+namespace rstlab::serve {
+
+/// The declared resource budget (r, s, t) of one experiment request —
+/// the paper's class parameters as an admission contract: the server
+/// rejects up front a budget no algorithm for the problem can meet
+/// (below the check registry's certified bound) and reports after the
+/// run whether the measured bill stayed inside the budget.
+struct ResourceBudget {
+  std::uint64_t max_scans = 0;        // r(N)
+  std::uint64_t max_internal = 0;     // s(N), in cells/bits
+  std::uint64_t max_tapes = 0;        // t
+
+  std::string ToJson() const;
+};
+
+/// Deterministic instance generator parameters — the alternative to an
+/// inline instance literal. Kinds mirror `rstlab generate`: equal,
+/// perturbed, sorted, misordered, disjoint.
+struct GeneratorSpec {
+  std::string kind;
+  std::uint64_t m = 0;
+  std::uint64_t n = 0;
+  std::uint64_t seed = 1;
+
+  /// The cache-key content for the generated artifact (a pure function
+  /// of the spec, so byte-identical specs share one parsed instance).
+  std::string CacheKey() const;
+};
+
+/// One experiment request, decoded from the POST /v1/experiment JSON
+/// body. Exactly one of `instance` / `generator` is set for the
+/// instance problems; `xpath`/`xml` replace them for xpath-count.
+struct ExperimentRequest {
+  std::string request_id;            // consistent-hash routing key
+  std::string tenant = "default";    // fair-scheduling key
+  std::string problem;
+
+  std::optional<std::string> instance;     // inline v1#...#vm# literal
+  std::optional<GeneratorSpec> generator;  // or a generator spec
+
+  std::string xpath_query;  // xpath-count only
+  std::string xml_text;     // xpath-count only
+
+  std::uint64_t trials = 1;
+  std::uint64_t seed = 1;
+  std::optional<ResourceBudget> budget;
+
+  /// Stream one NDJSON progress event per trial (otherwise only
+  /// begin/result frames are sent).
+  bool stream = false;
+
+  /// Diagnostic sleep in milliseconds (test-sleep problem only).
+  std::uint64_t sleep_ms = 0;
+};
+
+/// The problems the service accepts. The deterministic deciders run on
+/// tapes and bill a measured (r, s, t); fingerprint is the randomized
+/// Theorem 8(a) tester; claim1 estimates the Claim 1 collision rate;
+/// xpath-count evaluates an XPath query; test-sleep holds a worker for
+/// a fixed time (admission-control diagnostics).
+const std::vector<std::string>& KnownProblems();
+
+/// Parses and structurally validates a request body. Failures are named
+/// InvalidArgument (malformed JSON, missing/conflicting fields, bad
+/// generator kind, trial count 0 or beyond `max_trials`) or NotFound
+/// (unknown problem name) statuses; the server maps them to 400/404.
+Result<ExperimentRequest> ParseExperimentRequest(
+    const std::string& json_body, std::uint64_t max_trials = 1 << 20);
+
+/// Cross-checks the declared budget against the check registry: when
+/// the problem has a statically certified machine (fingerprint ->
+/// theorem8a-fingerprint), a budget strictly below the certificate's
+/// scan/tape requirements is rejected (InvalidArgument) before any
+/// cycle is spent on it. The analyzer certificate is itself an
+/// artifact: computed once and reused via `cache` (kind
+/// "certificate").
+Status ValidateBudgetAgainstRegistry(const ExperimentRequest& request,
+                                     ArtifactCache& cache);
+
+}  // namespace rstlab::serve
+
+#endif  // RSTLAB_SERVE_REQUEST_H_

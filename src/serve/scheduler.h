@@ -1,0 +1,102 @@
+#ifndef RSTLAB_SERVE_SCHEDULER_H_
+#define RSTLAB_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "parallel/thread_pool.h"
+#include "util/status.h"
+
+namespace rstlab::serve {
+
+/// Fair per-tenant FIFO scheduling with bounded admission over the
+/// shared `parallel::ThreadPool`.
+///
+/// Each tenant owns one FIFO; a round-robin cursor walks the non-empty
+/// tenant queues, so a tenant flooding the service delays only its own
+/// requests — the next request of every other tenant is at most
+/// (#tenants * running slots) dispatches away, never behind the
+/// flooder's backlog.
+///
+/// Admission is bounded: at most `max_inflight` jobs may be queued or
+/// running at once. A Submit beyond the bound fails with
+/// ResourceExhausted (the server maps it to HTTP 429) rather than
+/// queueing unboundedly — under overload the caller sheds load at the
+/// edge instead of accumulating latency. A Submit after Drain() began
+/// fails with FailedPrecondition (HTTP 503).
+///
+/// The pool is not given every admitted job at once: jobs sit in their
+/// tenant queue and are handed to the pool only when a worker slot
+/// frees, because the pool's own queue is plain FIFO and would destroy
+/// the fairness ordering.
+class FairScheduler {
+ public:
+  struct Options {
+    /// Worker threads executing jobs (0 clamps to 1).
+    std::size_t threads = 4;
+    /// Maximum queued + running jobs before Submit rejects.
+    std::size_t max_inflight = 256;
+  };
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::size_t inflight = 0;  // queued + running right now
+  };
+
+  explicit FairScheduler(const Options& options);
+
+  /// Drains and joins. Equivalent to Drain() if not already drained.
+  ~FairScheduler();
+
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  std::size_t threads() const { return pool_.thread_count(); }
+
+  /// Enqueues `job` for `tenant`. Fails with ResourceExhausted at the
+  /// admission bound and FailedPrecondition once draining.
+  Status Submit(const std::string& tenant, std::function<void()> job);
+
+  /// Stops admitting and blocks until every admitted job has finished.
+  /// Idempotent.
+  void Drain();
+
+  Stats stats() const;
+
+ private:
+  /// Picks the next job round-robin and hands it to the pool; must be
+  /// called with `mutex_` held.
+  void DispatchLocked();
+
+  struct TenantQueue {
+    std::string tenant;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  parallel::ThreadPool pool_;
+  const std::size_t max_inflight_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;
+  // Round-robin ring of tenants with queued work; the cursor advances
+  // one tenant per dispatch. Tenants leave the ring when empty.
+  std::list<TenantQueue> ring_;
+  std::list<TenantQueue>::iterator cursor_ = ring_.end();
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  Stats stats_;
+};
+
+}  // namespace rstlab::serve
+
+#endif  // RSTLAB_SERVE_SCHEDULER_H_

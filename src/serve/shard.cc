@@ -1,0 +1,46 @@
+#include "serve/shard.h"
+
+#include <string>
+
+#include "serve/artifact_cache.h"
+
+namespace rstlab::serve {
+
+namespace {
+
+/// Finalizing mixer (murmur3 fmix64) over the content hash. FNV-1a on
+/// short strings barely stirs the high bits, and the ring is ordered by
+/// the full 64-bit value — unmixed, the virtual-node points cluster so
+/// badly that a shard can own an empty arc. The mixer restores uniform
+/// arc lengths, which the spread and bounded-remap properties need.
+std::uint64_t RingPoint(std::string_view content) {
+  std::uint64_t h = HashContent(content);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    for (std::size_t v = 0; v < kVirtualNodes; ++v) {
+      const std::string point =
+          "shard:" + std::to_string(shard) + ":" + std::to_string(v);
+      ring_.emplace(RingPoint(point), shard);
+    }
+  }
+}
+
+std::size_t ShardRouter::Route(std::string_view request_id) const {
+  const std::uint64_t hash = RingPoint(request_id);
+  auto it = ring_.lower_bound(hash);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+}  // namespace rstlab::serve

@@ -1,0 +1,47 @@
+#ifndef RSTLAB_SERVE_SHARD_H_
+#define RSTLAB_SERVE_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string_view>
+
+namespace rstlab::serve {
+
+/// Consistent-hash router: request id -> shard index in [0, shards).
+///
+/// Each shard owns `kVirtualNodes` points on a 64-bit hash ring; a
+/// request id routes to the owner of the first point at or after its
+/// own hash. Properties the serve-shard conformance suite leans on:
+///
+///  * deterministic — the ring is a pure function of the shard count,
+///    so every frontend (and every conformance run) computes the same
+///    routing;
+///  * stable under resharding — growing N -> N+1 shards remaps only the
+///    keys whose successor point changed (about 1/(N+1) of them),
+///    instead of the (N-1)/N a plain `hash % N` remaps.
+///
+/// Determinism of the *tallies* does not depend on the routing at all:
+/// every request executes as a pure function of its payload, so ANY
+/// assignment of requests to shards returns bit-identical responses.
+/// The router only decides placement.
+class ShardRouter {
+ public:
+  static constexpr std::size_t kVirtualNodes = 64;
+
+  /// A ring over `shards` shards (0 clamps to 1).
+  explicit ShardRouter(std::size_t shards);
+
+  std::size_t shards() const { return shards_; }
+
+  /// The shard that owns `request_id`.
+  std::size_t Route(std::string_view request_id) const;
+
+ private:
+  std::size_t shards_;
+  std::map<std::uint64_t, std::size_t> ring_;
+};
+
+}  // namespace rstlab::serve
+
+#endif  // RSTLAB_SERVE_SHARD_H_

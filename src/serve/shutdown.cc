@@ -1,0 +1,64 @@
+#include "serve/shutdown.h"
+
+#include <cassert>
+#include <csignal>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace rstlab::serve {
+
+std::atomic<bool> ShutdownGuard::flag_{false};
+std::atomic<int> ShutdownGuard::wake_fd_{-1};
+
+void ShutdownGuard::Handler(int /*signal_number*/) {
+  flag_.store(true, std::memory_order_release);
+  const int fd = wake_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 1;
+    // A full pipe just means a wake-up is already pending.
+    [[maybe_unused]] ssize_t ignored = ::write(fd, &byte, 1);
+  }
+}
+
+ShutdownGuard::ShutdownGuard() {
+  assert(wake_fd_.load() < 0 && "one ShutdownGuard at a time");
+  flag_.store(false, std::memory_order_release);
+  if (::pipe(pipe_fds_) != 0) {
+    pipe_fds_[0] = pipe_fds_[1] = -1;
+  } else {
+    ::fcntl(pipe_fds_[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(pipe_fds_[1], F_SETFL, O_NONBLOCK);
+  }
+  wake_fd_.store(pipe_fds_[1], std::memory_order_release);
+
+  struct sigaction action {};
+  action.sa_handler = &Handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking accept() must wake
+
+  auto* prev_int = new struct sigaction;
+  auto* prev_term = new struct sigaction;
+  ::sigaction(SIGINT, &action, prev_int);
+  ::sigaction(SIGTERM, &action, prev_term);
+  previous_int_ = prev_int;
+  previous_term_ = prev_term;
+}
+
+ShutdownGuard::~ShutdownGuard() {
+  ::sigaction(SIGINT, static_cast<struct sigaction*>(previous_int_),
+              nullptr);
+  ::sigaction(SIGTERM, static_cast<struct sigaction*>(previous_term_),
+              nullptr);
+  delete static_cast<struct sigaction*>(previous_int_);
+  delete static_cast<struct sigaction*>(previous_term_);
+  wake_fd_.store(-1, std::memory_order_release);
+  if (pipe_fds_[0] >= 0) ::close(pipe_fds_[0]);
+  if (pipe_fds_[1] >= 0) ::close(pipe_fds_[1]);
+  flag_.store(false, std::memory_order_release);
+}
+
+void ShutdownGuard::RequestShutdown() { Handler(0); }
+
+}  // namespace rstlab::serve

@@ -1,0 +1,61 @@
+#ifndef RSTLAB_SERVE_SHUTDOWN_H_
+#define RSTLAB_SERVE_SHUTDOWN_H_
+
+#include <atomic>
+
+namespace rstlab::serve {
+
+/// Graceful SIGINT/SIGTERM shutdown shared by `rstlab serve` and the
+/// long-running bench binaries.
+///
+/// Construction installs handlers for both signals; destruction
+/// restores the previous dispositions. The handler does the only two
+/// things that are async-signal-safe here: it sets an atomic flag and
+/// writes one byte to a self-pipe. Long-running loops either poll
+/// `requested()` between units of work, or block on `wait_fd()` in
+/// poll()/select() so a signal wakes them immediately.
+///
+/// The contract both consumers implement on `requested()`:
+///  * `rstlab serve` stops accepting connections, drains in-flight
+///    trials through FairScheduler::Drain(), then exits 0;
+///  * bench binaries stop issuing new requests, drain, flush their
+///    BenchRecorder atomically (temp + rename, as always), then exit 0.
+///
+/// Only one guard may be live at a time (the handler needs process
+/// state); constructing a second while one is live is a programming
+/// error and aborts in debug builds.
+class ShutdownGuard {
+ public:
+  ShutdownGuard();
+  ~ShutdownGuard();
+
+  ShutdownGuard(const ShutdownGuard&) = delete;
+  ShutdownGuard& operator=(const ShutdownGuard&) = delete;
+
+  /// True once SIGINT/SIGTERM arrived or RequestShutdown() was called.
+  bool requested() const {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+  /// A pollable fd that becomes readable on shutdown (the self-pipe's
+  /// read end). Do not read from it; poll it.
+  int wait_fd() const { return pipe_fds_[0]; }
+
+  /// Programmatic trigger with identical semantics to a signal (used by
+  /// tests and by the server's own stop path).
+  void RequestShutdown();
+
+ private:
+  static void Handler(int signal_number);
+
+  static std::atomic<bool> flag_;
+  static std::atomic<int> wake_fd_;
+
+  int pipe_fds_[2] = {-1, -1};
+  void* previous_int_;   // struct sigaction, stored opaquely
+  void* previous_term_;
+};
+
+}  // namespace rstlab::serve
+
+#endif  // RSTLAB_SERVE_SHUTDOWN_H_

@@ -1,0 +1,32 @@
+#include "serve/trace_bridge.h"
+
+#include <string>
+#include <utility>
+
+#include "serve/json.h"
+
+namespace rstlab::serve {
+
+NdjsonTraceSink::NdjsonTraceSink(NdjsonWriter writer)
+    : writer_(std::move(writer)) {}
+
+void NdjsonTraceSink::OnEvent(const obs::TraceEvent& event) {
+  const char* name = nullptr;
+  switch (event.kind) {
+    case obs::EventKind::kTrialBegin: name = "trial_begin"; break;
+    case obs::EventKind::kTrialEnd: name = "trial_end"; break;
+    default: return;  // tape-level events stay server-side
+  }
+  const std::string line =
+      JsonWriter().Field("event", name).Field("trial", event.trial).Build();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++frames_;
+  writer_(line);
+}
+
+std::uint64_t NdjsonTraceSink::frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_;
+}
+
+}  // namespace rstlab::serve

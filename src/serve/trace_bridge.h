@@ -1,0 +1,46 @@
+#ifndef RSTLAB_SERVE_TRACE_BRIDGE_H_
+#define RSTLAB_SERVE_TRACE_BRIDGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+#include "obs/trace.h"
+
+namespace rstlab::serve {
+
+/// A writer of NDJSON frames — one complete line per call, newline
+/// included by the bridge. The server backs this with a chunked HTTP
+/// response body; tests back it with a string buffer.
+using NdjsonWriter = std::function<void(std::string_view line)>;
+
+/// The TraceSink -> NDJSON bridge: per-trial progress events from the
+/// obs trace layer become `{"event":"trial_begin","trial":T}` /
+/// `{"event":"trial_end","trial":T}` frames on the response stream, so
+/// a client watching a long experiment sees trial-granular progress
+/// with the same event vocabulary every other obs consumer uses.
+///
+/// Only the trial markers are forwarded; tape-level events (reversals,
+/// scan segments) would dwarf the result payload at millions of moves
+/// per trial. Thread-safe, as every TraceSink must be: frames are
+/// serialized under a mutex so concurrent trials never interleave
+/// bytes mid-line.
+class NdjsonTraceSink : public obs::TraceSink {
+ public:
+  explicit NdjsonTraceSink(NdjsonWriter writer);
+
+  void OnEvent(const obs::TraceEvent& event) override;
+
+  /// Number of frames written so far.
+  std::uint64_t frames() const;
+
+ private:
+  NdjsonWriter writer_;
+  mutable std::mutex mutex_;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace rstlab::serve
+
+#endif  // RSTLAB_SERVE_TRACE_BRIDGE_H_

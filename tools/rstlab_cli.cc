@@ -26,6 +26,8 @@
 // decider sort through the parallel k-way external merge sort, whose
 // measured (r, s) bill is identical at every thread count.
 
+#include <poll.h>
+
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -38,6 +40,8 @@
 #include "core/rstlab.h"
 #include "extmem/storage.h"
 #include "machine/turing_machine.h"
+#include "serve/server.h"
+#include "serve/shutdown.h"
 #include "sorting/parallel_sort.h"
 #include "sorting/sort_config.h"
 #include "util/simd.h"
@@ -68,6 +72,12 @@ int Usage() {
          " conformance oracles;\n"
       << "                                          failures are shrunk"
          " and replayable\n"
+      << "  rstlab serve [--port=P] [--threads=T] [--max-inflight=K]\n"
+      << "               [--max-connections=C] [--cache-entries=E]\n"
+      << "                                          experiment daemon on"
+         " 127.0.0.1;\n"
+      << "                                          SIGINT/SIGTERM drain"
+         " and exit 0\n"
       << "common flags (any command):\n"
       << "  --tape-backend=<mem|file>               mem (default) keeps"
          " tapes in RAM;\n"
@@ -92,6 +102,24 @@ int Usage() {
   return 2;
 }
 
+// Rejects any remaining `--flag` the subcommand does not define. The
+// global parsers (backend/sort/simd) already stripped theirs, so by the
+// time a subcommand sees a `--` argument it is either in that
+// subcommand's own vocabulary or a typo — and a typo silently consumed
+// as a positional argument (a file name, a selector) is worse than an
+// error.
+bool RejectUnknownFlags(const char* command,
+                        const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << " for rstlab " << command
+                << "\n";
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string ReadInput(const std::string& source) {
   if (source == "-") {
     std::ostringstream buffer;
@@ -114,6 +142,7 @@ std::string ReadInput(const std::string& source) {
 }
 
 int Generate(const std::vector<std::string>& args) {
+  if (RejectUnknownFlags("generate", args)) return Usage();
   if (args.size() < 3) return Usage();
   const std::string& kind = args[0];
   const std::size_t m = std::strtoull(args[1].c_str(), nullptr, 10);
@@ -145,6 +174,7 @@ int Generate(const std::vector<std::string>& args) {
 }
 
 int Decide(const std::vector<std::string>& args) {
+  if (RejectUnknownFlags("decide", args)) return Usage();
   if (args.empty()) return Usage();
   const std::string& problem_name = args[0];
   const std::string source = args.size() > 1 ? args[1] : "-";
@@ -177,6 +207,7 @@ int Decide(const std::vector<std::string>& args) {
 }
 
 int Fingerprint(const std::vector<std::string>& args) {
+  if (RejectUnknownFlags("fingerprint", args)) return Usage();
   const std::string source = args.empty() ? "-" : args[0];
   const std::uint64_t seed =
       args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 1;
@@ -197,6 +228,7 @@ int Fingerprint(const std::vector<std::string>& args) {
 }
 
 int Sort(const std::vector<std::string>& args) {
+  if (RejectUnknownFlags("sort", args)) return Usage();
   const std::string source = args.empty() ? "-" : args[0];
   rstlab::stmodel::StContext ctx(3);
   ctx.LoadInput(ReadInput(source));
@@ -217,6 +249,7 @@ int Sort(const std::vector<std::string>& args) {
 }
 
 int XPath(const std::vector<std::string>& args) {
+  if (RejectUnknownFlags("xpath", args)) return Usage();
   if (args.empty()) return Usage();
   auto query = rstlab::query::ParseXPath(args[0]);
   if (!query.ok()) {
@@ -249,6 +282,9 @@ int Check(const std::vector<std::string>& args) {
   for (const std::string& arg : args) {
     if (arg.rfind("--runs=", 0) == 0) {
       runs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << " for rstlab check\n";
+      return Usage();
     } else {
       selector = arg;
     }
@@ -464,6 +500,52 @@ int Conform(const std::vector<std::string>& args) {
   return failures == 0 ? 0 : 1;
 }
 
+// Runs the experiment daemon until SIGINT/SIGTERM, then drains every
+// in-flight trial and exits 0 (the graceful-shutdown contract shared
+// with the bench binaries).
+int Serve(const std::vector<std::string>& args) {
+  rstlab::serve::ServerOptions options;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--port=", 0) == 0) {
+      options.port = static_cast<std::uint16_t>(
+          std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--max-inflight=", 0) == 0) {
+      options.max_inflight = std::strtoull(arg.c_str() + 15, nullptr, 10);
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      options.max_connections =
+          std::strtoull(arg.c_str() + 18, nullptr, 10);
+    } else if (arg.rfind("--cache-entries=", 0) == 0) {
+      options.cache_entries = std::strtoull(arg.c_str() + 16, nullptr, 10);
+    } else {
+      std::cerr << "unknown flag " << arg << " for rstlab serve\n";
+      return Usage();
+    }
+  }
+
+  rstlab::serve::ShutdownGuard shutdown;
+  rstlab::serve::HttpServer server(options);
+  const rstlab::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started << "\n";
+    return 1;
+  }
+  std::cout << "rstlab serve listening on 127.0.0.1:" << server.port()
+            << " (threads=" << options.threads
+            << ", max-inflight=" << options.max_inflight << ")"
+            << std::endl;
+
+  pollfd waiter{shutdown.wait_fd(), POLLIN, 0};
+  while (!shutdown.requested()) {
+    ::poll(&waiter, 1, -1);
+  }
+  std::cout << "shutting down: draining in-flight experiments"
+            << std::endl;
+  server.Shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -483,5 +565,7 @@ int main(int argc, char** argv) {
   if (command == "xpath") return XPath(args);
   if (command == "check") return Check(args);
   if (command == "conform") return Conform(args);
+  if (command == "serve") return Serve(args);
+  std::cerr << "unknown subcommand \"" << command << "\"\n";
   return Usage();
 }

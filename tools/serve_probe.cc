@@ -1,0 +1,85 @@
+// Loopback probe for a running `rstlab serve` daemon: GET /healthz,
+// then POST one fingerprint experiment, and verify both answers. Exit 0
+// iff the daemon is healthy — the serve smoke test and the CI smoke job
+// drive this instead of depending on curl + jq.
+//
+//   serve_probe <port> [requests]
+//
+// With a request count the probe issues that many sequential
+// experiments over one keep-alive connection (a miniature load check).
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/client.h"
+
+namespace {
+
+int Fail(const std::string& what, const rstlab::Status& status) {
+  std::cerr << "serve_probe: " << what << ": " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: serve_probe <port> [requests]\n";
+    return 2;
+  }
+  const auto port = static_cast<std::uint16_t>(
+      std::strtoul(argv[1], nullptr, 10));
+  const std::uint64_t requests =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  rstlab::serve::HttpClient client;
+  const rstlab::Status connected = client.Connect(port);
+  if (!connected.ok()) return Fail("connect", connected);
+
+  auto health = client.Request("GET", "/healthz");
+  if (!health.ok()) return Fail("healthz", health.status());
+  if (health.value().status != 200 ||
+      health.value().body.find("\"status\":\"ok\"") == std::string::npos) {
+    std::cerr << "serve_probe: unexpected healthz answer ("
+              << health.value().status << "): " << health.value().body;
+    return 1;
+  }
+
+  std::string checksum;
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    const std::string body =
+        "{\"request_id\":\"probe-" + std::to_string(i) +
+        "\",\"problem\":\"fingerprint\",\"generator\":"
+        "{\"kind\":\"equal\",\"m\":32,\"n\":16,\"seed\":7},"
+        "\"trials\":8,\"seed\":11}";
+    auto response = client.Request("POST", "/v1/experiment", body);
+    if (!response.ok()) return Fail("experiment", response.status());
+    if (response.value().status != 200) {
+      std::cerr << "serve_probe: experiment answered "
+                << response.value().status << ": "
+                << response.value().body;
+      return 1;
+    }
+    const std::string& frame = response.value().body;
+    const std::size_t at = frame.find("\"checksum\":");
+    if (at == std::string::npos) {
+      std::cerr << "serve_probe: result frame has no checksum: " << frame;
+      return 1;
+    }
+    // Identical experiment parameters must produce identical checksums
+    // — the determinism contract, observable even from a probe.
+    const std::string value = frame.substr(at, frame.find(',', at) - at);
+    if (checksum.empty()) {
+      checksum = value;
+    } else if (checksum != value) {
+      std::cerr << "serve_probe: checksum drift: " << checksum
+                << " vs " << value << "\n";
+      return 1;
+    }
+  }
+  std::cout << "serve_probe: ok (" << requests << " request(s), "
+            << checksum << ")\n";
+  return 0;
+}
