@@ -17,22 +17,32 @@ ArtifactCache::ArtifactCache(std::size_t capacity,
 
 std::shared_ptr<const void> ArtifactCache::GetOrCreateErased(
     std::string_view kind, std::uint64_t content_hash,
+    std::string_view content,
     const std::function<std::shared_ptr<const void>()>& factory) {
   Key key{std::string(kind), content_hash};
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    // Move to MRU position.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    ++stats_.hits;
-    if (metrics_ != nullptr) metrics_->Add("serve.cache.hits");
-    return it->second->value;
+    if (it->second->content == content) {
+      // Move to MRU position.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      if (metrics_ != nullptr) metrics_->Add("serve.cache.hits");
+      return it->second->value;
+    }
+    // Same 64-bit FNV-1a hash, different bytes: serving the cached
+    // artifact would hand this request another payload's results (and
+    // a crafted collision would let one tenant poison another's).
+    // Build fresh and leave the resident entry alone.
+    ++stats_.collisions;
+    if (metrics_ != nullptr) metrics_->Add("serve.cache.collisions");
+    return factory();
   }
   ++stats_.misses;
   if (metrics_ != nullptr) metrics_->Add("serve.cache.misses");
   std::shared_ptr<const void> value = factory();
   if (value == nullptr) return nullptr;
-  lru_.push_front(Entry{key, value});
+  lru_.push_front(Entry{key, std::string(content), value});
   index_[std::move(key)] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);

@@ -24,12 +24,17 @@ std::uint64_t HashContent(std::string_view content);
 /// request: sieved prime pools, parsed instances, parsed XML documents,
 /// analyzer certificates.
 ///
-/// Keys are (kind, HashContent(content)) — the kind string partitions
-/// the namespace so two artifact types can never collide, and the
-/// content hash means two requests carrying byte-identical payloads
-/// share one artifact regardless of tenant or request id. Values are
-/// type-erased shared_ptrs: readers hold their reference for as long as
-/// they need it, so eviction never invalidates an in-flight request.
+/// Lookup keys on (kind, HashContent(content)) — the kind string
+/// partitions the namespace so two artifact types can never collide,
+/// and the content hash means two requests carrying byte-identical
+/// payloads share one artifact regardless of tenant or request id.
+/// FNV-1a is fast but not collision-resistant, so every entry also
+/// stores the full content and a hit verifies it byte-for-byte: a
+/// colliding payload (accidental, or crafted by one tenant against
+/// another's cached bytes) falls back to the factory instead of
+/// silently observing the wrong artifact. Values are type-erased
+/// shared_ptrs: readers hold their reference for as long as they need
+/// it, so eviction never invalidates an in-flight request.
 ///
 /// Thread safety: every public method is safe to call concurrently. A
 /// factory runs under the cache lock, serializing the first
@@ -46,6 +51,9 @@ class ArtifactCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Hash matched but the stored content did not; served fresh from
+    /// the factory, never from the cache.
+    std::uint64_t collisions = 0;
     std::size_t entries = 0;
 
     double hit_rate() const {
@@ -72,14 +80,17 @@ class ArtifactCache {
       std::string_view kind, std::string_view content,
       const std::function<std::shared_ptr<const T>()>& factory) {
     std::shared_ptr<const void> erased = GetOrCreateErased(
-        kind, HashContent(content),
+        kind, HashContent(content), content,
         [&factory]() -> std::shared_ptr<const void> { return factory(); });
     return std::static_pointer_cast<const T>(erased);
   }
 
-  /// Type-erased core (exposed for tests).
+  /// Type-erased core. The hash is a separate parameter (exposed for
+  /// tests) so a collision — same hash, different `content` — can be
+  /// injected without searching for real FNV-1a colliding strings.
   std::shared_ptr<const void> GetOrCreateErased(
       std::string_view kind, std::uint64_t content_hash,
+      std::string_view content,
       const std::function<std::shared_ptr<const void>()>& factory);
 
   Stats stats() const;
@@ -99,6 +110,9 @@ class ArtifactCache {
   };
   struct Entry {
     Key key;
+    // The exact bytes the artifact was built from; hits verify against
+    // it so a hash collision can never serve another payload's value.
+    std::string content;
     std::shared_ptr<const void> value;
   };
 

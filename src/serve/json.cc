@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace rstlab::serve {
@@ -183,27 +184,44 @@ class JsonParser {
           case 'r': out->push_back('\r'); break;
           case 't': out->push_back('\t'); break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Error("truncated \\u");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_ + i];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= h - '0';
-              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
-              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
-              else return Error("bad \\u escape");
+            RSTLAB_RETURN_IF_ERROR(ParseHexQuad(&code));
+            std::uint32_t cp = code;
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Error("unpaired low surrogate");
             }
-            pos_ += 4;
-            // UTF-8 encode (BMP only; the protocol is ASCII in practice).
-            if (code < 0x80) {
-              out->push_back(static_cast<char>(code));
-            } else if (code < 0x800) {
-              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
-              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // A high surrogate is only half a code point; JSON
+              // encodes the other half as an immediately following
+              // \uDC00-\uDFFF. Combining them here keeps the decoded
+              // string valid UTF-8 (a lone 3-byte encoding of a
+              // surrogate would be CESU-8, invalid in response bodies).
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired high surrogate");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              RSTLAB_RETURN_IF_ERROR(ParseHexQuad(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("unpaired high surrogate");
+              }
+              cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            if (cp < 0x80) {
+              out->push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else if (cp < 0x10000) {
+              out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
             } else {
-              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
-              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+              out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+              out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
             }
             break;
           }
@@ -218,6 +236,24 @@ class JsonParser {
       ++pos_;
     }
     return Error("unterminated string");
+  }
+
+  /// Reads exactly four hex digits at pos_ (one UTF-16 code unit of a
+  /// \u escape) and advances past them.
+  Status ParseHexQuad(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + i];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= h - '0';
+      else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+      else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+      else return Error("bad \\u escape");
+    }
+    pos_ += 4;
+    *out = code;
+    return Status::OK();
   }
 
   Status ParseNumber(JsonValue* out) {

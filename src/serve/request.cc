@@ -76,7 +76,9 @@ const std::vector<std::string>& KnownProblems() {
 }
 
 Result<ExperimentRequest> ParseExperimentRequest(
-    const std::string& json_body, std::uint64_t max_trials) {
+    const std::string& json_body, std::uint64_t max_trials,
+    std::uint64_t max_generator_cells) {
+  if (max_generator_cells == 0) max_generator_cells = 1;
   Result<JsonValue> parsed = JsonValue::Parse(json_body);
   if (!parsed.ok()) return parsed.status();
   const JsonValue& root = parsed.value();
@@ -142,6 +144,19 @@ Result<ExperimentRequest> ParseExperimentRequest(
     if (spec.m == 0 || spec.n == 0) {
       return Status::InvalidArgument(
           "generator needs positive \"m\" and \"n\"");
+    }
+    // Admission ceiling (analogous to max_trials): the generated
+    // instance occupies ~2*m*(n+1) encoded cells and is materialized
+    // inside a scheduler worker, so an unchecked size lets one request
+    // OOM the daemon. Ordered so 2*m*(n+1) is never computed directly
+    // — the division form cannot overflow.
+    if (spec.n >= max_generator_cells ||
+        spec.m > max_generator_cells / (spec.n + 1) / 2) {
+      return Status::InvalidArgument(
+          "generator m=" + std::to_string(spec.m) +
+          " n=" + std::to_string(spec.n) +
+          " needs more than the per-request limit of " +
+          std::to_string(max_generator_cells) + " instance cells");
     }
     request.generator = std::move(spec);
   }

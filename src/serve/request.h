@@ -73,10 +73,15 @@ const std::vector<std::string>& KnownProblems();
 
 /// Parses and structurally validates a request body. Failures are named
 /// InvalidArgument (malformed JSON, missing/conflicting fields, bad
-/// generator kind, trial count 0 or beyond `max_trials`) or NotFound
-/// (unknown problem name) statuses; the server maps them to 400/404.
+/// generator kind, trial count 0 or beyond `max_trials`, generator
+/// dimensions whose instance would exceed `max_generator_cells`
+/// encoded cells ~ 2*m*(n+1)) or NotFound (unknown problem name)
+/// statuses; the server maps them to 400/404. Both ceilings are
+/// enforced here, before admission, so no worker ever allocates for an
+/// oversized request.
 Result<ExperimentRequest> ParseExperimentRequest(
-    const std::string& json_body, std::uint64_t max_trials = 1 << 20);
+    const std::string& json_body, std::uint64_t max_trials = 1 << 20,
+    std::uint64_t max_generator_cells = std::uint64_t{1} << 24);
 
 /// Cross-checks the declared budget against the check registry: when
 /// the problem has a statically certified machine (fingerprint ->

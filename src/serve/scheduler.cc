@@ -68,7 +68,14 @@ void FairScheduler::DispatchLocked() {
   if (ring_.empty()) cursor_ = ring_.end();
 
   pool_.Submit([this, job = std::move(job)]() mutable {
-    job();
+    // A throwing job must not leak its running slot: without the catch
+    // the pool's worker swallows the exception before the accounting
+    // below runs, `running_` never decrements, and Drain() deadlocks
+    // while the admission bound ratchets shut.
+    try {
+      job();
+    } catch (...) {
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     --running_;
     ++stats_.completed;

@@ -63,7 +63,9 @@ class FairScheduler {
   std::size_t threads() const { return pool_.thread_count(); }
 
   /// Enqueues `job` for `tenant`. Fails with ResourceExhausted at the
-  /// admission bound and FailedPrecondition once draining.
+  /// admission bound and FailedPrecondition once draining. A job that
+  /// throws still releases its slot (the exception is swallowed);
+  /// callers that care about the error must catch it inside the job.
   Status Submit(const std::string& tenant, std::function<void()> job);
 
   /// Stops admitting and blocks until every admitted job has finished.

@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstring>
+#include <exception>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -196,9 +197,54 @@ bool HttpServer::HandleParsed(int fd, const HttpRequest& request) {
   return WriteErrorResponse(fd, status);
 }
 
+Result<ExperimentResult> HttpServer::ExecuteGuarded(
+    const ExperimentRequest& request, NdjsonTraceSink* sink) {
+  try {
+    return service_.Execute(request, sink);
+  } catch (const std::exception& e) {
+    metrics_.Add("serve.experiment.threw");
+    return Status::Internal(std::string("experiment execution failed: ") +
+                            e.what());
+  } catch (...) {
+    metrics_.Add("serve.experiment.threw");
+    return Status::Internal("experiment execution failed");
+  }
+}
+
+bool HttpServer::RunExperimentJob(int fd,
+                                  const ExperimentRequest& experiment) {
+  bool ok = true;
+  if (experiment.stream) {
+    HttpResponse head;
+    head.status = 200;
+    head.chunked = true;
+    head.headers.emplace_back("Content-Type", "application/x-ndjson");
+    ok = WriteAll(fd, SerializeResponse(head));
+    NdjsonTraceSink sink([fd, &ok](std::string_view line) {
+      if (ok) ok = WriteAll(fd, EncodeChunk(std::string(line) + "\n"));
+    });
+    Result<ExperimentResult> result = ExecuteGuarded(experiment, &sink);
+    const std::string frame = result.ok()
+                                  ? result.value().ToJson() + "\n"
+                                  : ErrorBody(result.status());
+    if (ok) ok = WriteAll(fd, EncodeChunk(frame));
+    if (ok) ok = WriteAll(fd, FinalChunk());
+  } else {
+    Result<ExperimentResult> result = ExecuteGuarded(experiment);
+    if (result.ok()) {
+      ok = WriteJsonResponse(fd, 200, result.value().ToJson() + "\n");
+    } else {
+      metrics_.Add("serve.experiment.failed");
+      ok = WriteErrorResponse(fd, result.status());
+    }
+  }
+  return ok;
+}
+
 bool HttpServer::HandleExperiment(int fd, const HttpRequest& request) {
   Result<ExperimentRequest> parsed =
-      ParseExperimentRequest(request.body, options_.max_trials);
+      ParseExperimentRequest(request.body, options_.max_trials,
+                             options_.max_generator_cells);
   if (!parsed.ok()) {
     metrics_.Add("serve.experiment.invalid");
     return WriteErrorResponse(fd, parsed.status());
@@ -219,31 +265,14 @@ bool HttpServer::HandleExperiment(int fd, const HttpRequest& request) {
   bool done = false;
   bool write_ok = false;
   const Status admitted = scheduler_.Submit(experiment.tenant, [&] {
-    bool ok = true;
-    if (experiment.stream) {
-      HttpResponse head;
-      head.status = 200;
-      head.chunked = true;
-      head.headers.emplace_back("Content-Type", "application/x-ndjson");
-      ok = WriteAll(fd, SerializeResponse(head));
-      NdjsonTraceSink sink([fd, &ok](std::string_view line) {
-        if (ok) ok = WriteAll(fd, EncodeChunk(std::string(line) + "\n"));
-      });
-      Result<ExperimentResult> result =
-          service_.Execute(experiment, &sink);
-      const std::string frame = result.ok()
-                                    ? result.value().ToJson() + "\n"
-                                    : ErrorBody(result.status());
-      if (ok) ok = WriteAll(fd, EncodeChunk(frame));
-      if (ok) ok = WriteAll(fd, FinalChunk());
-    } else {
-      Result<ExperimentResult> result = service_.Execute(experiment);
-      if (result.ok()) {
-        ok = WriteJsonResponse(fd, 200, result.value().ToJson() + "\n");
-      } else {
-        metrics_.Add("serve.experiment.failed");
-        ok = WriteErrorResponse(fd, result.status());
-      }
+    // The done-notification below must run on EVERY exit path: the
+    // connection thread is blocked on done_cv until it does, and the
+    // captured locals die with that thread's stack frame.
+    bool ok = false;
+    try {
+      ok = RunExperimentJob(fd, experiment);
+    } catch (...) {
+      ok = false;  // response may be half-written; drop the connection
     }
     std::lock_guard<std::mutex> lock(done_mutex);
     done = true;

@@ -37,6 +37,10 @@ struct ServerOptions {
   std::size_t cache_entries = 128;
   /// Per-request trial ceiling.
   std::uint64_t max_trials = 1 << 20;
+  /// Generator admission ceiling: a generated instance may occupy at
+  /// most this many encoded cells (~ 2*m*(n+1)), rejected at parse
+  /// time so no worker allocates for an oversized request.
+  std::uint64_t max_generator_cells = std::uint64_t{1} << 24;
   /// HTTP head/body size limits.
   HttpLimits limits;
 };
@@ -95,6 +99,15 @@ class HttpServer {
   /// connection must close (parse error or short write).
   bool HandleParsed(int fd, const HttpRequest& request);
   bool HandleExperiment(int fd, const HttpRequest& request);
+  /// Runs the experiment on a scheduler worker and writes the whole
+  /// response (streamed or buffered); returns false when the
+  /// connection must close.
+  bool RunExperimentJob(int fd, const ExperimentRequest& request);
+  /// service_.Execute with any escaping exception mapped to an
+  /// Internal status (HTTP 500) instead of unwinding into the
+  /// scheduler worker.
+  Result<ExperimentResult> ExecuteGuarded(const ExperimentRequest& request,
+                                          NdjsonTraceSink* sink = nullptr);
 
   const ServerOptions options_;
   obs::MetricsRegistry metrics_;

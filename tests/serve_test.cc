@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -182,6 +183,30 @@ TEST(JsonTest, MalformedDocumentsAreNamedErrors) {
   }
 }
 
+TEST(JsonTest, SurrogatePairsDecodeToFourByteUtf8) {
+  // A high+low surrogate escape pair (U+1F600) must decode to one
+  // 4-byte UTF-8 sequence, not two 3-byte CESU-8 surrogate encodings.
+  const Result<JsonValue> parsed = JsonValue::Parse(
+      "{\"e\":\"\\uD83D\\uDE00\",\"bmp\":\"\\u00E9\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().Find("e")->string_value(), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(parsed.value().Find("bmp")->string_value(), "\xC3\xA9");
+}
+
+TEST(JsonTest, LoneSurrogatesAreRejected) {
+  const std::string bad_bodies[] = {
+      R"({"e":"\uD83D"})",                 // high surrogate ends the string
+      R"({"e":"\uD83Dxy"})",               // high surrogate, no \u follows
+      "{\"e\":\"\\uD83D\\u0041\"}",        // \u follows but is not low
+      R"({"e":"\uDE00"})",                 // low surrogate first
+  };
+  for (const std::string& bad : bad_bodies) {
+    const Result<JsonValue> parsed = JsonValue::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(JsonTest, WriterEscapesStrings) {
   const std::string doc = JsonWriter()
                               .Field("k", "a\"b\\c\nd")
@@ -255,6 +280,39 @@ TEST(RequestTest, TrialCountBeyondLimitIsRejected) {
       /*max_trials=*/10);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RequestTest, GeneratorBeyondCellLimitIsRejected) {
+  // An unchecked generator size would let one request allocate ~m
+  // values inside a scheduler worker; the ceiling rejects it at parse
+  // time. 2*m*(n+1) cells: m=16, n=12 needs 416.
+  const auto body = [](std::uint64_t m, std::uint64_t n) {
+    return R"({"request_id":"r","problem":"fingerprint",
+               "generator":{"kind":"equal","m":)" +
+           std::to_string(m) + ",\"n\":" + std::to_string(n) + "}}";
+  };
+  EXPECT_TRUE(ParseExperimentRequest(body(16, 12), /*max_trials=*/10,
+                                     /*max_generator_cells=*/416)
+                  .ok());
+  const Result<ExperimentRequest> over_m = ParseExperimentRequest(
+      body(17, 12), /*max_trials=*/10, /*max_generator_cells=*/416);
+  ASSERT_FALSE(over_m.ok());
+  EXPECT_EQ(over_m.status().code(), StatusCode::kInvalidArgument);
+  const Result<ExperimentRequest> over_n = ParseExperimentRequest(
+      body(1, 1000), /*max_trials=*/10, /*max_generator_cells=*/416);
+  ASSERT_FALSE(over_n.ok());
+  EXPECT_EQ(over_n.status().code(), StatusCode::kInvalidArgument);
+
+  // The default ceiling stops the pathological request outright, with
+  // no overflow in the size computation.
+  const Result<ExperimentRequest> huge =
+      ParseExperimentRequest(body(1000000000000000ULL, 8));
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kInvalidArgument);
+  const Result<ExperimentRequest> huge_n =
+      ParseExperimentRequest(body(8, 18446744073709551615ULL));
+  ASSERT_FALSE(huge_n.ok());
+  EXPECT_EQ(huge_n.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(RequestTest, BudgetBelowCertifiedBoundIsRejected) {
@@ -357,6 +415,38 @@ TEST(ArtifactCacheTest, FailedBuildsAreNotCached) {
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+TEST(ArtifactCacheTest, HashCollisionFallsBackToFactory) {
+  // Same (kind, hash), different content — injected through the erased
+  // core since real 64-bit FNV-1a colliding strings are impractical to
+  // find. The colliding request must get its own freshly built value,
+  // and the resident entry must survive untouched.
+  obs::MetricsRegistry metrics;
+  ArtifactCache cache(4, &metrics);
+  const auto make = [](int v) {
+    return [v]() -> std::shared_ptr<const void> {
+      return std::make_shared<const int>(v);
+    };
+  };
+  const std::uint64_t hash = 42;
+  const auto resident =
+      cache.GetOrCreateErased("k", hash, "payload-a", make(1));
+  ASSERT_NE(resident, nullptr);
+
+  const auto colliding =
+      cache.GetOrCreateErased("k", hash, "payload-b", make(2));
+  ASSERT_NE(colliding, nullptr);
+  EXPECT_EQ(*std::static_pointer_cast<const int>(colliding), 2)
+      << "collision served the other payload's artifact";
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  EXPECT_EQ(metrics.counter("serve.cache.collisions"), 1u);
+
+  // The original content still hits its entry.
+  const auto again =
+      cache.GetOrCreateErased("k", hash, "payload-a", make(3));
+  EXPECT_EQ(*std::static_pointer_cast<const int>(again), 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 TEST(ArtifactCacheTest, ContentHashIsStable) {
   // The shard-determinism argument needs every process to key its cache
   // identically; pin the FNV-1a values so a drift is loud.
@@ -419,6 +509,31 @@ TEST(FairSchedulerTest, RejectsBeyondAdmissionBound) {
   const Status draining = scheduler.Submit("alice", [] {});
   ASSERT_FALSE(draining.ok());
   EXPECT_EQ(draining.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FairSchedulerTest, ThrowingJobReleasesItsSlot) {
+  FairScheduler::Options options;
+  options.threads = 1;
+  options.max_inflight = 1;
+  FairScheduler scheduler(options);
+
+  // With max_inflight=1 a leaked slot would make every later Submit a
+  // 429 and Drain() a deadlock.
+  ASSERT_TRUE(scheduler
+                  .Submit("alice",
+                          [] { throw std::runtime_error("boom"); })
+                  .ok());
+  for (int i = 0; i < 400 && scheduler.stats().completed == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(scheduler.stats().completed, 1u);
+  EXPECT_EQ(scheduler.stats().inflight, 0u);
+
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(scheduler.Submit("alice", [&] { ran = true; }).ok());
+  scheduler.Drain();
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(scheduler.stats().completed, 2u);
 }
 
 TEST(FairSchedulerTest, FloodingTenantDoesNotStarveOthers) {

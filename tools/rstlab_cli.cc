@@ -74,6 +74,7 @@ int Usage() {
          " and replayable\n"
       << "  rstlab serve [--port=P] [--threads=T] [--max-inflight=K]\n"
       << "               [--max-connections=C] [--cache-entries=E]\n"
+      << "               [--max-generator-cells=G]\n"
       << "                                          experiment daemon on"
          " 127.0.0.1;\n"
       << "                                          SIGINT/SIGTERM drain"
@@ -518,6 +519,9 @@ int Serve(const std::vector<std::string>& args) {
           std::strtoull(arg.c_str() + 18, nullptr, 10);
     } else if (arg.rfind("--cache-entries=", 0) == 0) {
       options.cache_entries = std::strtoull(arg.c_str() + 16, nullptr, 10);
+    } else if (arg.rfind("--max-generator-cells=", 0) == 0) {
+      options.max_generator_cells =
+          std::strtoull(arg.c_str() + 22, nullptr, 10);
     } else {
       std::cerr << "unknown flag " << arg << " for rstlab serve\n";
       return Usage();
