@@ -2,194 +2,19 @@
 
 #include <algorithm>
 #include <array>
-#include <limits>
-#include <map>
 #include <set>
 #include <sstream>
 
-namespace rstlab::check {
+#include "check/graph.h"
+#include "check/growth.h"
 
-std::string StaticBound::ToString() const {
-  return bounded ? std::to_string(value) : std::string("unbounded");
-}
+namespace rstlab::check {
 
 namespace {
 
 using machine::Action;
 using machine::MachineSpec;
 using machine::Move;
-
-/// A small weighted digraph for the resource passes.
-struct Graph {
-  struct Edge {
-    std::size_t to = 0;
-    std::uint32_t weight = 0;
-  };
-  std::vector<std::vector<Edge>> adj;
-
-  explicit Graph(std::size_t n) : adj(n) {}
-  std::size_t size() const { return adj.size(); }
-  void AddEdge(std::size_t from, std::size_t to, std::uint32_t weight) {
-    adj[from].push_back({to, weight});
-  }
-};
-
-/// Kosaraju strongly-connected components. `comp_of[v]` is the
-/// component id of node v. Ids are assigned in topological order of the
-/// condensation: every edge u -> v of the original graph satisfies
-/// comp_of[u] <= comp_of[v], so a sweep by increasing id is a valid
-/// topological traversal.
-class Condensation {
- public:
-  explicit Condensation(const Graph& g) : comp_of(g.size(), kNone) {
-    const std::size_t n = g.size();
-    // Pass 1: finishing order by iterative DFS.
-    std::vector<std::size_t> order;
-    order.reserve(n);
-    std::vector<bool> seen(n, false);
-    std::vector<std::pair<std::size_t, std::size_t>> stack;
-    for (std::size_t root = 0; root < n; ++root) {
-      if (seen[root]) continue;
-      seen[root] = true;
-      stack.emplace_back(root, 0);
-      while (!stack.empty()) {
-        auto& [v, next] = stack.back();
-        if (next < g.adj[v].size()) {
-          const std::size_t to = g.adj[v][next].to;
-          ++next;
-          if (!seen[to]) {
-            seen[to] = true;
-            stack.emplace_back(to, 0);
-          }
-        } else {
-          order.push_back(v);
-          stack.pop_back();
-        }
-      }
-    }
-    // Pass 2: sweep the reverse graph in reverse finishing order; each
-    // sweep discovers one component, and discovery order is a
-    // topological order of the condensation.
-    std::vector<std::vector<std::size_t>> reverse_adj(n);
-    for (std::size_t v = 0; v < n; ++v) {
-      for (const Graph::Edge& e : g.adj[v]) {
-        reverse_adj[e.to].push_back(v);
-      }
-    }
-    std::vector<std::size_t> worklist;
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      if (comp_of[*it] != kNone) continue;
-      comp_of[*it] = num_components;
-      worklist.push_back(*it);
-      while (!worklist.empty()) {
-        const std::size_t v = worklist.back();
-        worklist.pop_back();
-        for (std::size_t from : reverse_adj[v]) {
-          if (comp_of[from] == kNone) {
-            comp_of[from] = num_components;
-            worklist.push_back(from);
-          }
-        }
-      }
-      ++num_components;
-    }
-  }
-
-  static constexpr std::size_t kNone =
-      std::numeric_limits<std::size_t>::max();
-  std::vector<std::size_t> comp_of;
-  std::size_t num_components = 0;
-};
-
-/// Nodes of `g` reachable from `start`.
-std::vector<bool> ReachableFrom(const Graph& g, std::size_t start) {
-  std::vector<bool> reach(g.size(), false);
-  std::vector<std::size_t> worklist{start};
-  reach[start] = true;
-  while (!worklist.empty()) {
-    const std::size_t v = worklist.back();
-    worklist.pop_back();
-    for (const Graph::Edge& e : g.adj[v]) {
-      if (!reach[e.to]) {
-        reach[e.to] = true;
-        worklist.push_back(e.to);
-      }
-    }
-  }
-  return reach;
-}
-
-/// The maximum total edge weight over any walk starting at `start`, or
-/// Unbounded() when a positive-weight edge lies on a reachable cycle.
-/// Zero-weight cycles are fine: weight accumulates only across
-/// components of the condensation.
-StaticBound BoundLongestPath(const Graph& g, std::size_t start) {
-  const std::vector<bool> reach = ReachableFrom(g, start);
-  const Condensation scc(g);
-  for (std::size_t v = 0; v < g.size(); ++v) {
-    if (!reach[v]) continue;
-    for (const Graph::Edge& e : g.adj[v]) {
-      if (e.weight > 0 && scc.comp_of[v] == scc.comp_of[e.to]) {
-        return StaticBound::Unbounded();
-      }
-    }
-  }
-  // DP over components in topological order. comp ids already are a
-  // topological order (see Condensation).
-  constexpr std::int64_t kMinusInf = std::numeric_limits<std::int64_t>::min();
-  std::vector<std::int64_t> dist(scc.num_components, kMinusInf);
-  dist[scc.comp_of[start]] = 0;
-  // Bucket nodes by component so we can sweep components in order.
-  std::vector<std::vector<std::size_t>> members(scc.num_components);
-  for (std::size_t v = 0; v < g.size(); ++v) {
-    if (reach[v]) members[scc.comp_of[v]].push_back(v);
-  }
-  std::int64_t best = 0;
-  for (std::size_t c = 0; c < scc.num_components; ++c) {
-    if (dist[c] == kMinusInf) continue;
-    best = std::max(best, dist[c]);
-    for (std::size_t v : members[c]) {
-      for (const Graph::Edge& e : g.adj[v]) {
-        const std::size_t to_comp = scc.comp_of[e.to];
-        if (to_comp == c) continue;
-        dist[to_comp] = std::max(
-            dist[to_comp], dist[c] + static_cast<std::int64_t>(e.weight));
-      }
-    }
-  }
-  return StaticBound::Finite(static_cast<std::uint64_t>(best));
-}
-
-/// Dense numbering of every state mentioned anywhere in the spec.
-struct StateIndex {
-  std::vector<int> states;
-  std::map<int, std::size_t> index;
-
-  explicit StateIndex(const MachineSpec& spec) {
-    auto add = [this](int q) {
-      if (index.emplace(q, states.size()).second) states.push_back(q);
-    };
-    add(spec.start_state);
-    for (int q : spec.final_states) add(q);
-    for (int q : spec.accepting_states) add(q);
-    for (const auto& [key, actions] : spec.transitions) {
-      add(key.first);
-      for (const Action& a : actions) add(a.next_state);
-    }
-  }
-};
-
-/// True iff the key and all of its actions have the arities of `spec` —
-/// the precondition for the CFG and resource passes to index into them.
-bool KeyWellFormed(const MachineSpec& spec, const std::string& symbols,
-                   const std::vector<Action>& actions) {
-  if (symbols.size() != spec.num_tapes()) return false;
-  return std::all_of(actions.begin(), actions.end(),
-                     [&spec](const Action& a) {
-                       return a.write.size() == spec.num_tapes() &&
-                              a.moves.size() == spec.num_tapes();
-                     });
-}
 
 void WellFormednessPass(const MachineSpec& spec,
                         const AnalyzeOptions& options,
@@ -273,6 +98,48 @@ void WellFormednessPass(const MachineSpec& spec,
   }
 }
 
+/// RST017: a later action on a (state, key) that is byte-identical to
+/// an earlier one. For deterministic, nondeterministic and undeclared
+/// machines the duplicate can never produce a run distinct from its
+/// twin — it is dead weight (and, under uniform choice, silently skews
+/// nothing but the choice numbering). Skipped for declared-randomized
+/// machines, where duplicates legitimately reweight the coin (e.g. a
+/// biased-coin machine encodes 3/5 as three identical accept actions).
+void ShadowedRulePass(const MachineSpec& spec, const AnalyzeOptions& options,
+                      Diagnostics& diag) {
+  if (options.declared.has_value()) {
+    switch (options.declared->mode) {
+      case core::MachineMode::kRandomized:
+      case core::MachineMode::kCoRandomized:
+      case core::MachineMode::kLasVegas:
+        return;
+      default:
+        break;
+    }
+  } else if (options.declared_deterministic.has_value() &&
+             !*options.declared_deterministic) {
+    return;  // could be randomized; duplicates may carry weight
+  }
+  for (const auto& [key, actions] : spec.transitions) {
+    for (std::size_t j = 1; j < actions.size(); ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const Action& a = actions[i];
+        const Action& b = actions[j];
+        if (a.next_state == b.next_state && a.write == b.write &&
+            a.moves == b.moves) {
+          diag.Add(Code::kShadowedRule, Severity::kWarning,
+                   "action #" + std::to_string(j) +
+                       " duplicates action #" + std::to_string(i) +
+                       " on the same key and can never produce a distinct "
+                       "run (dead rule)",
+                   key.first, key.second);
+          break;
+        }
+      }
+    }
+  }
+}
+
 void ControlFlowPass(const MachineSpec& spec, const StateIndex& states,
                      Diagnostics& diag) {
   // State-level successor graph (ignores symbols: an edge exists if any
@@ -329,58 +196,42 @@ void ControlFlowPass(const MachineSpec& spec, const StateIndex& states,
   }
 }
 
-/// Per-external-tape head-direction phase analysis: node (state, dir),
-/// reversal edges weigh 1. The bound is sound because the runtime
-/// tracker charges a reversal only on a strict direction change, which
-/// corresponds to a weight-1 edge on the executed path (the static walk
-/// also charges blocked left moves at cell 0, so it can only
-/// over-approximate).
-StaticBound ExternalReversalBound(const MachineSpec& spec,
-                                  const StateIndex& states,
-                                  std::size_t tape) {
-  const std::size_t n = states.states.size();
-  Graph g(2 * n);  // node = 2 * state_index + (0: dir +1, 1: dir -1)
-  for (const auto& [key, actions] : spec.transitions) {
-    if (!KeyWellFormed(spec, key.second, actions)) continue;
-    const std::size_t from = states.index.at(key.first);
-    for (const Action& a : actions) {
-      const std::size_t to = states.index.at(a.next_state);
-      switch (a.moves[tape]) {
-        case Move::kStay:
-          g.AddEdge(2 * from, 2 * to, 0);
-          g.AddEdge(2 * from + 1, 2 * to + 1, 0);
-          break;
-        case Move::kRight:
-          g.AddEdge(2 * from, 2 * to, 0);
-          g.AddEdge(2 * from + 1, 2 * to, 1);
-          break;
-        case Move::kLeft:
-          g.AddEdge(2 * from, 2 * to + 1, 1);
-          g.AddEdge(2 * from + 1, 2 * to + 1, 0);
-          break;
-      }
-    }
+/// The declared-class cross-check for one quantity (scans or cells):
+/// a hard comparison at check_n first (RST010/RST011, the historical
+/// single-point check), then the symbolic dominance sweep over
+/// [symbolic_from, symbolic_to] reporting a concrete witness N
+/// (RST018). The single-point check owns violations at check_n so the
+/// two diagnostics never double-report one crossing.
+void CrossCheckQuantity(const BoundExpr& inferred, const char* quantity,
+                        Code point_code,
+                        const std::function<std::uint64_t(std::size_t)>& env,
+                        const std::string& class_name,
+                        const AnalyzeOptions& options, Diagnostics& diag) {
+  if (inferred.unbounded()) return;  // handled by the caller's note path
+  const std::uint64_t declared_at_n = env(options.check_n);
+  const std::uint64_t inferred_at_n = inferred.Eval(options.check_n);
+  if (inferred_at_n > declared_at_n) {
+    diag.Add(point_code, Severity::kError,
+             std::string("static ") + quantity + " bound " +
+                 inferred.ToString() + " exceeds declared " +
+                 std::to_string(declared_at_n) + " of class " + class_name +
+                 " at N = " + std::to_string(options.check_n) + " (" +
+                 std::to_string(inferred_at_n) + " > " +
+                 std::to_string(declared_at_n) + ")");
+    return;
   }
-  return BoundLongestPath(g, 2 * states.index.at(spec.start_state));
-}
-
-/// Internal tapes only grow under right moves: cells used on any run is
-/// at most 1 + (number of right moves on the executed path).
-StaticBound InternalCellBound(const MachineSpec& spec,
-                              const StateIndex& states, std::size_t tape) {
-  Graph g(states.states.size());
-  for (const auto& [key, actions] : spec.transitions) {
-    if (!KeyWellFormed(spec, key.second, actions)) continue;
-    const std::size_t from = states.index.at(key.first);
-    for (const Action& a : actions) {
-      g.AddEdge(from, states.index.at(a.next_state),
-                a.moves[tape] == Move::kRight ? 1 : 0);
-    }
+  const std::optional<std::size_t> witness = FindWitnessN(
+      inferred, env, std::max<std::size_t>(2, options.symbolic_from),
+      options.symbolic_to);
+  if (witness.has_value()) {
+    diag.Add(Code::kClassNotDominated, Severity::kError,
+             std::string("declared class ") + class_name +
+                 " is not dominated: inferred " + quantity + " bound " +
+                 inferred.ToString() + " exceeds the declared envelope at "
+                 "witness N = " + std::to_string(*witness) + " (" +
+                 std::to_string(inferred.Eval(*witness)) + " > " +
+                 std::to_string(env(*witness)) + ")");
   }
-  StaticBound bound =
-      BoundLongestPath(g, states.index.at(spec.start_state));
-  if (bound.bounded) ++bound.value;  // the initial blank cell
-  return bound;
 }
 
 void ResourcePass(const MachineSpec& spec, const StateIndex& states,
@@ -388,28 +239,22 @@ void ResourcePass(const MachineSpec& spec, const StateIndex& states,
                   StaticResources& res) {
   res.external_reversals.clear();
   res.internal_cells.clear();
-  std::uint64_t scan = 1;
-  bool scan_bounded = true;
+  BoundExpr scan = BoundExpr::Constant(1);
   for (std::size_t i = 0; i < spec.num_external_tapes; ++i) {
-    const StaticBound b = ExternalReversalBound(spec, states, i);
-    res.external_reversals.push_back(b);
-    scan_bounded = scan_bounded && b.bounded;
-    if (b.bounded) scan += b.value;
+    BoundExpr b = SymbolicExternalReversalBound(spec, states, i);
+    scan += b;
+    res.external_reversals.push_back(std::move(b));
   }
-  res.scan_bound =
-      scan_bounded ? StaticBound::Finite(scan) : StaticBound::Unbounded();
+  res.scan_bound = std::move(scan);
 
-  std::uint64_t cells = 0;
-  bool cells_bounded = true;
+  BoundExpr cells;
   for (std::size_t j = 0; j < spec.num_internal_tapes; ++j) {
-    const StaticBound b =
-        InternalCellBound(spec, states, spec.num_external_tapes + j);
-    res.internal_cells.push_back(b);
-    cells_bounded = cells_bounded && b.bounded;
-    if (b.bounded) cells += b.value;
+    BoundExpr b = SymbolicInternalCellBound(spec, states,
+                                            spec.num_external_tapes + j);
+    cells += b;
+    res.internal_cells.push_back(std::move(b));
   }
-  res.total_internal_cells = cells_bounded ? StaticBound::Finite(cells)
-                                           : StaticBound::Unbounded();
+  res.total_internal_cells = std::move(cells);
 
   if (!options.declared.has_value()) return;
   const core::ResourceClass& cls = *options.declared;
@@ -419,28 +264,20 @@ void ResourcePass(const MachineSpec& spec, const StateIndex& states,
                  " external tapes but class " + cls.name + " allows " +
                  std::to_string(cls.t));
   }
-  const std::uint64_t r_n = cls.r_of_n(options.check_n);
-  if (res.scan_bound.bounded && res.scan_bound.value > r_n) {
-    diag.Add(Code::kReversalBound, Severity::kError,
-             "static scan bound " + res.scan_bound.ToString() +
-                 " exceeds declared r(N) = " + std::to_string(r_n) +
-                 " of class " + cls.name + " at N = " +
-                 std::to_string(options.check_n));
-  } else if (!res.scan_bound.bounded) {
+  CrossCheckQuantity(res.scan_bound, "scan", Code::kReversalBound,
+                     cls.r_of_n, cls.name, options, diag);
+  if (res.scan_bound.unbounded()) {
     diag.Add(Code::kReversalBound, Severity::kNote,
-             "reversals sit on a control-flow cycle; membership in " +
-                 cls.name + " must be established dynamically");
+             "reversals sit on a control-flow cycle no growth rule "
+             "covers; membership in " + cls.name +
+                 " must be established dynamically");
   }
-  const std::size_t s_n = cls.s_of_n(options.check_n);
-  if (res.total_internal_cells.bounded &&
-      res.total_internal_cells.value > s_n) {
-    diag.Add(Code::kSpaceBound, Severity::kError,
-             "static internal-space bound " +
-                 res.total_internal_cells.ToString() +
-                 " cells exceeds declared s(N) = " + std::to_string(s_n) +
-                 " of class " + cls.name + " at N = " +
-                 std::to_string(options.check_n));
-  } else if (!res.total_internal_cells.bounded) {
+  const auto s_env = [&cls](std::size_t n) {
+    return static_cast<std::uint64_t>(cls.s_of_n(n));
+  };
+  CrossCheckQuantity(res.total_internal_cells, "internal-space",
+                     Code::kSpaceBound, s_env, cls.name, options, diag);
+  if (res.total_internal_cells.unbounded()) {
     // A tape that grows on a cycle can never meet a constant s(N).
     const bool constant_space =
         cls.s_of_n(std::size_t{1} << 10) == cls.s_of_n(std::size_t{1} << 20);
@@ -449,8 +286,8 @@ void ResourcePass(const MachineSpec& spec, const StateIndex& states,
              constant_space
                  ? "an internal tape grows on a control-flow cycle but "
                    "class " + cls.name + " declares constant space"
-                 : "internal space sits on a control-flow cycle; "
-                   "membership in " + cls.name +
+                 : "internal space sits on a control-flow cycle no growth "
+                   "rule covers; membership in " + cls.name +
                        " must be established dynamically");
   }
 }
@@ -468,6 +305,7 @@ Analysis Analyze(const machine::MachineSpec& spec,
 
   WellFormednessPass(spec, options, declared_deterministic,
                      out.diagnostics);
+  ShadowedRulePass(spec, options, out.diagnostics);
   const StateIndex states(spec);
   ControlFlowPass(spec, states, out.diagnostics);
   ResourcePass(spec, states, options, out.diagnostics, out.resources);
@@ -475,26 +313,30 @@ Analysis Analyze(const machine::MachineSpec& spec,
 }
 
 Status CheckCostsAgainstCertificate(const machine::RunCosts& costs,
-                                    const StaticResources& certified) {
+                                    const StaticResources& certified,
+                                    std::size_t n) {
   for (std::size_t i = 0; i < certified.external_reversals.size() &&
                           i < costs.external_reversals.size();
        ++i) {
-    const StaticBound& b = certified.external_reversals[i];
-    if (b.bounded && costs.external_reversals[i] > b.value) {
+    const BoundExpr& b = certified.external_reversals[i];
+    const std::uint64_t limit = b.Eval(n);
+    if (costs.external_reversals[i] > limit) {
       std::ostringstream os;
       os << CodeName(Code::kCertificateViolated) << ": run performed "
          << costs.external_reversals[i] << " reversals on external tape "
-         << i << " but the static certificate allows " << b.value;
+         << i << " but the static certificate allows " << limit << " ("
+         << b.ToString() << " at N = " << n << ")";
       return Status::ResourceExhausted(os.str());
     }
   }
-  if (certified.total_internal_cells.bounded &&
-      costs.internal_space > certified.total_internal_cells.value) {
+  const std::uint64_t cell_limit = certified.total_internal_cells.Eval(n);
+  if (costs.internal_space > cell_limit) {
     std::ostringstream os;
     os << CodeName(Code::kCertificateViolated) << ": run used "
        << costs.internal_space
-       << " internal cells but the static certificate allows "
-       << certified.total_internal_cells.value;
+       << " internal cells but the static certificate allows " << cell_limit
+       << " (" << certified.total_internal_cells.ToString() << " at N = "
+       << n << ")";
     return Status::ResourceExhausted(os.str());
   }
   return Status::OK();

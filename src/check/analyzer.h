@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "check/bound_expr.h"
 #include "check/diagnostics.h"
 #include "core/complexity.h"
 #include "machine/turing_machine.h"
@@ -13,30 +14,20 @@
 
 namespace rstlab::check {
 
-/// A statically derived upper bound: a finite value, or "not statically
-/// bounded" (the quantity may grow with the input).
-struct StaticBound {
-  bool bounded = false;
-  std::uint64_t value = 0;
-
-  static StaticBound Finite(std::uint64_t v) { return {true, v}; }
-  static StaticBound Unbounded() { return {false, 0}; }
-
-  /// Renders "3" or "unbounded".
-  std::string ToString() const;
-};
-
-/// The static resource certificate of a machine: per-external-tape
-/// reversal bounds (upper bounds on Definition 1's rev(rho, i) over
-/// every possible run), the derived scan bound 1 + sum rev, and
-/// per-internal-tape cell bounds. A bound of Unbounded() means the
-/// quantity sits on a control-flow cycle, so no input-independent bound
-/// exists — not that the machine is wrong.
+/// The static resource certificate of a machine, symbolic in the input
+/// size N: per-external-tape reversal bounds (upper bounds on
+/// Definition 1's rev(rho, i) over every possible run on an input of N
+/// cells), the derived scan bound 1 + sum rev, and per-internal-tape
+/// cell bounds. Quantities the growth pass can tie to the input — a
+/// scan-gated loop, a doubling counter — carry O(N) / O(log N)
+/// expressions instead of collapsing to "unbounded";
+/// BoundExpr::Unbounded() remains the sound top element for structure
+/// no inference rule covers (not necessarily a broken machine).
 struct StaticResources {
-  std::vector<StaticBound> external_reversals;
-  StaticBound scan_bound = StaticBound::Finite(1);
-  std::vector<StaticBound> internal_cells;
-  StaticBound total_internal_cells = StaticBound::Finite(0);
+  std::vector<BoundExpr> external_reversals;
+  BoundExpr scan_bound = BoundExpr::Constant(1);
+  std::vector<BoundExpr> internal_cells;
+  BoundExpr total_internal_cells;
 };
 
 /// What the analyzer should assume about the machine under test.
@@ -51,8 +42,15 @@ struct AnalyzeOptions {
   /// every key and write symbol must come from it.
   std::optional<std::string> alphabet;
   /// Input size at which declared r(N)/s(N) are evaluated for the
-  /// static cross-check.
+  /// single-point static cross-check (RST010/RST011).
   std::size_t check_n = std::size_t{1} << 20;
+  /// Dominance sweep window for the symbolic cross-check (RST018): the
+  /// inferred bound must stay under the declared envelope at every
+  /// power-of-two N in [symbolic_from, symbolic_to]. The lower edge
+  /// exists because declared envelopes are asymptotic — additive slack
+  /// in the inferred constants may legitimately exceed them at tiny N.
+  std::size_t symbolic_from = std::size_t{1} << 8;
+  std::size_t symbolic_to = std::size_t{1} << 62;
 };
 
 /// The full analyzer output: the findings plus the static certificate.
@@ -64,24 +62,26 @@ struct Analysis {
 };
 
 /// Statically analyzes `spec` without running it. Passes:
-///   1. well-formedness (RST001-RST005): arities, alphabet, final and
-///      accepting state discipline;
+///   1. well-formedness (RST001-RST005, RST017): arities, alphabet,
+///      final and accepting state discipline, shadowed duplicate rules;
 ///   2. control flow (RST006-RST009, RST012): reachability over the
 ///      state graph, stuck successors, determinism vs declaration;
-///   3. static resource bounding (RST010, RST011, RST016): a
-///      per-external-tape head-direction phase analysis over the CFG
-///      upper-bounds reversals on every run; internal tapes are bounded
-///      by the maximum number of right-moves on any path. Both are
-///      cross-checked against the declared class when provided.
+///   3. static resource bounding (RST010, RST011, RST016, RST018): the
+///      growth pass (growth.h) derives symbolic per-tape bounds; the
+///      declared class is cross-checked both at check_n (RST010/011)
+///      and by a dominance sweep over [symbolic_from, symbolic_to]
+///      that reports a concrete witness N on failure (RST018).
 Analysis Analyze(const machine::MachineSpec& spec,
                  const AnalyzeOptions& options = {});
 
 /// Runtime hook (the model's sanitizer): verifies that a completed
-/// run's measured costs never exceed the statically certified bounds.
-/// A violation means the analyzer or the executor is wrong, so the
-/// returned status is ResourceExhausted and carries RST015.
+/// run's measured costs never exceed the statically certified bounds
+/// evaluated at the run's actual input size `n`. A violation means the
+/// analyzer or the executor is wrong, so the returned status is
+/// ResourceExhausted and carries RST015.
 Status CheckCostsAgainstCertificate(const machine::RunCosts& costs,
-                                    const StaticResources& certified);
+                                    const StaticResources& certified,
+                                    std::size_t n);
 
 }  // namespace rstlab::check
 

@@ -1,0 +1,188 @@
+#include "check/bound_expr.h"
+
+#include <limits>
+#include <sstream>
+
+namespace rstlab::check {
+
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+/// base^exp, saturating.
+std::uint64_t SatPow(std::uint64_t base, unsigned exp) {
+  std::uint64_t out = 1;
+  for (unsigned i = 0; i < exp; ++i) out = SatMul(out, base);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t SatAdd(std::uint64_t a, std::uint64_t b) {
+  return a > kMax - b ? kMax : a + b;
+}
+
+std::uint64_t SatMul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kMax / b ? kMax : a * b;
+}
+
+std::uint64_t CeilLog2(std::size_t n) {
+  std::uint64_t bits = 0;
+  std::size_t v = n < 2 ? 2 : n;
+  // ceil(log2 v) = bit position of the highest set bit, plus one when v
+  // is not a power of two.
+  std::size_t highest = v;
+  while (highest > 1) {
+    highest >>= 1U;
+    ++bits;
+  }
+  if ((v & (v - 1)) != 0) ++bits;
+  return bits;
+}
+
+BoundExpr BoundExpr::Constant(std::uint64_t c) { return Monomial(c, 0, 0); }
+
+BoundExpr BoundExpr::LogN(std::uint64_t coeff) {
+  return Monomial(coeff, 0, 1);
+}
+
+BoundExpr BoundExpr::Linear(std::uint64_t coeff) {
+  return Monomial(coeff, 1, 0);
+}
+
+BoundExpr BoundExpr::Monomial(std::uint64_t coeff, unsigned n_pow,
+                              unsigned log_pow) {
+  BoundExpr e;
+  if (coeff != 0) e.terms_[{n_pow, log_pow}] = coeff;
+  return e;
+}
+
+BoundExpr BoundExpr::Unbounded() {
+  BoundExpr e;
+  e.unbounded_ = true;
+  return e;
+}
+
+bool BoundExpr::IsConstant() const {
+  if (unbounded_) return false;
+  for (const auto& [pows, coeff] : terms_) {
+    if (pows != std::pair<unsigned, unsigned>{0, 0}) return false;
+  }
+  return true;
+}
+
+std::uint64_t BoundExpr::ConstantValue() const {
+  const auto it = terms_.find({0, 0});
+  return it == terms_.end() ? 0 : it->second;
+}
+
+BoundExpr& BoundExpr::operator+=(const BoundExpr& other) {
+  if (other.unbounded_) unbounded_ = true;
+  if (unbounded_) {
+    terms_.clear();
+    return *this;
+  }
+  for (const auto& [pows, coeff] : other.terms_) {
+    auto [it, inserted] = terms_.emplace(pows, coeff);
+    if (!inserted) it->second = SatAdd(it->second, coeff);
+  }
+  return *this;
+}
+
+BoundExpr& BoundExpr::operator*=(const BoundExpr& other) {
+  // 0 * unbounded = 0: a product with no terms annihilates.
+  if ((unbounded_ && !other.unbounded_ && other.terms_.empty()) ||
+      (other.unbounded_ && !unbounded_ && terms_.empty())) {
+    terms_.clear();
+    unbounded_ = false;
+    return *this;
+  }
+  if (unbounded_ || other.unbounded_) {
+    terms_.clear();
+    unbounded_ = true;
+    return *this;
+  }
+  std::map<std::pair<unsigned, unsigned>, std::uint64_t> product;
+  for (const auto& [lp, lc] : terms_) {
+    for (const auto& [rp, rc] : other.terms_) {
+      const std::pair<unsigned, unsigned> pows{lp.first + rp.first,
+                                               lp.second + rp.second};
+      auto [it, inserted] = product.emplace(pows, SatMul(lc, rc));
+      if (!inserted) it->second = SatAdd(it->second, SatMul(lc, rc));
+    }
+  }
+  terms_ = std::move(product);
+  return *this;
+}
+
+BoundExpr BoundExpr::Max(const BoundExpr& a, const BoundExpr& b) {
+  if (a.unbounded_ || b.unbounded_) return Unbounded();
+  BoundExpr out = a;
+  for (const auto& [pows, coeff] : b.terms_) {
+    auto [it, inserted] = out.terms_.emplace(pows, coeff);
+    if (!inserted) it->second = std::max(it->second, coeff);
+  }
+  return out;
+}
+
+std::uint64_t BoundExpr::Eval(std::size_t n) const {
+  if (unbounded_) return kMax;
+  const std::uint64_t log_n = CeilLog2(n);
+  std::uint64_t total = 0;
+  for (const auto& [pows, coeff] : terms_) {
+    const std::uint64_t term =
+        SatMul(coeff, SatMul(SatPow(n, pows.first),
+                             SatPow(log_n, pows.second)));
+    total = SatAdd(total, term);
+  }
+  return total;
+}
+
+std::pair<unsigned, unsigned> BoundExpr::Order() const {
+  constexpr unsigned kTop = std::numeric_limits<unsigned>::max();
+  if (unbounded_) return {kTop, kTop};
+  if (terms_.empty()) return {0, 0};
+  return terms_.rbegin()->first;  // map is sorted by (n_pow, log_pow)
+}
+
+std::string BoundExpr::ToString() const {
+  if (unbounded_) return "unbounded";
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [pows, coeff] : terms_) {
+    if (!first) os << " + ";
+    first = false;
+    const auto [n_pow, log_pow] = pows;
+    if (coeff != 1 || (n_pow == 0 && log_pow == 0)) os << coeff;
+    bool star = coeff != 1 || (n_pow == 0 && log_pow == 0);
+    if (n_pow > 0) {
+      if (star) os << "*";
+      os << "N";
+      if (n_pow > 1) os << "^" << n_pow;
+      star = true;
+    }
+    if (log_pow > 0) {
+      if (star) os << "*";
+      os << "logN";
+      if (log_pow > 1) os << "^" << log_pow;
+    }
+  }
+  return os.str();
+}
+
+std::optional<std::size_t> FindWitnessN(
+    const BoundExpr& bound,
+    const std::function<std::uint64_t(std::size_t)>& envelope,
+    std::size_t n_lo, std::size_t n_hi) {
+  if (n_lo < 1) n_lo = 1;
+  for (std::size_t n = n_lo; n <= n_hi;) {
+    if (bound.Eval(n) > envelope(n)) return n;
+    if (n > n_hi / 2) break;  // next doubling would overflow past n_hi
+    n *= 2;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rstlab::check

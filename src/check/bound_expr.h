@@ -1,0 +1,113 @@
+#ifndef RSTLAB_CHECK_BOUND_EXPR_H_
+#define RSTLAB_CHECK_BOUND_EXPR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rstlab::check {
+
+/// Saturating uint64 arithmetic for resource-bound accumulation: a
+/// wrapped sum would silently *under*-report a bound, so every
+/// accumulation in the check layer clamps at UINT64_MAX instead.
+std::uint64_t SatAdd(std::uint64_t a, std::uint64_t b);
+std::uint64_t SatMul(std::uint64_t a, std::uint64_t b);
+
+/// ceil(log2(max(2, n))) — the log term of a BoundExpr evaluated at a
+/// concrete input size. Matches core::LogScans / core::LogSpace, is
+/// >= 1 everywhere and monotone non-decreasing in n.
+std::uint64_t CeilLog2(std::size_t n);
+
+/// A symbolic upper bound as a function of the input size N: a sum of
+/// monomials `coeff * N^a * ceil(log2 N)^b` with non-negative integer
+/// coefficients, or the top element "unbounded". This is the bound
+/// algebra the analyzer computes in — it replaces the old
+/// finite-or-unbounded StaticBound so quantities that legitimately
+/// grow with N (a scan-gated loop, a doubling counter) keep an exact
+/// evaluable envelope instead of collapsing to "unbounded".
+///
+/// The algebra is closed under +, * and max:
+///   - addition merges coefficients termwise;
+///   - multiplication convolves exponents;
+///   - Max takes termwise coefficient maxima, which over-approximates
+///     the pointwise maximum (sound for upper bounds, since every term
+///     is non-negative and monotone in N).
+/// All coefficient arithmetic saturates at UINT64_MAX, and Eval(n)
+/// saturates too, so no bound ever wraps to a small value.
+///
+/// Eval is monotone in N: every monomial is a product of the monotone
+/// factors N and ceil(log2 max(2, N)).
+class BoundExpr {
+ public:
+  /// The zero bound.
+  BoundExpr() = default;
+
+  static BoundExpr Constant(std::uint64_t c);
+  /// coeff * ceil(log2 N).
+  static BoundExpr LogN(std::uint64_t coeff);
+  /// coeff * N.
+  static BoundExpr Linear(std::uint64_t coeff);
+  /// coeff * N^n_pow * ceil(log2 N)^log_pow.
+  static BoundExpr Monomial(std::uint64_t coeff, unsigned n_pow,
+                            unsigned log_pow);
+  static BoundExpr Unbounded();
+
+  bool unbounded() const { return unbounded_; }
+  /// True iff the bound does not depend on N (and is not unbounded).
+  bool IsConstant() const;
+  /// The value of a constant bound (0 for the zero bound). Only
+  /// meaningful when IsConstant().
+  std::uint64_t ConstantValue() const;
+
+  BoundExpr& operator+=(const BoundExpr& other);
+  friend BoundExpr operator+(BoundExpr lhs, const BoundExpr& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  BoundExpr& operator*=(const BoundExpr& other);
+  friend BoundExpr operator*(BoundExpr lhs, const BoundExpr& rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+  /// Termwise coefficient maximum: dominates both arguments pointwise.
+  static BoundExpr Max(const BoundExpr& a, const BoundExpr& b);
+
+  /// The bound evaluated at input size n, saturating at UINT64_MAX;
+  /// an unbounded expression evaluates to UINT64_MAX everywhere.
+  std::uint64_t Eval(std::size_t n) const;
+
+  /// The dominant (n_pow, log_pow) pair, lexicographically — the
+  /// expression's position in the growth lattice
+  /// constant < log N < N < N log N < N^2 < ... . The zero/constant
+  /// bound has order (0, 0); Unbounded() reports the maximal pair.
+  std::pair<unsigned, unsigned> Order() const;
+
+  /// Renders e.g. "3 + 2*logN + N*logN^2", or "unbounded", or "0".
+  std::string ToString() const;
+
+  bool operator==(const BoundExpr&) const = default;
+
+ private:
+  // Sorted by (n_pow, log_pow); zero coefficients are never stored.
+  std::map<std::pair<unsigned, unsigned>, std::uint64_t> terms_;
+  bool unbounded_ = false;
+};
+
+/// The smallest power-of-two N in [n_lo, n_hi] at which `bound.Eval(N)`
+/// strictly exceeds `envelope(N)`, or nullopt when the envelope
+/// dominates at every probed size. The sweep doubles N, so an
+/// eventually-monotone envelope (every core:: budget factory) is
+/// decided by at most ~60 evaluations. An unbounded `bound` witnesses
+/// at n_lo unless the envelope is saturated there too.
+std::optional<std::size_t> FindWitnessN(
+    const BoundExpr& bound,
+    const std::function<std::uint64_t(std::size_t)>& envelope,
+    std::size_t n_lo, std::size_t n_hi);
+
+}  // namespace rstlab::check
+
+#endif  // RSTLAB_CHECK_BOUND_EXPR_H_

@@ -51,6 +51,10 @@ const char* CodeName(Code code) {
       return "RST015";
     case Code::kTapeCount:
       return "RST016";
+    case Code::kShadowedRule:
+      return "RST017";
+    case Code::kClassNotDominated:
+      return "RST018";
   }
   return "RST???";
 }

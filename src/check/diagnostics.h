@@ -56,6 +56,12 @@ enum class Code {
   kCertificateViolated,  // RST015
   /// The machine's tape count differs from the declared class's t.
   kTapeCount,            // RST016
+  /// A later rule on the same (state, key) duplicates an earlier one
+  /// and can never produce a distinct run (dead rule).
+  kShadowedRule,         // RST017
+  /// The declared class is not dominated by the inferred symbolic
+  /// bound; the message carries a concrete witness N.
+  kClassNotDominated,    // RST018
 };
 
 /// The stable "RSTnnn" spelling of `code`.

@@ -1,0 +1,197 @@
+#ifndef RSTLAB_CHECK_GRAPH_H_
+#define RSTLAB_CHECK_GRAPH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "machine/turing_machine.h"
+
+// Shared CFG machinery of the check passes (analyzer.cc and
+// growth.cc): a small weighted digraph, Kosaraju condensation with
+// topologically ordered component ids, reachability, and the numeric
+// longest-path bound. Internal to src/check/.
+
+namespace rstlab::check {
+
+/// A small weighted digraph for the resource passes.
+struct Graph {
+  struct Edge {
+    std::size_t to = 0;
+    std::uint32_t weight = 0;
+  };
+  std::vector<std::vector<Edge>> adj;
+
+  explicit Graph(std::size_t n) : adj(n) {}
+  std::size_t size() const { return adj.size(); }
+  void AddEdge(std::size_t from, std::size_t to, std::uint32_t weight) {
+    adj[from].push_back({to, weight});
+  }
+};
+
+/// Kosaraju strongly-connected components. `comp_of[v]` is the
+/// component id of node v. Ids are assigned in topological order of the
+/// condensation: every edge u -> v of the original graph satisfies
+/// comp_of[u] <= comp_of[v], so a sweep by increasing id is a valid
+/// topological traversal.
+class Condensation {
+ public:
+  explicit Condensation(const Graph& g) : comp_of(g.size(), kNone) {
+    const std::size_t n = g.size();
+    // Pass 1: finishing order by iterative DFS.
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::vector<bool> seen(n, false);
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    for (std::size_t root = 0; root < n; ++root) {
+      if (seen[root]) continue;
+      seen[root] = true;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [v, next] = stack.back();
+        if (next < g.adj[v].size()) {
+          const std::size_t to = g.adj[v][next].to;
+          ++next;
+          if (!seen[to]) {
+            seen[to] = true;
+            stack.emplace_back(to, 0);
+          }
+        } else {
+          order.push_back(v);
+          stack.pop_back();
+        }
+      }
+    }
+    // Pass 2: sweep the reverse graph in reverse finishing order; each
+    // sweep discovers one component, and discovery order is a
+    // topological order of the condensation.
+    std::vector<std::vector<std::size_t>> reverse_adj(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const Graph::Edge& e : g.adj[v]) {
+        reverse_adj[e.to].push_back(v);
+      }
+    }
+    std::vector<std::size_t> worklist;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if (comp_of[*it] != kNone) continue;
+      comp_of[*it] = num_components;
+      worklist.push_back(*it);
+      while (!worklist.empty()) {
+        const std::size_t v = worklist.back();
+        worklist.pop_back();
+        for (std::size_t from : reverse_adj[v]) {
+          if (comp_of[from] == kNone) {
+            comp_of[from] = num_components;
+            worklist.push_back(from);
+          }
+        }
+      }
+      ++num_components;
+    }
+  }
+
+  static constexpr std::size_t kNone =
+      std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> comp_of;
+  std::size_t num_components = 0;
+};
+
+/// Nodes of `g` reachable from `start`.
+inline std::vector<bool> ReachableFrom(const Graph& g, std::size_t start) {
+  std::vector<bool> reach(g.size(), false);
+  std::vector<std::size_t> worklist{start};
+  reach[start] = true;
+  while (!worklist.empty()) {
+    const std::size_t v = worklist.back();
+    worklist.pop_back();
+    for (const Graph::Edge& e : g.adj[v]) {
+      if (!reach[e.to]) {
+        reach[e.to] = true;
+        worklist.push_back(e.to);
+      }
+    }
+  }
+  return reach;
+}
+
+/// The maximum total edge weight over any walk starting at `start`, or
+/// nullopt when a positive-weight edge lies on a reachable cycle.
+/// Zero-weight cycles are fine: weight accumulates only across
+/// components of the condensation.
+inline std::optional<std::uint64_t> NumericLongestPath(const Graph& g,
+                                                       std::size_t start) {
+  const std::vector<bool> reach = ReachableFrom(g, start);
+  const Condensation scc(g);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (!reach[v]) continue;
+    for (const Graph::Edge& e : g.adj[v]) {
+      if (e.weight > 0 && scc.comp_of[v] == scc.comp_of[e.to]) {
+        return std::nullopt;
+      }
+    }
+  }
+  // DP over components in topological order. comp ids already are a
+  // topological order (see Condensation).
+  constexpr std::int64_t kMinusInf = std::numeric_limits<std::int64_t>::min();
+  std::vector<std::int64_t> dist(scc.num_components, kMinusInf);
+  dist[scc.comp_of[start]] = 0;
+  // Bucket nodes by component so we can sweep components in order.
+  std::vector<std::vector<std::size_t>> members(scc.num_components);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (reach[v]) members[scc.comp_of[v]].push_back(v);
+  }
+  std::int64_t best = 0;
+  for (std::size_t c = 0; c < scc.num_components; ++c) {
+    if (dist[c] == kMinusInf) continue;
+    best = std::max(best, dist[c]);
+    for (std::size_t v : members[c]) {
+      for (const Graph::Edge& e : g.adj[v]) {
+        const std::size_t to_comp = scc.comp_of[e.to];
+        if (to_comp == c) continue;
+        dist[to_comp] = std::max(
+            dist[to_comp], dist[c] + static_cast<std::int64_t>(e.weight));
+      }
+    }
+  }
+  return static_cast<std::uint64_t>(best);
+}
+
+/// Dense numbering of every state mentioned anywhere in the spec.
+struct StateIndex {
+  std::vector<int> states;
+  std::map<int, std::size_t> index;
+
+  explicit StateIndex(const machine::MachineSpec& spec) {
+    auto add = [this](int q) {
+      if (index.emplace(q, states.size()).second) states.push_back(q);
+    };
+    add(spec.start_state);
+    for (int q : spec.final_states) add(q);
+    for (int q : spec.accepting_states) add(q);
+    for (const auto& [key, actions] : spec.transitions) {
+      add(key.first);
+      for (const machine::Action& a : actions) add(a.next_state);
+    }
+  }
+};
+
+/// True iff the key and all of its actions have the arities of `spec` —
+/// the precondition for the CFG and resource passes to index into them.
+inline bool KeyWellFormed(const machine::MachineSpec& spec,
+                          const std::string& symbols,
+                          const std::vector<machine::Action>& actions) {
+  if (symbols.size() != spec.num_tapes()) return false;
+  return std::all_of(actions.begin(), actions.end(),
+                     [&spec](const machine::Action& a) {
+                       return a.write.size() == spec.num_tapes() &&
+                              a.moves.size() == spec.num_tapes();
+                     });
+}
+
+}  // namespace rstlab::check
+
+#endif  // RSTLAB_CHECK_GRAPH_H_

@@ -1,0 +1,441 @@
+#include "check/growth.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace rstlab::check {
+
+namespace {
+
+using machine::Action;
+using machine::MachineSpec;
+using machine::Move;
+
+/// One resource-graph edge with the transition metadata the SCC
+/// classifiers inspect. `weight` is the pass-specific cost (reversal
+/// count or right-move count) charged when the edge is traversed.
+struct MEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::uint32_t weight = 0;
+  const std::string* key = nullptr;  // transition key symbols
+  const Action* act = nullptr;
+};
+
+struct EdgeGraph {
+  std::size_t num_nodes = 0;
+  std::vector<MEdge> edges;
+};
+
+/// Per-tape: true iff no well-formed action in the whole machine
+/// writes a non-blank symbol over a blank one on that tape — the
+/// tape's non-blank region can never grow past its initial extent
+/// (the input on tape 0, nothing elsewhere).
+std::vector<bool> BlankPreservedTapes(const MachineSpec& spec) {
+  std::vector<bool> preserved(spec.num_tapes(), true);
+  for (const auto& [key, actions] : spec.transitions) {
+    if (!KeyWellFormed(spec, key.second, actions)) continue;
+    for (const Action& a : actions) {
+      for (std::size_t t = 0; t < spec.num_tapes(); ++t) {
+        if (key.second[t] == machine::kBlank &&
+            a.write[t] != machine::kBlank) {
+          preserved[t] = false;
+        }
+      }
+    }
+  }
+  return preserved;
+}
+
+/// Everything a classifier needs to know about one strongly-connected
+/// component with a positive-weight internal edge.
+struct SccContext {
+  const MachineSpec* spec = nullptr;
+  const std::vector<bool>* blank_preserved = nullptr;
+  std::vector<std::size_t> nodes;            // graph node ids of the SCC
+  std::vector<const MEdge*> internal;        // edges inside the SCC
+  std::vector<const MEdge*> entries;         // edges entering the SCC
+  bool contains_start = false;
+};
+
+/// Longest path (by `weight_of`) over the subgraph of `ctx`'s nodes
+/// induced by the edges `include` admits, started anywhere; nullopt
+/// when a positive-weight edge sits on a cycle of that subgraph.
+std::optional<std::uint64_t> MaxPathWeight(
+    const SccContext& ctx,
+    const std::function<bool(const MEdge&)>& include,
+    const std::function<std::uint32_t(const MEdge&)>& weight_of) {
+  std::map<std::size_t, std::size_t> remap;
+  for (std::size_t v : ctx.nodes) remap.emplace(v, remap.size());
+  Graph g(remap.size() + 1);  // extra node: virtual root
+  const std::size_t root = remap.size();
+  for (const auto& [node, idx] : remap) {
+    (void)node;
+    g.AddEdge(root, idx, 0);
+  }
+  for (const MEdge* e : ctx.internal) {
+    if (!include(*e)) continue;
+    g.AddEdge(remap.at(e->from), remap.at(e->to), weight_of(*e));
+  }
+  return NumericLongestPath(g, root);
+}
+
+/// Scan-gated classification: the component is one-directional
+/// ({Right, Stay}) on external tape g, every right-move on g reads
+/// non-blank, g's non-blank region never grows (machine-wide), and the
+/// Stay-subgraph carries no positive-weight cycle. The head on g then
+/// advances at most N+1 times during any single residency in the
+/// component (component = SCC of the condensation, so a run resides in
+/// it exactly once), and between two advances the path follows the
+/// acyclic Stay-subgraph. Total weight <= (N + 2) * W with
+/// W = (longest Stay-path weight) + (heaviest single edge).
+std::optional<BoundExpr> ScanGatedBound(const SccContext& ctx) {
+  const MachineSpec& spec = *ctx.spec;
+  for (std::size_t g = 0; g < spec.num_external_tapes; ++g) {
+    if (!(*ctx.blank_preserved)[g]) continue;
+    bool one_directional = true;
+    std::uint64_t heaviest = 0;
+    for (const MEdge* e : ctx.internal) {
+      const Move m = e->act->moves[g];
+      if (m == Move::kLeft ||
+          (m == Move::kRight && (*e->key)[g] == machine::kBlank)) {
+        one_directional = false;
+        break;
+      }
+      heaviest = std::max<std::uint64_t>(heaviest, e->weight);
+    }
+    if (!one_directional) continue;
+    const std::optional<std::uint64_t> stay_weight = MaxPathWeight(
+        ctx,
+        [g](const MEdge& e) { return e.act->moves[g] == Move::kStay; },
+        [](const MEdge& e) { return e.weight; });
+    if (!stay_weight.has_value()) continue;  // reversal cycle without advance
+    const std::uint64_t per_segment = SatAdd(*stay_weight, heaviest);
+    return BoundExpr::Linear(per_segment) +
+           BoundExpr::Constant(SatMul(2, per_segment));
+  }
+  return std::nullopt;
+}
+
+/// Non-growing scan (cell pass): every right-move on `tape` inside the
+/// component reads non-blank, and the component never writes non-blank
+/// over blank on `tape`. The head can never pass the frontier written
+/// before entry, so residency grows the tape by at most one cell.
+std::optional<BoundExpr> NonGrowingScanBound(const SccContext& ctx,
+                                             std::size_t tape) {
+  for (const MEdge* e : ctx.internal) {
+    const char read = (*e->key)[tape];
+    if (e->act->moves[tape] == Move::kRight && read == machine::kBlank) {
+      return std::nullopt;
+    }
+    if (read == machine::kBlank &&
+        e->act->write[tape] != machine::kBlank) {
+      return std::nullopt;
+    }
+  }
+  return BoundExpr::Constant(1);
+}
+
+/// LSB abstract values: a node is `kRun` when every path reaching it
+/// holds the head one cell past a contiguous block of this-excursion
+/// consume steps above a marker (so the next consume or hi-write is
+/// value-disciplined), `kUnknown` otherwise.
+enum class LsbValue { kUnset, kRun, kUnknown };
+
+LsbValue Join(LsbValue a, LsbValue b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+/// Binary-counter classification for internal tape `tape`; see
+/// growth.h. Returns the component's cell contribution (O(log N)), or
+/// nullopt when the discipline cannot be established.
+std::optional<BoundExpr> CounterBound(const SccContext& ctx,
+                                      std::size_t tape) {
+  const MachineSpec& spec = *ctx.spec;
+
+  // 1. Right-moves must be consume steps (hi -> lo) or marker steps
+  //    (mark -> mark), with the three symbols pairwise distinct and
+  //    non-blank. A right-move over blank walks off the frontier.
+  char hi = 0;
+  char lo = 0;
+  char mark = 0;
+  bool has_consume = false;
+  for (const MEdge* e : ctx.internal) {
+    if (e->act->moves[tape] != Move::kRight) continue;
+    const char read = (*e->key)[tape];
+    const char write = e->act->write[tape];
+    if (read == machine::kBlank) return std::nullopt;
+    if (write == read) {
+      if (mark != 0 && mark != read) return std::nullopt;
+      mark = read;
+    } else {
+      if (has_consume && (hi != read || lo != write)) return std::nullopt;
+      hi = read;
+      lo = write;
+      has_consume = true;
+    }
+  }
+  if (!has_consume) return std::nullopt;
+  if (mark != 0 && (mark == hi || mark == lo)) return std::nullopt;
+
+  // 2. The component must never create a marker (a marker written
+  //    mid-excursion would let later excursions anchor arbitrarily
+  //    deep), and every frontier extension must be a hi-write (the
+  //    canonical carry-out increment).
+  for (const MEdge* e : ctx.internal) {
+    const char read = (*e->key)[tape];
+    const char write = e->act->write[tape];
+    if (mark != 0 && write == mark && read != mark) return std::nullopt;
+    if (read == machine::kBlank && write != machine::kBlank &&
+        write != hi) {
+      return std::nullopt;
+    }
+  }
+
+  // 3. LSB discipline: consume steps and hi-writes may only fire from
+  //    kRun nodes. Entry edges anchor kRun only when they are a marker
+  //    plant (blank -> mark, moving right: the head lands on the LSB)
+  //    or a marker step; everything else enters kUnknown.
+  const auto is_hi_write = [&](const MEdge& e) {
+    return e.act->write[tape] == hi && (*e.key)[tape] != hi;
+  };
+  const auto is_consume = [&](const MEdge& e) {
+    return e.act->moves[tape] == Move::kRight && (*e.key)[tape] == hi;
+  };
+  const auto is_marker_step = [&](const MEdge& e) {
+    return mark != 0 && e.act->moves[tape] == Move::kRight &&
+           (*e.key)[tape] == mark;
+  };
+  std::map<std::size_t, LsbValue> val;
+  for (std::size_t v : ctx.nodes) val[v] = LsbValue::kUnset;
+  if (ctx.contains_start) return std::nullopt;  // blank-tape entry state
+  for (const MEdge* e : ctx.entries) {
+    const bool plants = mark != 0 && e->act->moves[tape] == Move::kRight &&
+                        (*e->key)[tape] == machine::kBlank &&
+                        e->act->write[tape] == mark;
+    val[e->to] = Join(val[e->to], (plants || is_marker_step(*e))
+                                      ? LsbValue::kRun
+                                      : LsbValue::kUnknown);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const MEdge* e : ctx.internal) {
+      const LsbValue from = val[e->from];
+      if (from == LsbValue::kUnset) continue;
+      if ((is_consume(*e) || is_hi_write(*e)) && from != LsbValue::kRun) {
+        return std::nullopt;  // undisciplined value mutation
+      }
+      LsbValue out;
+      if (is_hi_write(*e)) {
+        out = LsbValue::kUnknown;  // head left the LSB anchor
+      } else if (is_consume(*e) || is_marker_step(*e)) {
+        out = LsbValue::kRun;
+      } else if (e->act->moves[tape] == Move::kStay) {
+        out = from;
+      } else {
+        out = LsbValue::kUnknown;
+      }
+      const LsbValue joined = Join(val[e->to], out);
+      if (joined != val[e->to]) {
+        val[e->to] = joined;
+        changed = true;
+      }
+    }
+  }
+
+  // 4. Each completed excursion nets the stored value +1, so the value
+  //    is bounded by the number of hi-write trips H. Gate those trips
+  //    by an input-consuming scan: on some external tape g the
+  //    component is one-directional with non-blank-gated right-moves
+  //    (at most N+1 advances per residency), and removing those
+  //    advances leaves every hi-write off-cycle. Then
+  //    H <= (N + 2) * P with P hi-writes per gap, and the head
+  //    excursion past the entry frontier is <= log2(H + 1) + 2.
+  const bool any_hi_write =
+      std::any_of(ctx.internal.begin(), ctx.internal.end(),
+                  [&](const MEdge* e) { return is_hi_write(*e); });
+  if (!any_hi_write) {
+    return BoundExpr::Constant(2);  // value never grows inside the SCC
+  }
+  for (std::size_t g = 0; g < spec.num_external_tapes; ++g) {
+    if (!(*ctx.blank_preserved)[g]) continue;
+    bool one_directional = true;
+    for (const MEdge* e : ctx.internal) {
+      const Move m = e->act->moves[g];
+      if (m == Move::kLeft ||
+          (m == Move::kRight && (*e->key)[g] == machine::kBlank)) {
+        one_directional = false;
+        break;
+      }
+    }
+    if (!one_directional) continue;
+    const std::optional<std::uint64_t> per_gap = MaxPathWeight(
+        ctx,
+        [g](const MEdge& e) { return e.act->moves[g] != Move::kRight; },
+        [&](const MEdge& e) { return is_hi_write(e) ? 1U : 0U; });
+    if (!per_gap.has_value()) continue;  // hi-write on an ungated cycle
+    return BoundExpr::LogN(1) +
+           BoundExpr::Constant(SatAdd(CeilLog2(SatAdd(*per_gap, 2)), 6));
+  }
+  return std::nullopt;
+}
+
+/// Shared DP: decompose the graph into strongly-connected components,
+/// charge each component its classified contribution, and accumulate
+/// the symbolic maximum over every path from `start` (component ids
+/// are already topologically ordered).
+BoundExpr SymbolicLongestPath(
+    const EdgeGraph& eg, std::size_t start, const MachineSpec& spec,
+    const std::vector<bool>& blank_preserved,
+    const std::function<BoundExpr(const SccContext&)>& classify) {
+  Graph g(eg.num_nodes);
+  for (const MEdge& e : eg.edges) g.AddEdge(e.from, e.to, e.weight);
+  const std::vector<bool> reach = ReachableFrom(g, start);
+  const Condensation scc(g);
+
+  std::vector<SccContext> ctx(scc.num_components);
+  std::vector<bool> positive(scc.num_components, false);
+  for (std::size_t v = 0; v < eg.num_nodes; ++v) {
+    if (reach[v]) ctx[scc.comp_of[v]].nodes.push_back(v);
+  }
+  for (const MEdge& e : eg.edges) {
+    if (!reach[e.from]) continue;
+    const std::size_t cf = scc.comp_of[e.from];
+    const std::size_t ct = scc.comp_of[e.to];
+    if (cf == ct) {
+      ctx[ct].internal.push_back(&e);
+      if (e.weight > 0) positive[ct] = true;
+    } else {
+      ctx[ct].entries.push_back(&e);
+    }
+  }
+
+  std::vector<BoundExpr> pred(scc.num_components);
+  std::vector<bool> has_pred(scc.num_components, false);
+  has_pred[scc.comp_of[start]] = true;
+  BoundExpr best;
+  for (std::size_t c = 0; c < scc.num_components; ++c) {
+    if (!has_pred[c]) continue;
+    BoundExpr dist = pred[c];
+    if (positive[c]) {
+      ctx[c].spec = &spec;
+      ctx[c].blank_preserved = &blank_preserved;
+      ctx[c].contains_start = scc.comp_of[start] == c;
+      dist += classify(ctx[c]);
+    }
+    best = BoundExpr::Max(best, dist);
+    for (std::size_t v : ctx[c].nodes) {
+      for (const Graph::Edge& e : g.adj[v]) {
+        const std::size_t d = scc.comp_of[e.to];
+        if (d == c) continue;
+        const BoundExpr cand = dist + BoundExpr::Constant(e.weight);
+        pred[d] = has_pred[d] ? BoundExpr::Max(pred[d], cand) : cand;
+        has_pred[d] = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* GrowthClassName(GrowthClass cls) {
+  switch (cls) {
+    case GrowthClass::kConstant:
+      return "constant";
+    case GrowthClass::kLogarithmic:
+      return "logarithmic";
+    case GrowthClass::kLinear:
+      return "linear";
+    case GrowthClass::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
+
+GrowthClass GrowthOf(const BoundExpr& bound) {
+  if (bound.unbounded()) return GrowthClass::kUnbounded;
+  const auto [n_pow, log_pow] = bound.Order();
+  if (n_pow > 0) return GrowthClass::kLinear;
+  return log_pow > 0 ? GrowthClass::kLogarithmic : GrowthClass::kConstant;
+}
+
+BoundExpr SymbolicExternalReversalBound(const MachineSpec& spec,
+                                        const StateIndex& states,
+                                        std::size_t tape) {
+  // Head-direction phase graph: node = 2 * state + (0: dir +1,
+  // 1: dir -1); a strict direction change weighs 1. Sound for the same
+  // reason as the runtime tracker: a measured reversal is a weight-1
+  // edge on the executed path (blocked left moves at cell 0 are also
+  // charged, so the walk only over-approximates).
+  EdgeGraph eg;
+  eg.num_nodes = 2 * states.states.size();
+  for (const auto& [key, actions] : spec.transitions) {
+    if (!KeyWellFormed(spec, key.second, actions)) continue;
+    const std::size_t from = states.index.at(key.first);
+    for (const Action& a : actions) {
+      const std::size_t to = states.index.at(a.next_state);
+      const auto add = [&](std::size_t f, std::size_t t,
+                           std::uint32_t w) {
+        eg.edges.push_back({f, t, w, &key.second, &a});
+      };
+      switch (a.moves[tape]) {
+        case Move::kStay:
+          add(2 * from, 2 * to, 0);
+          add(2 * from + 1, 2 * to + 1, 0);
+          break;
+        case Move::kRight:
+          add(2 * from, 2 * to, 0);
+          add(2 * from + 1, 2 * to, 1);
+          break;
+        case Move::kLeft:
+          add(2 * from, 2 * to + 1, 1);
+          add(2 * from + 1, 2 * to + 1, 0);
+          break;
+      }
+    }
+  }
+  const std::vector<bool> preserved = BlankPreservedTapes(spec);
+  return SymbolicLongestPath(
+      eg, 2 * states.index.at(spec.start_state), spec, preserved,
+      [](const SccContext& ctx) {
+        return ScanGatedBound(ctx).value_or(BoundExpr::Unbounded());
+      });
+}
+
+BoundExpr SymbolicInternalCellBound(const MachineSpec& spec,
+                                    const StateIndex& states,
+                                    std::size_t tape) {
+  // Internal tapes only grow under right moves: cells used on any run
+  // is at most 1 + (number of right moves on the executed path).
+  EdgeGraph eg;
+  eg.num_nodes = states.states.size();
+  for (const auto& [key, actions] : spec.transitions) {
+    if (!KeyWellFormed(spec, key.second, actions)) continue;
+    const std::size_t from = states.index.at(key.first);
+    for (const Action& a : actions) {
+      eg.edges.push_back({from, states.index.at(a.next_state),
+                          a.moves[tape] == Move::kRight ? 1U : 0U,
+                          &key.second, &a});
+    }
+  }
+  const std::vector<bool> preserved = BlankPreservedTapes(spec);
+  const BoundExpr walk = SymbolicLongestPath(
+      eg, states.index.at(spec.start_state), spec, preserved,
+      [tape](const SccContext& ctx) {
+        if (std::optional<BoundExpr> b = NonGrowingScanBound(ctx, tape)) {
+          return *b;
+        }
+        if (std::optional<BoundExpr> b = CounterBound(ctx, tape)) {
+          return *b;
+        }
+        if (std::optional<BoundExpr> b = ScanGatedBound(ctx)) return *b;
+        return BoundExpr::Unbounded();
+      });
+  return walk + BoundExpr::Constant(1);  // the initial blank cell
+}
+
+}  // namespace rstlab::check

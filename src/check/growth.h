@@ -1,0 +1,71 @@
+#ifndef RSTLAB_CHECK_GROWTH_H_
+#define RSTLAB_CHECK_GROWTH_H_
+
+#include <cstddef>
+
+#include "check/bound_expr.h"
+#include "check/graph.h"
+#include "machine/turing_machine.h"
+
+namespace rstlab::check {
+
+/// The growth-rate inference lattice. Every strongly-connected
+/// component of a resource graph is classified into exactly one rung;
+/// the machine's bound is the path-sum of per-component contributions,
+/// so its overall class is the maximum rung along any path.
+///
+///   kConstant     < kLogarithmic   < kLinear        < kUnbounded
+///   input-indep.    doubling /       input-consuming  no sound rule
+///   cycles          halving          scan loops       applies
+///                   counters
+enum class GrowthClass {
+  kConstant,
+  kLogarithmic,
+  kLinear,
+  kUnbounded,
+};
+
+/// "constant", "logarithmic", "linear" or "unbounded".
+const char* GrowthClassName(GrowthClass cls);
+
+/// The lattice rung of a bound expression, from its dominant monomial.
+GrowthClass GrowthOf(const BoundExpr& bound);
+
+/// Symbolic upper bound on Definition 1's rev(rho, `tape`) over every
+/// run on an input of size N. Components of the head-direction phase
+/// graph that contain a reversal edge are classified:
+///   - scan-gated: the component is one-directional ({Right, Stay}) on
+///     some external tape whose non-blank region never grows, every
+///     right-move reads non-blank, and the Stay-subgraph carries no
+///     reversal cycle. The head can then advance at most N+1 times
+///     while the run resides in the component, so its reversals are
+///     O(N).
+///   - otherwise Unbounded.
+/// Acyclic structure contributes its exact longest-path constant, as
+/// before.
+BoundExpr SymbolicExternalReversalBound(const machine::MachineSpec& spec,
+                                        const StateIndex& states,
+                                        std::size_t tape);
+
+/// Symbolic upper bound on the cells used by internal tape `tape` (an
+/// absolute tape index >= spec.num_external_tapes) over every run on an
+/// input of size N. Components of the state graph whose cycles move
+/// the tape right are classified, tightest rule first:
+///   - non-growing scan (constant): every right-move inside the
+///     component reads non-blank on the tape and the component never
+///     writes non-blank over blank on it — the head can never pass the
+///     frontier established before entry.
+///   - binary counter (logarithmic): right-moves are LSB-anchored
+///     consume steps (hi -> lo) or marker steps, increments are
+///     LSB-disciplined hi-writes whose trips are gated by an
+///     input-consuming scan, so the stored value is O(N * P) and the
+///     head excursion O(log N).
+///   - scan-gated (linear): as for reversals.
+///   - otherwise Unbounded.
+BoundExpr SymbolicInternalCellBound(const machine::MachineSpec& spec,
+                                    const StateIndex& states,
+                                    std::size_t tape);
+
+}  // namespace rstlab::check
+
+#endif  // RSTLAB_CHECK_GROWTH_H_

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "check/bound_expr.h"
 #include "tape/resource_meter.h"
 #include "util/status.h"
 
@@ -50,6 +51,41 @@ SortCertificate CertifyKWaySort(std::size_t num_fields,
 /// a context that ran exactly one certified sort — exceeds `cert`.
 Status CheckSortCostsAgainstCertificate(const tape::ResourceReport& report,
                                         const SortCertificate& cert);
+
+/// The N-parametric form of the k-way sort certificate, valid for
+/// *every* input of N cells at the given geometry: on N cells there
+/// are m <= N '#'-terminated fields, so runs <= N and merge passes
+/// P = ceil(log_fanout(runs)) <= ceil(log2 N). The scratch bill
+/// 4*k*P + 2 is therefore O(log N) scans, and the counter block
+/// (k + 3 counters of BitsFor(N) bits each, plus two position
+/// counters per merge way) is O(log N) bits — a constant number of
+/// machine words. This is Corollary 7's ST(O(log N), O(1), 2)
+/// membership made checkable at any concrete N.
+struct SymbolicSortCertificate {
+  std::size_t fanout = 0;
+  std::size_t run_length = 0;
+  std::size_t max_field_len = 0;
+  /// Admissible scan bound r(N) and internal bits s(N).
+  BoundExpr scan_bound;
+  BoundExpr internal_bits;
+
+  /// Renders e.g. "k=16 L=1024 r<=9 + 64*logN s<=...".
+  std::string ToString() const;
+};
+
+/// Computes the symbolic certificate for sorting fields of payload
+/// length at most `max_field_len` cells at the given merge geometry.
+/// Dominates `CertifyKWaySort(m, max_field_len, n, fanout,
+/// run_length)` for every m <= n.
+SymbolicSortCertificate CertifyKWaySortSymbolic(std::size_t max_field_len,
+                                                std::size_t fanout,
+                                                std::size_t run_length);
+
+/// RST015 when `report` exceeds the symbolic certificate evaluated at
+/// the run's actual input size `n`.
+Status CheckSortCostsAgainstSymbolicCertificate(
+    const tape::ResourceReport& report, const SymbolicSortCertificate& cert,
+    std::size_t n);
 
 }  // namespace rstlab::check
 

@@ -29,6 +29,7 @@ const std::vector<const Suite*>& AllSuites() {
     owned->push_back(MakeTrialTallySuite());
     owned->push_back(MakeTmNlmSuite());
     owned->push_back(MakeCertificateSuite());
+    owned->push_back(MakeSymbolicCheckSuite());
     owned->push_back(MakeDeciderSuite());
     owned->push_back(MakeSortSuite());
     owned->push_back(MakeXmlRoundTripSuite());

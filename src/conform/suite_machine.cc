@@ -243,7 +243,7 @@ std::string CheckCertificateCase(const CertificateCase& c) {
     const machine::RunResult run =
         tm.value().RunRandomized(c.input, rng, kMaxSteps);
     const Status certified = check::CheckCostsAgainstCertificate(
-        run.costs, analysis.resources);
+        run.costs, analysis.resources, c.input.size());
     if (!certified.ok()) {
       return "run " + std::to_string(i) + ": " + certified.ToString();
     }

@@ -34,6 +34,14 @@ std::unique_ptr<Suite> MakeTmNlmSuite();
 /// registry and freshly generated random machines.
 std::unique_ptr<Suite> MakeCertificateSuite();
 
+/// Symbolic certificate vs measured run at the run's own N
+/// (check-symbolic): over seeded instances whose sizes sweep powers of
+/// two, the measured (r, s) of registry machines and of the k-way sort
+/// must stay inside the `BoundExpr` envelope evaluated at that N, and
+/// `BoundExpr::Eval` must be monotone across the static sweep
+/// 2^8 .. 2^24.
+std::unique_ptr<Suite> MakeSymbolicCheckSuite();
+
 /// Reference deciders vs `sorting/deciders` on SET-EQUALITY,
 /// MULTISET-EQUALITY and CHECK-SORT, on both storage backends; the two
 /// tape runs must also bill identical (r, s) costs.

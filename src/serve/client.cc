@@ -106,7 +106,7 @@ Status HttpClient::SendRaw(const std::string& bytes) {
 
 Result<ClientResponse> HttpClient::ReadResponse() {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
-  char chunk[64 * 1024];
+  char chunk[std::size_t{64} * 1024];
 
   // Head: up to the blank line.
   std::size_t head_end;

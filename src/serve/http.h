@@ -58,9 +58,9 @@ int HttpStatusForError(const Status& status);
 /// Size limits enforced while parsing a request.
 struct HttpLimits {
   /// Maximum bytes of request line + headers (431 beyond).
-  std::size_t max_head_bytes = 16 * 1024;
+  std::size_t max_head_bytes = std::size_t{16} * 1024;
   /// Maximum declared/observed body size (413 beyond).
-  std::size_t max_body_bytes = 1 << 20;
+  std::size_t max_body_bytes = std::size_t{1} << 20;
 };
 
 /// Progress of an incremental parse over a receive buffer.

@@ -213,21 +213,41 @@ Result<ExperimentRequest> ParseExperimentRequest(
   return request;
 }
 
+std::size_t RequestInputSize(const ExperimentRequest& request) {
+  if (request.instance.has_value()) return request.instance->size();
+  if (request.generator.has_value()) {
+    // The generated instance occupies ~2*m*(n+1) encoded cells (both
+    // admission ceilings were enforced at parse time, so the product
+    // cannot overflow here).
+    return static_cast<std::size_t>(2 * request.generator->m *
+                                    (request.generator->n + 1));
+  }
+  return request.xml_text.size();
+}
+
 Status ValidateBudgetAgainstRegistry(const ExperimentRequest& request,
                                      ArtifactCache& cache) {
   if (!request.budget.has_value()) return Status::OK();
   const std::string machine = CertifiedMachineFor(request.problem);
   if (machine.empty()) return Status::OK();
 
+  // The symbolic certificate is a pure function of the machine alone,
+  // but it is evaluated at the request's own input size below — so the
+  // cache key carries N too, and two request sizes can never alias one
+  // cached admission decision.
+  const std::size_t n = std::max<std::size_t>(1, RequestInputSize(request));
+  const std::string cache_content = machine + "@N=" + std::to_string(n);
   const std::shared_ptr<const check::Analysis> analysis =
       cache.GetOrCreate<check::Analysis>(
-          "certificate", machine,
-          [&machine]() -> std::shared_ptr<const check::Analysis> {
+          "certificate", cache_content,
+          [&machine, n]() -> std::shared_ptr<const check::Analysis> {
             for (const check::CheckedMachine& entry :
                  check::AllCheckedMachines()) {
               if (entry.name == machine) {
+                check::AnalyzeOptions options = entry.options;
+                options.check_n = n;
                 return std::make_shared<check::Analysis>(
-                    check::Analyze(entry.spec, entry.options));
+                    check::Analyze(entry.spec, options));
               }
             }
             return nullptr;
@@ -237,12 +257,14 @@ Status ValidateBudgetAgainstRegistry(const ExperimentRequest& request,
                             "\" missing from registry");
   }
 
-  const check::StaticBound& scans = analysis->resources.scan_bound;
-  if (scans.bounded && request.budget->max_scans < scans.value) {
+  const check::BoundExpr& scans = analysis->resources.scan_bound;
+  const std::uint64_t required = scans.Eval(n);
+  if (!scans.unbounded() && request.budget->max_scans < required) {
     return Status::InvalidArgument(
         "budget r=" + std::to_string(request.budget->max_scans) +
-        " is below the certified scan bound " +
-        std::to_string(scans.value) + " of machine \"" + machine + "\"");
+        " is below the certified scan bound " + std::to_string(required) +
+        " (" + scans.ToString() + " at N = " + std::to_string(n) +
+        ") of machine \"" + machine + "\"");
   }
   return Status::OK();
 }

@@ -80,16 +80,24 @@ const std::vector<std::string>& KnownProblems();
 /// enforced here, before admission, so no worker ever allocates for an
 /// oversized request.
 Result<ExperimentRequest> ParseExperimentRequest(
-    const std::string& json_body, std::uint64_t max_trials = 1 << 20,
+    const std::string& json_body,
+    std::uint64_t max_trials = std::uint64_t{1} << 20,
     std::uint64_t max_generator_cells = std::uint64_t{1} << 24);
+
+/// The input size N the request's machine will run at: the inline
+/// instance's encoded length, the generator's ~2*m*(n+1) encoded
+/// cells, or the XML payload size.
+std::size_t RequestInputSize(const ExperimentRequest& request);
 
 /// Cross-checks the declared budget against the check registry: when
 /// the problem has a statically certified machine (fingerprint ->
 /// theorem8a-fingerprint), a budget strictly below the certificate's
-/// scan/tape requirements is rejected (InvalidArgument) before any
-/// cycle is spent on it. The analyzer certificate is itself an
-/// artifact: computed once and reused via `cache` (kind
-/// "certificate").
+/// symbolic scan bound *evaluated at the request's own input size N*
+/// is rejected (InvalidArgument) before any cycle is spent on it. The
+/// analyzer certificate is itself an artifact: computed once per
+/// (machine, N) and reused via `cache` (kind "certificate", content
+/// "machine@N=n" — two request sizes never alias one cached
+/// certificate).
 Status ValidateBudgetAgainstRegistry(const ExperimentRequest& request,
                                      ArtifactCache& cache);
 

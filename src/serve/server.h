@@ -36,7 +36,7 @@ struct ServerOptions {
   /// ArtifactCache capacity in entries.
   std::size_t cache_entries = 128;
   /// Per-request trial ceiling.
-  std::uint64_t max_trials = 1 << 20;
+  std::uint64_t max_trials = std::uint64_t{1} << 20;
   /// Generator admission ceiling: a generated instance may occupy at
   /// most this many encoded cells (~ 2*m*(n+1)), rejected at parse
   /// time so no worker allocates for an oversized request.

@@ -55,12 +55,12 @@ TEST(RegistryTest, AllShippedListMachinesAreClean) {
 TEST(RegistryTest, Theorem8aReversalBoundAtMostTwo) {
   const Analysis analysis = Analyze(machine::paper::Theorem8aFingerprint());
   ASSERT_EQ(analysis.resources.external_reversals.size(), 1u);
-  for (const StaticBound& b : analysis.resources.external_reversals) {
-    ASSERT_TRUE(b.bounded);
-    EXPECT_LE(b.value, 2u);
+  for (const BoundExpr& b : analysis.resources.external_reversals) {
+    ASSERT_TRUE(b.IsConstant());
+    EXPECT_LE(b.ConstantValue(), 2u);
   }
-  ASSERT_TRUE(analysis.resources.scan_bound.bounded);
-  EXPECT_LE(analysis.resources.scan_bound.value, 2u);
+  ASSERT_TRUE(analysis.resources.scan_bound.IsConstant());
+  EXPECT_LE(analysis.resources.scan_bound.ConstantValue(), 2u);
 }
 
 TEST(RegistryTest, Theorem8aHasNoFalseNegatives) {
@@ -375,10 +375,11 @@ TEST(NlmAdapterTest, RST010ObservedScanBound) {
 
 TEST(CertificateTest, RST015FiresOnViolation) {
   StaticResources certified;
-  certified.external_reversals = {StaticBound::Finite(0)};
+  certified.external_reversals = {BoundExpr::Constant(0)};
   machine::RunCosts costs;
   costs.external_reversals = {3};
-  const Status status = CheckCostsAgainstCertificate(costs, certified);
+  const Status status =
+      CheckCostsAgainstCertificate(costs, certified, /*n=*/16);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
   EXPECT_NE(status.message().find("RST015"), std::string::npos);
@@ -386,22 +387,40 @@ TEST(CertificateTest, RST015FiresOnViolation) {
 
 TEST(CertificateTest, RST015FiresOnInternalSpaceViolation) {
   StaticResources certified;
-  certified.total_internal_cells = StaticBound::Finite(2);
+  certified.total_internal_cells = BoundExpr::Constant(2);
   machine::RunCosts costs;
   costs.internal_space = 5;
-  const Status status = CheckCostsAgainstCertificate(costs, certified);
+  const Status status =
+      CheckCostsAgainstCertificate(costs, certified, /*n=*/16);
   EXPECT_FALSE(status.ok());
   EXPECT_NE(status.message().find("RST015"), std::string::npos);
 }
 
 TEST(CertificateTest, UnboundedCertificateAdmitsEverything) {
   StaticResources certified;
-  certified.external_reversals = {StaticBound::Unbounded()};
-  certified.total_internal_cells = StaticBound::Unbounded();
+  certified.external_reversals = {BoundExpr::Unbounded()};
+  certified.total_internal_cells = BoundExpr::Unbounded();
   machine::RunCosts costs;
   costs.external_reversals = {1'000'000};
   costs.internal_space = 1'000'000;
-  EXPECT_TRUE(CheckCostsAgainstCertificate(costs, certified).ok());
+  EXPECT_TRUE(CheckCostsAgainstCertificate(costs, certified, 16).ok());
+}
+
+TEST(CertificateTest, SymbolicCertificateScalesWithRunSize) {
+  // A log-space certificate admits a 2logN-cell run at large N but
+  // rejects the same bill at a tiny N — the certificate is a function
+  // of the run's own input size now, not of one baked-in check_n.
+  StaticResources certified;
+  certified.total_internal_cells = BoundExpr::LogN(2);
+  machine::RunCosts costs;
+  costs.internal_space = 20;
+  EXPECT_TRUE(
+      CheckCostsAgainstCertificate(costs, certified, std::size_t{1} << 10)
+          .ok());
+  const Status small_n =
+      CheckCostsAgainstCertificate(costs, certified, /*n=*/16);
+  EXPECT_FALSE(small_n.ok());
+  EXPECT_NE(small_n.message().find("RST015"), std::string::npos);
 }
 
 TEST(BuilderTest, GoValidatesArityEagerly) {
@@ -462,7 +481,7 @@ TEST(CertificateProperty, RandomRunsNeverExceedStaticBounds) {
       const machine::RunResult result =
           tm.value().RunRandomized(input, rng, 5000);
       const Status certified = CheckCostsAgainstCertificate(
-          result.costs, analysis.resources);
+          result.costs, analysis.resources, input.size());
       EXPECT_TRUE(certified.ok())
           << entry.name << " on \"" << input << "\": " << certified;
     }
@@ -491,8 +510,11 @@ TEST(StaticBoundsTest, MatchHandDerivedZooBounds) {
   for (std::size_t i = 0; i < machines.size(); ++i) {
     EXPECT_EQ(machines[i].name, expected[i].name);
     const Analysis analysis = Analyze(machines[i].spec, machines[i].options);
-    ASSERT_TRUE(analysis.resources.scan_bound.bounded) << machines[i].name;
-    EXPECT_EQ(analysis.resources.scan_bound.value, expected[i].scan_bound)
+    ASSERT_TRUE(analysis.resources.scan_bound.IsConstant())
+        << machines[i].name << ": "
+        << analysis.resources.scan_bound.ToString();
+    EXPECT_EQ(analysis.resources.scan_bound.ConstantValue(),
+              expected[i].scan_bound)
         << machines[i].name;
   }
 }

@@ -333,6 +333,32 @@ TEST(RequestTest, BudgetBelowCertifiedBoundIsRejected) {
   EXPECT_GE(cache.stats().hits, 1u);
 }
 
+TEST(RequestTest, CertificateCacheIsKeyedByRequestSize) {
+  // The symbolic certificate is evaluated at the request's own N, so
+  // two request sizes must never alias one cached admission decision:
+  // each size gets its own "machine@N=n" entry, and only a repeat of
+  // the same size hits.
+  ArtifactCache cache(8);
+  auto parse = [](std::uint64_t m) {
+    Result<ExperimentRequest> r = ParseExperimentRequest(
+        R"({"request_id":"r","problem":"fingerprint",
+            "generator":{"kind":"equal","m":)" +
+        std::to_string(m) +
+        R"(,"n":4},"budget":{"r":1048576,"s":1024,"t":2}})");
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).value();
+  };
+  const ExperimentRequest small = parse(4);
+  const ExperimentRequest large = parse(8);
+  EXPECT_NE(RequestInputSize(small), RequestInputSize(large));
+  EXPECT_TRUE(ValidateBudgetAgainstRegistry(small, cache).ok());
+  EXPECT_TRUE(ValidateBudgetAgainstRegistry(large, cache).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_TRUE(ValidateBudgetAgainstRegistry(small, cache).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 // ---------------------------------------------------------------------
 // ArtifactCache: content-hash keying, single-flight, LRU eviction.
 // ---------------------------------------------------------------------

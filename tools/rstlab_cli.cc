@@ -34,7 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "check/growth.h"
 #include "check/registry.h"
+#include "check/sort_certificate.h"
 #include "conform/harness.h"
 #include "conform/oracle.h"
 #include "core/rstlab.h"
@@ -61,10 +63,20 @@ int Usage() {
       << "  rstlab fingerprint [file|-] [seed]\n"
       << "  rstlab sort [file|-]\n"
       << "  rstlab xpath \"<query>\" [xml-file|-]\n"
-      << "  rstlab check [machine|all] [--runs=K]    static analysis of"
+      << "  rstlab check [machine|all] [--runs=K] [--symbolic]"
+         " [--check-n-sweep]\n"
+      << "                                          static analysis of"
          " every shipped\n"
       << "                                          paper/zoo machine;"
-         " exit 1 on errors\n"
+         " exit 1 on errors.\n"
+      << "                                          --symbolic prints"
+         " inferred growth\n"
+      << "                                          classes (and the"
+         " k-way sort\n"
+      << "                                          certificate);"
+         " --check-n-sweep\n"
+      << "                                          re-verifies bounds"
+         " at N=2^8..2^24\n"
       << "  rstlab conform [suite|all] [--seed=S] [--cases=K]\n"
       << "                 [--replay=suite:seed:index] [--corpus=DIR]"
          " [--selftest]\n"
@@ -273,16 +285,71 @@ int XPath(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Re-verifies one machine's symbolic certificate across the N sweep
+// 2^8 .. 2^24 (doubling): BoundExpr::Eval must be monotone in N, and
+// when the machine declares a class the inferred bound must stay
+// inside the declared envelope at every swept N — the single-point
+// RST010/RST011 check repeated at seventeen sizes. Returns the number
+// of failures printed.
+std::size_t SweepSymbolicBounds(const rstlab::check::CheckedMachine& entry,
+                                const rstlab::check::Analysis& analysis) {
+  std::size_t failures = 0;
+  const rstlab::check::BoundExpr& r = analysis.resources.scan_bound;
+  const rstlab::check::BoundExpr& s =
+      analysis.resources.total_internal_cells;
+  std::uint64_t prev_r = 0;
+  std::uint64_t prev_s = 0;
+  for (std::size_t n = std::size_t{1} << 8; n <= (std::size_t{1} << 24);
+       n <<= 1) {
+    const std::uint64_t rn = r.Eval(n);
+    const std::uint64_t sn = s.Eval(n);
+    if (rn < prev_r || sn < prev_s) {
+      std::cout << "  sweep N=" << n << ": Eval is not monotone (r "
+                << prev_r << " -> " << rn << ", s " << prev_s << " -> "
+                << sn << ")\n";
+      ++failures;
+    }
+    prev_r = rn;
+    prev_s = sn;
+    if (!entry.options.declared.has_value()) continue;
+    const rstlab::core::ResourceClass& declared = *entry.options.declared;
+    if (!r.unbounded() && rn > declared.r_of_n(n)) {
+      std::cout << "  sweep N=" << n << ": inferred scan bound "
+                << r.ToString() << " = " << rn
+                << " exceeds declared r(N) = " << declared.r_of_n(n)
+                << " of " << declared.name << "\n";
+      ++failures;
+    }
+    if (!s.unbounded() && sn > declared.s_of_n(n)) {
+      std::cout << "  sweep N=" << n << ": inferred internal-space bound "
+                << s.ToString() << " = " << sn
+                << " exceeds declared s(N) = " << declared.s_of_n(n)
+                << " of " << declared.name << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 // Runs the static analyzer over the shipped machine registry, then —
 // as the runtime half of the contract — replays each machine's sample
 // inputs under random choices and asserts the measured RunCosts never
 // exceed the statically certified bounds (RST015 otherwise).
+// --symbolic additionally prints each machine's inferred growth
+// classes plus the symbolic k-way sort certificate; --check-n-sweep
+// re-verifies every symbolic bound across N = 2^8 .. 2^24.
 int Check(const std::vector<std::string>& args) {
   std::string selector = "all";
   std::size_t runs = 16;
+  bool symbolic = false;
+  bool n_sweep = false;
   for (const std::string& arg : args) {
     if (arg.rfind("--runs=", 0) == 0) {
       runs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--symbolic") {
+      symbolic = true;
+    } else if (arg == "--check-n-sweep") {
+      n_sweep = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << " for rstlab check\n";
       return Usage();
@@ -312,6 +379,18 @@ int Check(const std::vector<std::string>& args) {
       std::cout << "  declared " << entry.options.declared->name;
     }
     std::cout << "\n";
+    if (symbolic) {
+      std::cout << "  growth: r "
+                << rstlab::check::GrowthClassName(
+                       rstlab::check::GrowthOf(
+                           analysis.resources.scan_bound))
+                << ", s "
+                << rstlab::check::GrowthClassName(
+                       rstlab::check::GrowthOf(
+                           analysis.resources.total_internal_cells))
+                << "\n";
+    }
+    if (n_sweep) errors += SweepSymbolicBounds(entry, analysis);
     const std::string report = analysis.diagnostics.ToString();
     if (!report.empty()) std::cout << report;
 
@@ -328,7 +407,7 @@ int Check(const std::vector<std::string>& args) {
             tm.value().RunRandomized(input, rng, 10000);
         const rstlab::Status certified =
             rstlab::check::CheckCostsAgainstCertificate(
-                run.costs, analysis.resources);
+                run.costs, analysis.resources, input.size());
         if (!certified.ok()) {
           std::cout << "  run on \"" << input << "\": " << certified
                     << "\n";
@@ -352,6 +431,48 @@ int Check(const std::vector<std::string>& args) {
     std::cout << "\n";
     const std::string report = diag.ToString();
     if (!report.empty()) std::cout << report;
+  }
+  // The symbolic k-way sort certificate: Corollary 7's membership in
+  // ST(O(log N), O(1), 2) at the default merge geometry, checked as
+  // growth classes — O(log N) scans and O(log N) internal bits, i.e. a
+  // constant number of machine words. Any stronger growth is an error.
+  if (symbolic && (selector == "all" || selector == "kway-sort")) {
+    matched = true;
+    const rstlab::sorting::SortConfig config;
+    const rstlab::check::SymbolicSortCertificate cert =
+        rstlab::check::CertifyKWaySortSymbolic(/*max_field_len=*/64,
+                                               /*fanout=*/16,
+                                               config.run_length);
+    const rstlab::check::GrowthClass r_growth =
+        rstlab::check::GrowthOf(cert.scan_bound);
+    const rstlab::check::GrowthClass s_growth =
+        rstlab::check::GrowthOf(cert.internal_bits);
+    const bool inside =
+        r_growth <= rstlab::check::GrowthClass::kLogarithmic &&
+        s_growth <= rstlab::check::GrowthClass::kLogarithmic;
+    std::cout << "kway-sort: " << (inside ? "ok" : "FAIL")
+              << "  [symbolic " << cert.ToString() << "]  growth: r "
+              << rstlab::check::GrowthClassName(r_growth) << ", s(bits) "
+              << rstlab::check::GrowthClassName(s_growth)
+              << "  declared ST(O(log N), O(1), 2)\n";
+    if (!inside) ++errors;
+    if (n_sweep) {
+      std::uint64_t prev_r = 0;
+      std::uint64_t prev_s = 0;
+      for (std::size_t n = std::size_t{1} << 8;
+           n <= (std::size_t{1} << 24); n <<= 1) {
+        const std::uint64_t rn = cert.scan_bound.Eval(n);
+        const std::uint64_t sn = cert.internal_bits.Eval(n);
+        if (rn < prev_r || sn < prev_s) {
+          std::cout << "  sweep N=" << n
+                    << ": Eval is not monotone (r " << prev_r << " -> "
+                    << rn << ", s " << prev_s << " -> " << sn << ")\n";
+          ++errors;
+        }
+        prev_r = rn;
+        prev_s = sn;
+      }
+    }
   }
   if (!matched) {
     std::cerr << "unknown machine \"" << selector << "\"\n";
