@@ -35,6 +35,7 @@ const std::vector<const Suite*>& AllSuites() {
     owned->push_back(MakeXmlRoundTripSuite());
     owned->push_back(MakeFingerprintBatchSuite());
     owned->push_back(MakeServeShardSuite());
+    owned->push_back(MakeQueryEngineSuite());
     auto* views = new std::vector<const Suite*>();
     for (const auto& suite : *owned) views->push_back(suite.get());
     return views;

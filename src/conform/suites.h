@@ -59,6 +59,13 @@ std::unique_ptr<Suite> MakeSortSuite();
 /// is a pure function of its request payload.
 std::unique_ptr<Suite> MakeServeShardSuite();
 
+/// Streaming query engine vs in-memory reference evaluator: every plan
+/// of the depth family must return the same relation on mem and file
+/// backends at 1 and N threads with bit-identical per-query (r, s)
+/// bills, and a finished shared scan must leave no resident cache
+/// blocks or live file storages.
+std::unique_ptr<Suite> MakeQueryEngineSuite();
+
 /// XML serializer vs parser: serialize-parse-serialize must be the
 /// identity on generated documents (the encoding side of the
 /// Theorem 12/13 pipelines).

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "extmem/residency.h"
+
 namespace rstlab::extmem {
 
 namespace {
@@ -26,6 +28,11 @@ BlockCache::BlockCache(BlockFile& file, std::size_t capacity_blocks,
       // The window must fit beside the pinned block and one victim
       // slot, or prefetch would evict its own freshly-loaded blocks.
       readahead_(std::min(readahead_blocks, capacity_ - 2)) {}
+
+BlockCache::~BlockCache() {
+  internal::AddResidentBlocks(
+      -static_cast<std::int64_t>(entries_.size()));
+}
 
 char* BlockCache::Acquire(std::size_t index, bool for_write) {
   auto found = by_index_.find(index);
@@ -50,6 +57,7 @@ char* BlockCache::Acquire(std::size_t index, bool for_write) {
 BlockCache::LruList::iterator BlockCache::Load(std::size_t index,
                                                bool from_readahead) {
   EvictIfFull();
+  internal::AddResidentBlocks(1);
   entries_.emplace_front();
   LruList::iterator entry = entries_.begin();
   entry->index = index;
@@ -77,6 +85,7 @@ void BlockCache::EvictIfFull() {
       ++stats_.evictions;
       by_index_.erase(it->index);
       entries_.erase(it);
+      internal::AddResidentBlocks(-1);
       return;
     }
     if (it == entries_.begin()) return;  // everything pinned (capacity 1)
@@ -114,6 +123,8 @@ Status BlockCache::FlushDirty() {
 }
 
 void BlockCache::Drop() {
+  internal::AddResidentBlocks(
+      -static_cast<std::int64_t>(entries_.size()));
   entries_.clear();
   by_index_.clear();
   pinned_ = static_cast<std::size_t>(-1);

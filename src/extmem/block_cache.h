@@ -40,6 +40,10 @@ class BlockCache {
   BlockCache(BlockFile& file, std::size_t capacity_blocks,
              std::size_t readahead_blocks);
 
+  /// Releases every resident block (dropping dirty state; callers flush
+  /// first) and returns them to the process residency gauge.
+  ~BlockCache();
+
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
 

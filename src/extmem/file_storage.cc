@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "extmem/residency.h"
+
 namespace rstlab::extmem {
 
 namespace {
@@ -30,7 +32,9 @@ FileStorage::FileStorage(std::unique_ptr<BlockFile> file,
       cell_mask_(file_->block_size() - 1),
       length_(static_cast<std::size_t>(file_->header_length())),
       delete_on_close_(options.delete_on_close),
-      metrics_(options.metrics) {}
+      metrics_(options.metrics) {
+  internal::AddLiveFileStorages(1);
+}
 
 Result<std::unique_ptr<FileStorage>> FileStorage::Create(
     std::string path, const FileOptions& options) {
@@ -67,6 +71,7 @@ FileStorage::~FileStorage() {
   const std::string path = file_->path();
   file_.reset();  // closes the stream before unlinking
   if (delete_on_close_) std::remove(path.c_str());
+  internal::AddLiveFileStorages(-1);
 }
 
 void FileStorage::Assign(std::string content) {

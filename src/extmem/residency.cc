@@ -1,0 +1,36 @@
+#include "extmem/residency.h"
+
+#include <atomic>
+
+namespace rstlab::extmem {
+
+namespace {
+std::atomic<std::int64_t> g_resident_blocks{0};
+std::atomic<std::int64_t> g_live_file_storages{0};
+
+std::uint64_t NonNegative(std::int64_t v) {
+  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+}  // namespace
+
+std::uint64_t ResidentCacheBlocks() {
+  return NonNegative(g_resident_blocks.load(std::memory_order_relaxed));
+}
+
+std::uint64_t LiveFileStorages() {
+  return NonNegative(g_live_file_storages.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+void AddResidentBlocks(std::int64_t delta) {
+  g_resident_blocks.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void AddLiveFileStorages(std::int64_t delta) {
+  g_live_file_storages.fetch_add(delta, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+}  // namespace rstlab::extmem

@@ -1,0 +1,29 @@
+#ifndef RSTLAB_EXTMEM_RESIDENCY_H_
+#define RSTLAB_EXTMEM_RESIDENCY_H_
+
+#include <cstdint>
+
+namespace rstlab::extmem {
+
+/// Process-wide residency accounting: how many cache blocks are
+/// resident (including each cache's pinned block) across every live
+/// `BlockCache`, and how many file-backed storages exist at all.
+///
+/// These are hygiene gauges, not part of the model's (r, s, t): the
+/// operator-lifecycle tests assert both return to their baseline after
+/// every engine teardown — on success and on injected mid-stream
+/// failure alike — so a leaked spill lane or an undestroyed cache can
+/// never ride a passing test. Thread-safe (relaxed atomics; exact
+/// values are only meaningful at quiescence).
+std::uint64_t ResidentCacheBlocks();
+std::uint64_t LiveFileStorages();
+
+namespace internal {
+/// Maintained by BlockCache (blocks) and FileStorage (storages).
+void AddResidentBlocks(std::int64_t delta);
+void AddLiveFileStorages(std::int64_t delta);
+}  // namespace internal
+
+}  // namespace rstlab::extmem
+
+#endif  // RSTLAB_EXTMEM_RESIDENCY_H_

@@ -3,6 +3,7 @@
 #include <optional>
 #include <string>
 
+#include "query/xml_events.h"
 #include "sorting/merge_sort.h"
 #include "stmodel/internal_arena.h"
 #include "stmodel/tape_io.h"
@@ -47,13 +48,19 @@ Status EncodeInstanceAsXmlOnTapes(stmodel::StContext& ctx) {
        index = index.get() + 1) {
     if (index.get() == m) emit("</set1><set2>");
     emit("<item><string>");
-    while (in.Read() != stmodel::kFieldSeparator &&
-           in.Read() != tape::kBlank) {
-      out.Write(in.Read());
+    // Copy the field one symbol at a time, reading each input cell
+    // exactly once (a re-read would inflate the per-scan cost the obs
+    // trace and cache statistics report).
+    for (;;) {
+      const char c = in.Read();
+      if (c == stmodel::kFieldSeparator || c == tape::kBlank) {
+        if (c == stmodel::kFieldSeparator) in.MoveRight();
+        break;
+      }
+      out.Write(c);
       out.MoveRight();
       in.MoveRight();
     }
-    if (in.Read() == stmodel::kFieldSeparator) in.MoveRight();
     emit("</string></item>");
   }
   if (m == 0) emit("</set1><set2>");
@@ -71,65 +78,66 @@ Status ExtractSetValues(stmodel::StContext& ctx, std::size_t out_first,
   stmodel::Rewind(in);
 
   // Streaming tokenizer state: which set we are under (0 = none), and
-  // whether we are inside a <string> element. The tag-name buffer is
-  // bounded by the longest tag of the schema; all metered.
+  // whether we are inside a <string> element. The event reader owns the
+  // metered tag/text buffer; each input cell is read exactly once.
   stmodel::InternalArena& arena = ctx.arena();
-  auto parser_state = arena.Allocate(8 * 16 + 8);
-  (void)parser_state;
+  XmlEventReader reader(in, arena);
   int current_set = 0;
   bool in_string = false;
   std::size_t counts[2] = {0, 0};
 
-  while (!stmodel::AtEnd(in)) {
-    char c = in.Read();
-    if (c == '<') {
-      // Read the tag into a small buffer.
-      std::string tag;
-      in.MoveRight();
-      while (in.Read() != '>' && in.Read() != tape::kBlank) {
-        if (tag.size() > 16) {
-          return Status::InvalidArgument("unexpected long tag");
+  for (;;) {
+    Result<XmlEvent> next = reader.Next();
+    if (!next.ok()) return next.status();
+    const XmlEvent& event = next.value();
+    if (event.kind == XmlEventKind::kEndOfInput) break;
+    switch (event.kind) {
+      case XmlEventKind::kStartTag:
+        if (event.content == "set1") {
+          current_set = 1;
+        } else if (event.content == "set2") {
+          current_set = 2;
+        } else if (event.content == "string") {
+          if (current_set == 0) {
+            return Status::InvalidArgument("<string> outside set1/set2");
+          }
+          in_string = true;
         }
-        tag.push_back(in.Read());
-        in.MoveRight();
-      }
-      if (in.Read() != '>') {
-        return Status::InvalidArgument("unterminated tag");
-      }
-      in.MoveRight();
-      if (tag == "set1") {
-        current_set = 1;
-      } else if (tag == "set2") {
-        current_set = 2;
-      } else if (tag == "/set1" || tag == "/set2") {
-        current_set = 0;
-      } else if (tag == "string") {
-        if (current_set == 0) {
-          return Status::InvalidArgument("<string> outside set1/set2");
+        // Other tags (instance, item) carry no state.
+        break;
+      case XmlEventKind::kEndTag:
+        if (event.content == "set1" || event.content == "set2") {
+          current_set = 0;
+        } else if (event.content == "string") {
+          if (!in_string) {
+            return Status::InvalidArgument("stray </string>");
+          }
+          tape::Tape& out =
+              ctx.tape(current_set == 1 ? out_first : out_second);
+          out.Write(stmodel::kFieldSeparator);
+          out.MoveRight();
+          ++counts[current_set - 1];
+          in_string = false;
         }
-        in_string = true;
-      } else if (tag == "/string") {
-        if (!in_string) {
-          return Status::InvalidArgument("stray </string>");
+        break;
+      case XmlEventKind::kText:
+        if (in_string) {
+          tape::Tape& out =
+              ctx.tape(current_set == 1 ? out_first : out_second);
+          for (const char c : event.content) {
+            out.Write(c);
+            out.MoveRight();
+          }
+        } else {
+          for (const char c : event.content) {
+            if (c != ' ') {
+              return Status::InvalidArgument("text outside <string>");
+            }
+          }
         }
-        tape::Tape& out =
-            ctx.tape(current_set == 1 ? out_first : out_second);
-        out.Write(stmodel::kFieldSeparator);
-        out.MoveRight();
-        ++counts[current_set - 1];
-        in_string = false;
-      }
-      // Other tags (instance, item and their closers) carry no state.
-    } else {
-      if (in_string) {
-        tape::Tape& out =
-            ctx.tape(current_set == 1 ? out_first : out_second);
-        out.Write(c);
-        out.MoveRight();
-      } else if (c != ' ') {
-        return Status::InvalidArgument("text outside <string>");
-      }
-      in.MoveRight();
+        break;
+      case XmlEventKind::kEndOfInput:
+        break;
     }
   }
   if (in_string || current_set != 0) {

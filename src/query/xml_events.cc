@@ -1,0 +1,73 @@
+#include "query/xml_events.h"
+
+namespace rstlab::query {
+
+XmlEventReader::XmlEventReader(tape::Tape& t,
+                               stmodel::InternalArena& arena,
+                               std::size_t max_tag_len)
+    : tape_(t),
+      buffer_bits_(arena.Allocate(8)),  // the lookahead symbol
+      max_tag_len_(max_tag_len) {}
+
+char XmlEventReader::TakeSymbol() {
+  if (has_lookahead_) {
+    has_lookahead_ = false;
+    return lookahead_;
+  }
+  const char c = tape_.Read();
+  tape_.MoveRight();
+  return c;
+}
+
+Result<XmlEvent> XmlEventReader::Next() {
+  if (done_) return XmlEvent{};
+  char c = TakeSymbol();
+  if (c == tape::kBlank) {
+    done_ = true;
+    return XmlEvent{};
+  }
+  XmlEvent event;
+  if (c == '<') {
+    // Scan the tag into the buffer; every cell is consumed exactly once.
+    std::string tag;
+    for (;;) {
+      c = TakeSymbol();
+      if (c == tape::kBlank) {
+        return Status::InvalidArgument("unterminated tag");
+      }
+      if (c == '>') break;
+      if (tag.size() >= max_tag_len_ + 1) {
+        return Status::InvalidArgument("unexpected long tag");
+      }
+      tag.push_back(c);
+    }
+    if (!tag.empty() && tag.front() == '/') {
+      event.kind = XmlEventKind::kEndTag;
+      event.content = tag.substr(1);
+    } else {
+      event.kind = XmlEventKind::kStartTag;
+      event.content = std::move(tag);
+    }
+  } else {
+    // A maximal text run: accumulate until the next '<' or the end of
+    // the document; the terminator is pushed back, not re-read.
+    event.kind = XmlEventKind::kText;
+    event.content.push_back(c);
+    for (;;) {
+      c = TakeSymbol();
+      if (c == '<' || c == tape::kBlank) {
+        lookahead_ = c;
+        has_lookahead_ = true;
+        break;
+      }
+      event.content.push_back(c);
+    }
+  }
+  if (event.content.size() > longest_buffered_) {
+    longest_buffered_ = event.content.size();
+    buffer_bits_.Resize(8 * (longest_buffered_ + 1));
+  }
+  return event;
+}
+
+}  // namespace rstlab::query

@@ -1,0 +1,65 @@
+#ifndef RSTLAB_QUERY_XML_EVENTS_H_
+#define RSTLAB_QUERY_XML_EVENTS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "stmodel/internal_arena.h"
+#include "tape/tape.h"
+#include "util/status.h"
+
+namespace rstlab::query {
+
+/// One event of the streaming XML tokenizer.
+enum class XmlEventKind {
+  kStartTag,  // <name>
+  kEndTag,    // </name>
+  kText,      // a maximal run of character data between tags
+  kEndOfInput,
+};
+
+struct XmlEvent {
+  XmlEventKind kind = XmlEventKind::kEndOfInput;
+  /// Tag name (without the '/' for kEndTag) or the text run.
+  std::string content;
+};
+
+/// Pull tokenizer over a serialized XML document on a tape: the event
+/// parser underneath the streaming Theorem 12/13 pipelines and the
+/// query engine's XML axis operators.
+///
+/// The reader consumes the tape strictly left to right and reads every
+/// cell exactly once (one symbol of lookahead is held in internal
+/// memory, never re-read from the tape) — the property the
+/// `CountingStorage` regression tests pin, since a re-read would
+/// misreport per-scan costs in the obs trace and the extmem cache
+/// statistics. Internal state is one tag/text buffer, metered against
+/// the arena at 8 bits per character of the longest buffered run.
+class XmlEventReader {
+ public:
+  /// Reads from `t` starting at the current head position. Tag names
+  /// longer than `max_tag_len` payload characters are rejected (the
+  /// Section 4 schema's longest tag is "/instance").
+  XmlEventReader(tape::Tape& t, stmodel::InternalArena& arena,
+                 std::size_t max_tag_len = 16);
+
+  /// The next event. After kEndOfInput every further call returns
+  /// kEndOfInput without touching the tape.
+  Result<XmlEvent> Next();
+
+ private:
+  /// One cell: the pushed-back symbol if any, else a fresh tape read.
+  char TakeSymbol();
+
+  tape::Tape& tape_;
+  stmodel::InternalArena::Allocation buffer_bits_;
+  std::size_t max_tag_len_;
+  std::size_t longest_buffered_ = 0;
+  char lookahead_ = 0;
+  bool has_lookahead_ = false;
+  bool done_ = false;
+};
+
+}  // namespace rstlab::query
+
+#endif  // RSTLAB_QUERY_XML_EVENTS_H_

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "extmem/counting_storage.h"
 #include "extmem/storage.h"
 #include "fingerprint/barrett.h"
 #include "fingerprint/fingerprint.h"
@@ -492,42 +493,7 @@ TEST(FingerprintTapeTest, MalformedInputsGetNamedStatuses) {
   EXPECT_EQ(message("##"), "ok");
 }
 
-/// TapeStorage decorator counting every cell access. Deliberately NOT a
-/// MemStorage subclass: Tape only takes its zero-virtual-call fast path
-/// for MemStorage, so wrapping keeps every Read on the virtual path
-/// where it can be counted.
-class CountingStorage final : public extmem::TapeStorage {
- public:
-  explicit CountingStorage(std::string content)
-      : inner_(std::move(content)) {}
-
-  char ReadCell(std::size_t index) override {
-    ++reads;
-    return inner_.ReadCell(index);
-  }
-  void WriteCell(std::size_t index, char symbol) override {
-    ++writes;
-    inner_.WriteCell(index, symbol);
-  }
-  std::size_t size() const override { return inner_.size(); }
-  void Reserve(std::size_t cells) override { inner_.Reserve(cells); }
-  void Assign(std::string content) override {
-    inner_.Assign(std::move(content));
-  }
-  std::string ReadRange(std::size_t pos, std::size_t count) override {
-    return inner_.ReadRange(pos, count);
-  }
-  void WriteRange(std::size_t pos, std::string_view data) override {
-    inner_.WriteRange(pos, data);
-  }
-  const char* backend_name() const override { return "counting"; }
-
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-
- private:
-  extmem::MemStorage inner_;
-};
+using extmem::CountingStorage;
 
 TEST(FingerprintTapeTest, ReadsEachCellExactlyOncePerScan) {
   Rng rng(17);

@@ -42,6 +42,8 @@
 #include "core/rstlab.h"
 #include "extmem/storage.h"
 #include "machine/turing_machine.h"
+#include "query/engine/shared_scan.h"
+#include "query/workload.h"
 #include "serve/server.h"
 #include "serve/shutdown.h"
 #include "sorting/parallel_sort.h"
@@ -56,13 +58,32 @@ int Usage() {
       << "  rstlab generate <kind> <m> <n> [seed]   kinds: equal,"
          " perturbed, sorted,\n"
       << "                                          misordered, disjoint,"
-         " checkphi-yes, checkphi-no\n"
+         " checkphi-yes, checkphi-no,\n"
+      << "                                          relpair, xmlpair"
+         " (query workloads:\n"
+      << "                                          m per side, n"
+         " perturbations)\n"
       << "  rstlab decide <problem> [file|-]        problems:"
          " set-equality, multiset-equality,\n"
       << "                                          check-sort, disjoint\n"
       << "  rstlab fingerprint [file|-] [seed]\n"
       << "  rstlab sort [file|-]\n"
       << "  rstlab xpath \"<query>\" [xml-file|-]\n"
+      << "  rstlab query <plans> [file|-] [--xml] [--threads=T]"
+         " [--admit]\n"
+      << "               [--unique-keys] [--explain]\n"
+      << "                                          streaming query"
+         " engine: plans\n"
+      << "                                          (comma-separated:"
+         " scan, union, diff,\n"
+      << "                                          intersect, symdiff)"
+         " share ONE input\n"
+      << "                                          pass; --xml reads a"
+         " Section 4\n"
+      << "                                          document; --admit"
+         " gates every plan\n"
+      << "                                          on its Theorem 11"
+         " envelope (RST018)\n"
       << "  rstlab check [machine|all] [--runs=K] [--symbolic]"
          " [--check-n-sweep]\n"
       << "                                          static analysis of"
@@ -162,6 +183,26 @@ int Generate(const std::vector<std::string>& args) {
   const std::size_t n = std::strtoull(args[2].c_str(), nullptr, 10);
   const std::uint64_t seed =
       args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 1;
+  if (kind == "relpair" || kind == "xmlpair") {
+    // Query-engine workloads: relation pairs / Section 4 XML documents
+    // that agree on all but n elements, with exact ground truth baked
+    // into the generator (see src/query/workload.h). m sizes each side.
+    if (kind == "relpair") {
+      rstlab::query::RelationPairSpec spec;
+      spec.seed = seed;
+      spec.num_tuples = m;
+      spec.perturbations = n;
+      std::cout << rstlab::query::MakeRelationPair(spec).stream << "\n";
+    } else {
+      rstlab::query::XmlWorkloadSpec spec;
+      spec.seed = seed;
+      spec.set1_values = m;
+      spec.set2_values = m;
+      spec.perturbations = n;
+      std::cout << rstlab::query::MakeXmlWorkload(spec).document << "\n";
+    }
+    return 0;
+  }
   rstlab::Rng rng(seed);
   rstlab::problems::Instance instance;
   if (kind == "equal") {
@@ -283,6 +324,97 @@ int XPath(const std::vector<std::string>& args) {
               << "\n";
   }
   return 0;
+}
+
+// The streaming query engine from the shell: every named plan runs
+// over ONE shared pass of the input stream (or XML document), each
+// with its own certified pipeline and (r, s) bill.
+int Query(const std::vector<std::string>& args) {
+  rstlab::query::engine::SharedScanOptions options;
+  bool explain = false;
+  std::vector<std::string> positional;
+  for (const std::string& arg : args) {
+    if (arg == "--xml") {
+      options.xml = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.config.threads =
+          std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg == "--admit") {
+      options.admit = true;
+    } else if (arg == "--unique-keys") {
+      options.unique_join_keys = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << " for rstlab query\n";
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) return Usage();
+
+  // Comma-separated plan names over the two input relations — the
+  // stream's R1/R2 lanes, or the document's set1/set2 lanes with --xml.
+  const std::string a = options.xml ? "set1" : "R1";
+  const std::string b = options.xml ? "set2" : "R2";
+  std::vector<rstlab::query::engine::QueryRequest> requests;
+  std::string names = positional[0];
+  while (!names.empty()) {
+    const std::size_t comma = names.find(',');
+    const std::string name = names.substr(0, comma);
+    names = comma == std::string::npos ? "" : names.substr(comma + 1);
+    rstlab::query::RelAlgExprPtr plan;
+    if (name == "scan") {
+      plan = rstlab::query::Rel(a);
+    } else if (name == "union") {
+      plan = rstlab::query::Union(rstlab::query::Rel(a),
+                                  rstlab::query::Rel(b));
+    } else if (name == "diff") {
+      plan = rstlab::query::Difference(rstlab::query::Rel(a),
+                                       rstlab::query::Rel(b));
+    } else if (name == "intersect") {
+      plan = rstlab::query::Intersection(rstlab::query::Rel(a),
+                                         rstlab::query::Rel(b));
+    } else if (name == "symdiff") {
+      plan = rstlab::query::SymmetricDifferenceQuery(a, b);
+    } else {
+      std::cerr << "unknown plan \"" << name
+                << "\" (scan, union, diff, intersect, symdiff)\n";
+      return Usage();
+    }
+    requests.push_back({plan, name});
+  }
+
+  const std::string source = positional.size() > 1 ? positional[1] : "-";
+  rstlab::stmodel::StContext ctx(1);
+  ctx.LoadInput(ReadInput(source));
+  auto outcomes =
+      rstlab::query::engine::ExecuteSharedScan(ctx, requests, options);
+  if (!outcomes.ok()) {
+    std::cerr << "error: " << outcomes.status() << "\n";
+    return 1;
+  }
+  bool failed = false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& outcome = outcomes.value()[i];
+    if (!outcome.status.ok()) {
+      std::cout << requests[i].label << ": error: " << outcome.status
+                << "\n";
+      failed = true;
+      continue;
+    }
+    std::cout << requests[i].label << ": "
+              << outcome.result.tuples.size() << " tuple(s)  ["
+              << outcome.cost.ToString() << "]\n";
+    if (explain) {
+      std::cout << "  plan " << outcome.plan << "\n"
+                << "  certificate " << outcome.certificate.ToString()
+                << "\n";
+    }
+  }
+  std::cout << "shared input pass  [" << ctx.Report().ToString() << "]\n";
+  return failed ? 1 : 0;
 }
 
 // Re-verifies one machine's symbolic certificate across the N sweep
@@ -688,6 +820,7 @@ int main(int argc, char** argv) {
   if (command == "fingerprint") return Fingerprint(args);
   if (command == "sort") return Sort(args);
   if (command == "xpath") return XPath(args);
+  if (command == "query") return Query(args);
   if (command == "check") return Check(args);
   if (command == "conform") return Conform(args);
   if (command == "serve") return Serve(args);
